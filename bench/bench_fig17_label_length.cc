@@ -1,0 +1,67 @@
+// Figure 17: average and maximum data-label length (bits) versus run size
+// (1K..32K data items) for FVL and the DRL baseline on the BioAID workload.
+// Expected shape: all four curves grow logarithmically (near-parallel to
+// log n), with DRL a small constant above FVL.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "fvl/drl/drl_scheme.h"
+
+namespace fvl::bench {
+namespace {
+
+void Main(const BenchConfig& config) {
+  Workload workload = MakeBioAid(2012);
+  FvlScheme scheme(&workload.spec);
+
+  // DRL labels the default view of the run.
+  View default_view = MakeDefaultView(workload.spec);
+  std::string error;
+  auto compiled =
+      *CompiledView::Compile(workload.spec.grammar, default_view, &error);
+  DrlViewIndex drl_index(&workload.spec.grammar, &compiled);
+
+  TablePrinter table({"run_size", "FVL-avg", "FVL-max", "DRL-avg", "DRL-max"});
+  for (int size : config.run_sizes()) {
+    double fvl_avg = 0, fvl_max = 0, drl_avg = 0, drl_max = 0;
+    for (int sample = 0; sample < config.runs_per_point(); ++sample) {
+      RunGeneratorOptions options;
+      options.target_items = size;
+      options.seed = 1000 * sample + size;
+      FvlScheme::LabeledRun labeled = scheme.GenerateLabeledRun(options);
+      LabelLengthStats fvl = FvlLabelLengths(labeled);
+      fvl_avg += fvl.avg_bits;
+      fvl_max = std::max(fvl_max, fvl.max_bits);
+
+      DrlRunLabeler drl = DrlLabelRun(labeled.run, drl_index);
+      int64_t total = 0, max_bits = 0, count = 0;
+      for (int item = 0; item < labeled.run.num_items(); ++item) {
+        if (!drl.HasLabel(item)) continue;
+        int64_t bits = drl.LabelBits(item);
+        total += bits;
+        max_bits = std::max(max_bits, bits);
+        ++count;
+      }
+      drl_avg += static_cast<double>(total) / count;
+      drl_max = std::max(drl_max, static_cast<double>(max_bits));
+    }
+    fvl_avg /= config.runs_per_point();
+    drl_avg /= config.runs_per_point();
+    table.AddRow({std::to_string(size), TablePrinter::Num(fvl_avg, 1),
+                  TablePrinter::Num(fvl_max, 0), TablePrinter::Num(drl_avg, 1),
+                  TablePrinter::Num(drl_max, 0)});
+  }
+  table.Print("Figure 17: data label length (bits) vs run size, BioAID");
+  std::printf(
+      "expected shape: logarithmic growth (≈ +const per size doubling), "
+      "DRL above FVL by a small constant\n");
+}
+
+}  // namespace
+}  // namespace fvl::bench
+
+int main(int argc, char** argv) {
+  fvl::bench::Main(fvl::bench::ParseArgs(argc, argv));
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 21: total data-label length assigned to one data item versus the
+// number of views (1..10), FVL vs DRL, on 8K-item BioAID runs with
+// medium-size black-box views (§6.4). FVL is view-adaptive: one label per
+// item regardless of the number of views (flat line); DRL keeps one label
+// per item per view (linear growth).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "fvl/drl/drl_scheme.h"
+
+namespace fvl::bench {
+namespace {
+
+void Main(const BenchConfig& config) {
+  Workload workload = MakeBioAid(2012);
+  FvlScheme scheme(&workload.spec);
+
+  RunGeneratorOptions run_options;
+  run_options.target_items = config.quick ? 2000 : 8000;
+  run_options.seed = 21;
+  FvlScheme::LabeledRun labeled = scheme.GenerateLabeledRun(run_options);
+  double fvl_bits = FvlLabelLengths(labeled).avg_bits;
+
+  // Ten medium-size black-box views.
+  std::vector<DrlViewIndex> indices;
+  std::vector<CompiledView> views;
+  views.reserve(10);
+  for (int v = 0; v < 10; ++v) {
+    ViewGeneratorOptions options;
+    options.num_expandable = 8;
+    options.deps = PerceivedDeps::kBlackBox;
+    options.seed = 100 + v;
+    views.push_back(GenerateSafeView(workload, options));
+  }
+  for (int v = 0; v < 10; ++v) {
+    indices.emplace_back(&workload.spec.grammar, &views[v]);
+  }
+
+  TablePrinter table({"num_views", "FVL_bits", "DRL_bits"});
+  double drl_cumulative = 0;
+  for (int v = 1; v <= 10; ++v) {
+    DrlRunLabeler drl = DrlLabelRun(labeled.run, indices[v - 1]);
+    int64_t total = 0, count = 0;
+    for (int item = 0; item < labeled.run.num_items(); ++item) {
+      if (!drl.HasLabel(item)) continue;
+      total += drl.LabelBits(item);
+      ++count;
+    }
+    drl_cumulative += static_cast<double>(total) / count;
+    table.AddRow({std::to_string(v), TablePrinter::Num(fvl_bits, 1),
+                  TablePrinter::Num(drl_cumulative, 1)});
+  }
+  table.Print(
+      "Figure 21: total data label bits per item vs number of views "
+      "(8K runs, medium black-box views)");
+  std::printf("expected shape: FVL flat, DRL linear in the view count\n");
+}
+
+}  // namespace
+}  // namespace fvl::bench
+
+int main(int argc, char** argv) {
+  fvl::bench::Main(fvl::bench::ParseArgs(argc, argv));
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Shared machinery for the figure/table benchmark binaries.
+//
+// Every binary regenerates one table or figure of the paper's §6 and prints
+// the same rows/series (plus a CSV block). Pass "--quick" to shrink sample
+// counts for smoke runs; the defaults aim at < ~60s per binary.
+
+#ifndef FVL_BENCH_BENCH_UTIL_H_
+#define FVL_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fvl/core/scheme.h"
+#include "fvl/util/stopwatch.h"
+#include "fvl/util/table_printer.h"
+#include "fvl/workload/bioaid.h"
+#include "fvl/workload/query_generator.h"
+#include "fvl/workload/synthetic.h"
+#include "fvl/workload/view_generator.h"
+
+namespace fvl::bench {
+
+struct BenchConfig {
+  bool quick = false;
+  int runs_per_point() const { return quick ? 3 : 10; }
+  int queries_per_point() const { return quick ? 20000 : 200000; }
+  std::vector<int> run_sizes() const {
+    if (quick) return {1000, 4000, 16000};
+    return {1000, 2000, 4000, 8000, 16000, 32000};
+  }
+};
+
+inline BenchConfig ParseArgs(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) config.quick = true;
+  }
+  return config;
+}
+
+// Average and maximum encoded data-label length over a labeled run.
+struct LabelLengthStats {
+  double avg_bits = 0;
+  double max_bits = 0;
+};
+
+inline LabelLengthStats FvlLabelLengths(const FvlScheme::LabeledRun& labeled) {
+  LabelLengthStats stats;
+  int64_t total = 0;
+  int64_t max_bits = 0;
+  for (int item = 0; item < labeled.run.num_items(); ++item) {
+    int64_t bits = labeled.labeler.LabelBits(item);
+    total += bits;
+    max_bits = std::max(max_bits, bits);
+  }
+  stats.avg_bits = static_cast<double>(total) / labeled.run.num_items();
+  stats.max_bits = static_cast<double>(max_bits);
+  return stats;
+}
+
+// Times `body` and returns elapsed milliseconds.
+template <typename Body>
+double TimeMs(Body&& body) {
+  Stopwatch watch;
+  body();
+  return watch.ElapsedMillis();
+}
+
+// The paper's three view sizes for BioAID (§6.3): small/medium/large = 2, 8,
+// 16 expandable composite modules.
+struct NamedViewSize {
+  const char* name;
+  int num_expandable;
+};
+inline std::vector<NamedViewSize> PaperViewSizes() {
+  return {{"small", 2}, {"medium", 8}, {"large", 16}};
+}
+
+}  // namespace fvl::bench
+
+#endif  // FVL_BENCH_BENCH_UTIL_H_

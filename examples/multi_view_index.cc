@@ -1,0 +1,98 @@
+// The multi-view provenance index (§1, §6.4): the core selling point of
+// view-adaptive labeling. A provenance store labels each execution once; as
+// views are added, changed, and deleted over time, only the (tiny, static)
+// view labels are touched — the per-item index never is. The brute-force
+// alternative (per-view labeling, as DRL must do) re-labels every stored
+// run for every new view.
+//
+//   $ ./multi_view_index
+
+#include <cstdio>
+#include <vector>
+
+#include "fvl/core/decoder.h"
+#include "fvl/core/scheme.h"
+#include "fvl/drl/drl_scheme.h"
+#include "fvl/util/stopwatch.h"
+#include "fvl/workload/bioaid.h"
+#include "fvl/workload/view_generator.h"
+
+using namespace fvl;
+
+int main() {
+  Workload workload = MakeBioAid(2012);
+  FvlScheme scheme(&workload.spec);
+
+  // The provenance store: five executions, labeled once each.
+  std::vector<FvlScheme::LabeledRun> store;
+  Stopwatch watch;
+  int64_t total_items = 0;
+  int64_t fvl_index_bits = 0;
+  for (int r = 0; r < 5; ++r) {
+    RunGeneratorOptions options;
+    options.target_items = 4000;
+    options.seed = 50 + r;
+    store.push_back(scheme.GenerateLabeledRun(options));
+    total_items += store.back().run.num_items();
+    for (int item = 0; item < store.back().run.num_items(); ++item) {
+      fvl_index_bits += store.back().labeler.LabelBits(item);
+    }
+  }
+  double fvl_build_ms = watch.ElapsedMillis();
+  std::printf(
+      "store: 5 runs, %lld items; FVL index: %.1f KB built in %.1f ms "
+      "(including derivation)\n",
+      static_cast<long long>(total_items), fvl_index_bits / 8192.0,
+      fvl_build_ms);
+
+  // Views arrive over time. For FVL, adding a view costs one static view
+  // label; for DRL it costs relabeling all five stored runs.
+  double drl_cumulative_ms = 0;
+  for (int v = 0; v < 6; ++v) {
+    ViewGeneratorOptions options;
+    options.num_expandable = 8;
+    options.deps = PerceivedDeps::kBlackBox;  // DRL needs black-box views
+    options.seed = 900 + v;
+    CompiledView view = GenerateSafeView(workload, options);
+
+    watch.Reset();
+    ViewLabel view_label =
+        scheme.LabelView(view, ViewLabelMode::kQueryEfficient);
+    double fvl_add_ms = watch.ElapsedMillis();
+
+    watch.Reset();
+    DrlViewIndex drl_index(&workload.spec.grammar, &view);
+    int64_t drl_bits = 0;
+    for (const auto& labeled : store) {
+      DrlRunLabeler drl = DrlLabelRun(labeled.run, drl_index);
+      for (int item = 0; item < labeled.run.num_items(); ++item) {
+        if (drl.HasLabel(item)) drl_bits += drl.LabelBits(item);
+      }
+    }
+    double drl_add_ms = watch.ElapsedMillis();
+    drl_cumulative_ms += drl_add_ms;
+
+    // Sanity: the new view answers queries from the *old* FVL labels.
+    Decoder pi(&view_label);
+    const FvlScheme::LabeledRun& labeled = store[v % store.size()];
+    int yes = 0;
+    for (int d1 = 0; d1 < 40; ++d1) {
+      for (int d2 = 0; d2 < 40; ++d2) {
+        yes += pi.Depends(labeled.labeler.Label(d1), labeled.labeler.Label(d2))
+                   ? 1
+                   : 0;
+      }
+    }
+    std::printf(
+        "add view %d: FVL +%.3f ms (+%.2f KB static label); "
+        "DRL relabels the store: +%.1f ms (+%.1f KB per-item labels); "
+        "sample queries answered: %d/1600 positive\n",
+        v + 1, fvl_add_ms, view_label.SizeBits() / 8192.0, drl_add_ms,
+        drl_bits / 8192.0, yes);
+  }
+  std::printf(
+      "totals after 6 views: FVL per-item index untouched (%.1f KB); "
+      "DRL spent %.1f ms relabeling and holds 6 label sets per item\n",
+      fvl_index_bits / 8192.0, drl_cumulative_ms);
+  return 0;
+}

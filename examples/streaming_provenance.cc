@@ -1,0 +1,83 @@
+// Streaming provenance (§1, §2.3): scientific workflows run for a long
+// time, so data items must be labeled the moment they are produced and
+// queries must be answerable over partial executions. This example drives a
+// BioAID execution step by step, answers dependency queries at checkpoints
+// mid-run, and verifies at the end that no label was ever revised.
+//
+//   $ ./streaming_provenance
+
+#include <cstdio>
+#include <vector>
+
+#include "fvl/core/decoder.h"
+#include "fvl/core/scheme.h"
+#include "fvl/util/random.h"
+#include "fvl/workload/bioaid.h"
+
+using namespace fvl;
+
+int main() {
+  Workload workload = MakeBioAid(2012);
+  FvlScheme scheme(&workload.spec);
+
+  // Static part, done once before the execution even starts: label the
+  // abstraction view every user will query through.
+  View default_view = MakeDefaultView(workload.spec);
+  std::string error;
+  auto view =
+      *CompiledView::Compile(workload.spec.grammar, default_view, &error);
+  ViewLabel view_label = scheme.LabelView(view, ViewLabelMode::kQueryEfficient);
+  Decoder pi(&view_label);
+
+  // Dynamic part: the engine announces derivation steps; the labeler reacts.
+  Run run(&workload.spec.grammar);
+  RunLabeler labeler = scheme.MakeRunLabeler();
+  labeler.OnStart(run);
+  std::vector<DataLabel> first_seen;
+  auto snapshot = [&] {
+    for (int item = static_cast<int>(first_seen.size());
+         item < labeler.num_labels(); ++item) {
+      first_seen.push_back(labeler.Label(item));
+    }
+  };
+  snapshot();
+
+  Rng rng(2026);
+  int checkpoint = 0;
+  for (int step_count = 0; !run.IsComplete(); ++step_count) {
+    const std::vector<int>& frontier = run.Frontier();
+    int instance = frontier[rng.NextBounded(frontier.size())];
+    ModuleId type = run.instance(instance).type;
+    const auto& productions = workload.spec.grammar.ProductionsOf(type);
+    // Keep recursions going for a while, then wind down.
+    ProductionId choice = productions[rng.NextBounded(productions.size())];
+    const DerivationStep& step = run.Apply(instance, choice);
+    labeler.OnApply(run, step);
+    snapshot();
+
+    if (step_count % 5 == 4) {
+      // A user queries the *partial* execution right now.
+      int d1 = static_cast<int>(rng.NextBounded(run.num_items()));
+      int d2 = static_cast<int>(rng.NextBounded(run.num_items()));
+      bool answer = pi.Depends(labeler.Label(d1), labeler.Label(d2));
+      std::printf(
+          "checkpoint %d after step %3d: run has %5d items; "
+          "depends(%d -> %d) = %s\n",
+          ++checkpoint, step_count + 1, run.num_items(), d1, d2,
+          answer ? "yes" : "no");
+    }
+  }
+  std::printf("execution finished with %d items in %d steps\n",
+              run.num_items(), run.num_steps());
+
+  // Def. 10's immutability, verified: every label equals its first version.
+  for (int item = 0; item < run.num_items(); ++item) {
+    if (!(labeler.Label(item) == first_seen[item])) {
+      std::printf("BUG: label of item %d changed after assignment!\n", item);
+      return 1;
+    }
+  }
+  std::printf("all %d labels identical to the moment they were assigned\n",
+              run.num_items());
+  return 0;
+}

@@ -1,0 +1,183 @@
+#include "fvl/core/data_label.h"
+
+#include <algorithm>
+
+#include "fvl/util/check.h"
+
+namespace fvl {
+
+std::string EdgeLabel::ToString() const {
+  if (kind == Kind::kProduction) {
+    return "(" + std::to_string(production + 1) + "," +
+           std::to_string(position + 1) + ")";
+  }
+  return "(" + std::to_string(cycle + 1) + "," + std::to_string(start + 1) +
+         "," + std::to_string(iteration) + ")";
+}
+
+std::string PortLabel::ToString() const {
+  std::string out = "{";
+  for (const EdgeLabel& edge : path) out += edge.ToString() + ",";
+  out += std::to_string(port + 1) + "}";
+  return out;
+}
+
+std::string DataLabel::ToString() const {
+  std::string out = "(";
+  out += producer.has_value() ? producer->ToString() : "-";
+  out += ", ";
+  out += consumer.has_value() ? consumer->ToString() : "-";
+  out += ")";
+  return out;
+}
+
+LabelCodec::LabelCodec(const ProductionGraph& pg) {
+  const Grammar& g = pg.grammar();
+  production_bits = BitWidthFor(g.num_productions());
+  int max_members = 1;
+  for (ProductionId k = 0; k < g.num_productions(); ++k) {
+    max_members = std::max(max_members, g.production(k).rhs.num_members());
+  }
+  position_bits = BitWidthFor(max_members);
+  cycle_bits = BitWidthFor(std::max(1, pg.num_cycles()));
+  int max_cycle = 1;
+  for (int s = 0; s < pg.num_cycles(); ++s) {
+    max_cycle = std::max(max_cycle, pg.cycle(s).length());
+  }
+  start_bits = BitWidthFor(max_cycle);
+  int max_ports = 1;
+  for (ModuleId m = 0; m < g.num_modules(); ++m) {
+    max_ports = std::max(
+        {max_ports, g.module(m).num_inputs, g.module(m).num_outputs});
+  }
+  port_bits = BitWidthFor(max_ports);
+}
+
+void LabelCodec::EncodeEdge(const EdgeLabel& edge, BitWriter* writer) const {
+  if (edge.kind == EdgeLabel::Kind::kProduction) {
+    writer->WriteFixed(0, 1);
+    writer->WriteFixed(static_cast<uint64_t>(edge.production), production_bits);
+    writer->WriteFixed(static_cast<uint64_t>(edge.position), position_bits);
+  } else {
+    writer->WriteFixed(1, 1);
+    writer->WriteFixed(static_cast<uint64_t>(edge.cycle), cycle_bits);
+    writer->WriteFixed(static_cast<uint64_t>(edge.start), start_bits);
+    writer->WriteGamma(static_cast<uint64_t>(edge.iteration));
+  }
+}
+
+EdgeLabel LabelCodec::DecodeEdge(BitReader* reader) const {
+  if (reader->ReadFixed(1) == 0) {
+    int production = static_cast<int>(reader->ReadFixed(production_bits));
+    int position = static_cast<int>(reader->ReadFixed(position_bits));
+    return EdgeLabel::Prod(production, position);
+  }
+  int cycle = static_cast<int>(reader->ReadFixed(cycle_bits));
+  int start = static_cast<int>(reader->ReadFixed(start_bits));
+  int iteration = static_cast<int>(reader->ReadGamma());
+  return EdgeLabel::Rec(cycle, start, iteration);
+}
+
+namespace {
+
+size_t CommonPrefix(const DataLabel& label) {
+  if (!label.producer.has_value() || !label.consumer.has_value()) return 0;
+  const auto& a = label.producer->path;
+  const auto& b = label.consumer->path;
+  size_t prefix = 0;
+  while (prefix < a.size() && prefix < b.size() && a[prefix] == b[prefix]) {
+    ++prefix;
+  }
+  return prefix;
+}
+
+}  // namespace
+
+BitWriter LabelCodec::Encode(const DataLabel& label) const {
+  BitWriter writer;
+  EncodeTo(label, &writer);
+  return writer;
+}
+
+void LabelCodec::EncodeTo(const DataLabel& label, BitWriter* out) const {
+  BitWriter& writer = *out;
+  writer.WriteFixed(label.producer.has_value() ? 1 : 0, 1);
+  writer.WriteFixed(label.consumer.has_value() ? 1 : 0, 1);
+  size_t prefix = CommonPrefix(label);
+  if (label.producer.has_value() && label.consumer.has_value()) {
+    writer.WriteGamma(prefix + 1);
+    for (size_t i = 0; i < prefix; ++i) {
+      EncodeEdge(label.producer->path[i], &writer);
+    }
+  }
+  auto encode_side = [&](const PortLabel& side) {
+    size_t skip = label.producer.has_value() && label.consumer.has_value()
+                      ? prefix
+                      : 0;
+    writer.WriteGamma(side.path.size() - skip + 1);
+    for (size_t i = skip; i < side.path.size(); ++i) {
+      EncodeEdge(side.path[i], &writer);
+    }
+    writer.WriteFixed(static_cast<uint64_t>(side.port), port_bits);
+  };
+  if (label.producer.has_value()) encode_side(*label.producer);
+  if (label.consumer.has_value()) encode_side(*label.consumer);
+}
+
+DataLabel LabelCodec::Decode(BitReader* reader) const {
+  DataLabel label;
+  bool has_producer = reader->ReadFixed(1) == 1;
+  bool has_consumer = reader->ReadFixed(1) == 1;
+  std::vector<EdgeLabel> prefix;
+  if (has_producer && has_consumer) {
+    size_t prefix_size = static_cast<size_t>(reader->ReadGamma() - 1);
+    prefix.reserve(prefix_size);
+    for (size_t i = 0; i < prefix_size; ++i) {
+      prefix.push_back(DecodeEdge(reader));
+    }
+  }
+  auto decode_side = [&]() {
+    PortLabel side;
+    side.path = prefix;
+    size_t suffix = static_cast<size_t>(reader->ReadGamma() - 1);
+    for (size_t i = 0; i < suffix; ++i) side.path.push_back(DecodeEdge(reader));
+    side.port = static_cast<int>(reader->ReadFixed(port_bits));
+    return side;
+  };
+  if (has_producer) label.producer = decode_side();
+  if (has_consumer) label.consumer = decode_side();
+  return label;
+}
+
+int64_t LabelCodec::EncodedBits(const DataLabel& label) const {
+  int64_t bits = 2;
+  auto edge_bits = [&](const EdgeLabel& edge) -> int64_t {
+    if (edge.kind == EdgeLabel::Kind::kProduction) {
+      return 1 + production_bits + position_bits;
+    }
+    return 1 + cycle_bits + start_bits +
+           GammaLength(static_cast<uint64_t>(edge.iteration));
+  };
+  size_t prefix = CommonPrefix(label);
+  if (label.producer.has_value() && label.consumer.has_value()) {
+    bits += GammaLength(prefix + 1);
+    for (size_t i = 0; i < prefix; ++i) {
+      bits += edge_bits(label.producer->path[i]);
+    }
+  }
+  auto side_bits = [&](const PortLabel& side) {
+    size_t skip = label.producer.has_value() && label.consumer.has_value()
+                      ? prefix
+                      : 0;
+    bits += GammaLength(side.path.size() - skip + 1);
+    for (size_t i = skip; i < side.path.size(); ++i) {
+      bits += edge_bits(side.path[i]);
+    }
+    bits += port_bits;
+  };
+  if (label.producer.has_value()) side_bits(*label.producer);
+  if (label.consumer.has_value()) side_bits(*label.consumer);
+  return bits;
+}
+
+}  // namespace fvl

@@ -1,0 +1,145 @@
+#include "fvl/core/index.h"
+
+#include <cstring>
+
+#include "fvl/util/check.h"
+
+namespace fvl {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'V', 'L', 'I', 'D', 'X', '1', '\0'};
+
+void AppendU64(std::string* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+bool ReadU64(const std::string& blob, size_t* pos, uint64_t* value) {
+  if (*pos + 8 > blob.size()) return false;
+  *value = 0;
+  for (int i = 0; i < 8; ++i) {
+    *value |= static_cast<uint64_t>(static_cast<unsigned char>(blob[*pos + i]))
+              << (8 * i);
+  }
+  *pos += 8;
+  return true;
+}
+
+}  // namespace
+
+void ProvenanceIndexBuilder::Add(const DataLabel& label) {
+  if (offsets_.empty()) offsets_.push_back(0);
+  codec_.EncodeTo(label, &arena_);
+  offsets_.push_back(arena_.size_bits());
+}
+
+ProvenanceIndex ProvenanceIndexBuilder::Build() && {
+  if (offsets_.empty()) offsets_.push_back(0);
+  return ProvenanceIndex(std::move(codec_), std::move(offsets_),
+                         arena_.words(), arena_.size_bits());
+}
+
+ProvenanceIndex ProvenanceIndexBuilder::FromLabeledRun(
+    const ProductionGraph& pg, const RunLabeler& labeler) {
+  ProvenanceIndexBuilder builder(pg);
+  for (int item = 0; item < labeler.num_labels(); ++item) {
+    builder.Add(labeler.Label(item));
+  }
+  return std::move(builder).Build();
+}
+
+int64_t ProvenanceIndex::SizeBits() const {
+  // Arena plus a minimal-width offset per item.
+  return arena_bits_ +
+         static_cast<int64_t>(num_items()) * BitWidthFor(arena_bits_ + 1);
+}
+
+DataLabel ProvenanceIndex::Label(int item) const {
+  FVL_CHECK(item >= 0 && item < num_items());
+  BitReader reader(&words_, offsets_[item], offsets_[item + 1]);
+  DataLabel label = codec_.Decode(&reader);
+  FVL_CHECK(reader.AtEnd());
+  return label;
+}
+
+std::string ProvenanceIndex::Serialize() const {
+  std::string blob(kMagic, sizeof(kMagic));
+  AppendU64(&blob, static_cast<uint64_t>(num_items()));
+  AppendU64(&blob, static_cast<uint64_t>(arena_bits_));
+
+  // Offsets, bit-packed at the minimal fixed width.
+  int offset_width = BitWidthFor(arena_bits_ + 1);
+  blob.push_back(static_cast<char>(offset_width));
+  BitWriter offsets;
+  for (int item = 0; item < num_items(); ++item) {
+    offsets.WriteFixed(static_cast<uint64_t>(offsets_[item + 1]),
+                       offset_width);
+  }
+  AppendU64(&blob, static_cast<uint64_t>(offsets.words().size()));
+  for (uint64_t word : offsets.words()) AppendU64(&blob, word);
+
+  AppendU64(&blob, static_cast<uint64_t>(words_.size()));
+  for (uint64_t word : words_) AppendU64(&blob, word);
+  return blob;
+}
+
+std::optional<ProvenanceIndex> ProvenanceIndex::Deserialize(
+    const std::string& blob, const LabelCodec& codec, std::string* error) {
+  auto fail = [&](const std::string& message) -> std::optional<ProvenanceIndex> {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+  if (blob.size() < sizeof(kMagic) ||
+      std::memcmp(blob.data(), kMagic, sizeof(kMagic)) != 0) {
+    return fail("bad magic");
+  }
+  size_t pos = sizeof(kMagic);
+  uint64_t num_items = 0, arena_bits = 0;
+  if (!ReadU64(blob, &pos, &num_items) || !ReadU64(blob, &pos, &arena_bits)) {
+    return fail("truncated header");
+  }
+  if (pos >= blob.size()) return fail("truncated header");
+  int offset_width = static_cast<unsigned char>(blob[pos++]);
+  if (offset_width != BitWidthFor(static_cast<int64_t>(arena_bits) + 1)) {
+    return fail("inconsistent offset width");
+  }
+
+  uint64_t offset_words = 0;
+  if (!ReadU64(blob, &pos, &offset_words)) return fail("truncated offsets");
+  BitWriter packed;
+  for (uint64_t w = 0; w < offset_words; ++w) {
+    uint64_t word = 0;
+    if (!ReadU64(blob, &pos, &word)) return fail("truncated offsets");
+    packed.WriteFixed(word, 64);
+  }
+  BitReader reader(packed);
+  std::vector<int64_t> offsets = {0};
+  for (uint64_t item = 0; item < num_items; ++item) {
+    int64_t offset = static_cast<int64_t>(reader.ReadFixed(offset_width));
+    if (offset < offsets.back() || offset > static_cast<int64_t>(arena_bits)) {
+      return fail("non-monotone offsets");
+    }
+    offsets.push_back(offset);
+  }
+  if (num_items > 0 && offsets.back() != static_cast<int64_t>(arena_bits)) {
+    return fail("offsets do not cover the arena");
+  }
+
+  uint64_t arena_words = 0;
+  if (!ReadU64(blob, &pos, &arena_words)) return fail("truncated arena");
+  if (arena_words < (arena_bits + 63) / 64) return fail("arena too small");
+  std::vector<uint64_t> words;
+  words.reserve(arena_words);
+  for (uint64_t w = 0; w < arena_words; ++w) {
+    uint64_t word = 0;
+    if (!ReadU64(blob, &pos, &word)) return fail("truncated arena");
+    words.push_back(word);
+  }
+  if (pos != blob.size()) return fail("trailing bytes");
+  return ProvenanceIndex(codec, std::move(offsets), std::move(words),
+                         static_cast<int64_t>(arena_bits));
+}
+
+}  // namespace fvl

@@ -1,0 +1,88 @@
+// Persistent provenance index: the downstream-adoption layer around the
+// labeling scheme.
+//
+// A ProvenanceIndexBuilder consumes a labeled run and packs every encoded
+// data label into one contiguous bit arena with a per-item offset table; the
+// resulting ProvenanceIndex is a position-independent blob that can be
+// serialized, mapped back, and queried without the Run or the labeler:
+//
+//   ProvenanceIndexBuilder builder(scheme.production_graph());
+//   ... builder.Add(item_id, label) for every item (or FromLabeledRun) ...
+//   ProvenanceIndex index = std::move(builder).Build();
+//   std::string blob = index.Serialize();
+//   ProvenanceIndex restored = *ProvenanceIndex::Deserialize(blob, &error);
+//   Decoder pi(&view_label);
+//   pi.Depends(restored.Label(d1), restored.Label(d2));
+//
+// Labels decode on demand (queries pay one decode per side, a few hundred
+// ns); Label(i) results may be cached by callers that query hot items.
+
+#ifndef FVL_CORE_INDEX_H_
+#define FVL_CORE_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fvl/core/run_labeler.h"
+
+namespace fvl {
+
+class ProvenanceIndex;
+
+class ProvenanceIndexBuilder {
+ public:
+  explicit ProvenanceIndexBuilder(const ProductionGraph& pg) : codec_(pg) {}
+
+  // Items must be added in id order (0, 1, 2, ...).
+  void Add(const DataLabel& label);
+
+  ProvenanceIndex Build() &&;
+
+  static ProvenanceIndex FromLabeledRun(const ProductionGraph& pg,
+                                        const RunLabeler& labeler);
+
+ private:
+  LabelCodec codec_;
+  std::vector<int64_t> offsets_;  // bit offset of each item's label
+  BitWriter arena_;
+};
+
+class ProvenanceIndex {
+ public:
+  int num_items() const { return static_cast<int>(offsets_.size()) - 1; }
+  // Total index size in bits (arena + offset table at minimal width).
+  int64_t SizeBits() const;
+
+  // Decodes the label of one item.
+  DataLabel Label(int item) const;
+  // Exact encoded size of one item's label.
+  int64_t LabelBits(int item) const {
+    return offsets_[item + 1] - offsets_[item];
+  }
+
+  // Stable little-endian binary format (header, offsets, arena).
+  std::string Serialize() const;
+  static std::optional<ProvenanceIndex> Deserialize(const std::string& blob,
+                                                    const LabelCodec& codec,
+                                                    std::string* error);
+
+ private:
+  friend class ProvenanceIndexBuilder;
+  ProvenanceIndex(LabelCodec codec, std::vector<int64_t> offsets,
+                  std::vector<uint64_t> words, int64_t arena_bits)
+      : codec_(std::move(codec)),
+        offsets_(std::move(offsets)),
+        words_(std::move(words)),
+        arena_bits_(arena_bits) {}
+
+  LabelCodec codec_;
+  std::vector<int64_t> offsets_;  // size num_items + 1; [0] = 0
+  std::vector<uint64_t> words_;
+  int64_t arena_bits_ = 0;
+};
+
+}  // namespace fvl
+
+#endif  // FVL_CORE_INDEX_H_

@@ -1,0 +1,53 @@
+#include "fvl/core/matrix_power.h"
+
+#include "fvl/util/check.h"
+
+namespace fvl {
+
+BoolMatrix BoolMatrixPower(const BoolMatrix& x, int64_t q) {
+  FVL_CHECK(x.rows() == x.cols());
+  FVL_CHECK(q >= 0);
+  BoolMatrix result = BoolMatrix::Identity(x.rows());
+  BoolMatrix base = x;
+  while (q > 0) {
+    if (q & 1) result = result.Multiply(base);
+    base = base.Multiply(base);
+    q >>= 1;
+  }
+  return result;
+}
+
+MatrixPowerOracle::MatrixPowerOracle(BoolMatrix x, int max_powers) {
+  FVL_CHECK(x.rows() == x.cols());
+  powers_.push_back(BoolMatrix::Identity(x.rows()));
+  if (x.rows() == 0) return;
+  powers_.push_back(std::move(x));
+  while (true) {
+    FVL_CHECK(static_cast<int>(powers_.size()) <= max_powers);
+    BoolMatrix next = powers_.back().Multiply(powers_[1]);
+    // Look for an earlier occurrence.
+    for (int a = 0; a < static_cast<int>(powers_.size()); ++a) {
+      if (powers_[a] == next) {
+        cycle_start_ = a;
+        cycle_period_ = static_cast<int>(powers_.size()) - a;
+        return;
+      }
+    }
+    powers_.push_back(std::move(next));
+  }
+}
+
+const BoolMatrix& MatrixPowerOracle::Power(int64_t q) const {
+  FVL_CHECK(q >= 0);
+  if (q < static_cast<int64_t>(powers_.size())) return powers_[q];
+  int64_t offset = (q - cycle_start_) % cycle_period_;
+  return powers_[cycle_start_ + offset];
+}
+
+int64_t MatrixPowerOracle::SizeBits() const {
+  int64_t bits = 0;
+  for (const BoolMatrix& m : powers_) bits += m.SizeBits();
+  return bits;
+}
+
+}  // namespace fvl

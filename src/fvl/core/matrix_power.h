@@ -1,0 +1,49 @@
+// Boolean matrix powers for recursion walks (§4.4.3, Lemma 5).
+//
+// A recursion of i iterations multiplies i-1 reachability matrices that
+// repeat with the cycle length l, so Inputs/Outputs reduce to X^q times a
+// prefix product. The sequence X, X², X³, … over a finite boolean-matrix
+// space is eventually periodic: there are a < b with X^a == X^b, after which
+// X^q == X^{a + (q-a) mod (b-a)}. MatrixPowerOracle finds (a, b) once and
+// answers any power in O(1) (the Query-Efficient variant materializes the
+// oracle in the view label); BoolMatrixPower is the O(log q)
+// divide-and-conquer fallback used by the Default variant.
+
+#ifndef FVL_CORE_MATRIX_POWER_H_
+#define FVL_CORE_MATRIX_POWER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fvl/util/boolean_matrix.h"
+
+namespace fvl {
+
+// X^q by repeated squaring; q >= 0 (X^0 = identity). X must be square.
+BoolMatrix BoolMatrixPower(const BoolMatrix& x, int64_t q);
+
+class MatrixPowerOracle {
+ public:
+  // X must be square. The transient a and period b-a of boolean-matrix power
+  // sequences are tiny in practice; `max_powers` only guards against
+  // pathological inputs.
+  explicit MatrixPowerOracle(BoolMatrix x, int max_powers = 1 << 16);
+
+  // X^q in O(1); q >= 0.
+  const BoolMatrix& Power(int64_t q) const;
+
+  int cycle_start() const { return cycle_start_; }    // the paper's a
+  int cycle_period() const { return cycle_period_; }  // the paper's b - a
+
+  // Storage cost of the materialized powers, for view-label accounting.
+  int64_t SizeBits() const;
+
+ private:
+  std::vector<BoolMatrix> powers_;  // X^0 .. X^{b-1}
+  int cycle_start_ = 0;
+  int cycle_period_ = 1;
+};
+
+}  // namespace fvl
+
+#endif  // FVL_CORE_MATRIX_POWER_H_

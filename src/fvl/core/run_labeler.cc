@@ -1,0 +1,63 @@
+#include "fvl/core/run_labeler.h"
+
+#include "fvl/util/check.h"
+
+namespace fvl {
+
+RunLabeler::RunLabeler(const Grammar* grammar, const ProductionGraph* pg)
+    : tree_(grammar, pg), codec_(*pg) {}
+
+void RunLabeler::OnStart(const Run& run) {
+  tree_.OnStart(run);
+  // Item ids are allocated sequentially; the start module's boundary items
+  // are exactly [0, inputs + outputs). Resizing to that count (rather than
+  // run.num_items()) keeps the labeler strictly online even when replaying
+  // an already-completed run.
+  labels_.resize(run.InputItems(run.start_instance()).size() +
+                 run.OutputItems(run.start_instance()).size());
+  const ParseNode& start_node =
+      tree_.node(tree_.NodeOfInstance(run.start_instance()));
+  for (int item_id : run.InputItems(run.start_instance())) {
+    DataLabel label;
+    label.consumer =
+        PortLabel{start_node.path, run.item(item_id).consumer_port};
+    labels_[item_id] = std::move(label);
+  }
+  for (int item_id : run.OutputItems(run.start_instance())) {
+    DataLabel label;
+    label.producer =
+        PortLabel{start_node.path, run.item(item_id).producer_port};
+    labels_[item_id] = std::move(label);
+  }
+}
+
+void RunLabeler::OnApply(const Run& run, const DerivationStep& step) {
+  tree_.OnApply(run, step);
+  FVL_CHECK(static_cast<int>(labels_.size()) == step.first_item);
+  // Resize to the step's own items (not run.num_items(), which is already
+  // the final count when replaying a completed run).
+  labels_.resize(step.first_item + step.num_items);
+  for (int e = 0; e < step.num_items; ++e) {
+    int item_id = step.first_item + e;
+    const DataItem& item = run.item(item_id);
+    const ParseNode& producer_node =
+        tree_.node(tree_.NodeOfInstance(item.producer_instance));
+    const ParseNode& consumer_node =
+        tree_.node(tree_.NodeOfInstance(item.consumer_instance));
+    DataLabel label;
+    label.producer = PortLabel{producer_node.path, item.producer_port};
+    label.consumer = PortLabel{consumer_node.path, item.consumer_port};
+    labels_[item_id] = std::move(label);
+  }
+}
+
+RunLabeler LabelEntireRun(const Run& run, const ProductionGraph& pg) {
+  RunLabeler labeler(&run.grammar(), &pg);
+  labeler.OnStart(run);
+  for (int s = 0; s < run.num_steps(); ++s) {
+    labeler.OnApply(run, run.step(s));
+  }
+  return labeler;
+}
+
+}  // namespace fvl

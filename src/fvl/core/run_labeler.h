@@ -1,0 +1,45 @@
+// Dynamic data labeling φr (§4.2): assigns every data item its label the
+// moment it is produced, using only the compressed parse tree built so far.
+// Labels are immutable once assigned (Def. 10) — the labeler never revisits
+// an item.
+
+#ifndef FVL_CORE_RUN_LABELER_H_
+#define FVL_CORE_RUN_LABELER_H_
+
+#include <vector>
+
+#include "fvl/core/data_label.h"
+#include "fvl/core/parse_tree.h"
+#include "fvl/run/run.h"
+
+namespace fvl {
+
+class RunLabeler {
+ public:
+  RunLabeler(const Grammar* grammar, const ProductionGraph* pg);
+
+  // Event hooks, mirroring CompressedParseTree.
+  void OnStart(const Run& run);
+  void OnApply(const Run& run, const DerivationStep& step);
+
+  int num_labels() const { return static_cast<int>(labels_.size()); }
+  const DataLabel& Label(int item) const { return labels_[item]; }
+  const CompressedParseTree& tree() const { return tree_; }
+
+  // Exact encoded size of an item's label, in bits.
+  int64_t LabelBits(int item) const { return codec_.EncodedBits(labels_[item]); }
+  const LabelCodec& codec() const { return codec_; }
+
+ private:
+  CompressedParseTree tree_;
+  LabelCodec codec_;
+  std::vector<DataLabel> labels_;
+};
+
+// Convenience: derive nothing, just label an already-derived run by
+// replaying its steps (used by tests and per-view baselines).
+RunLabeler LabelEntireRun(const Run& run, const ProductionGraph& pg);
+
+}  // namespace fvl
+
+#endif  // FVL_CORE_RUN_LABELER_H_

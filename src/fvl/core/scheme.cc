@@ -1,0 +1,74 @@
+#include "fvl/core/scheme.h"
+
+#include <cstdio>
+
+#include "fvl/util/check.h"
+#include "fvl/workflow/properness.h"
+#include "fvl/workflow/recursion_analysis.h"
+#include "fvl/workflow/safety.h"
+
+namespace fvl {
+
+std::optional<FvlScheme> FvlScheme::Create(const Specification* spec,
+                                           std::string* error) {
+  auto fail = [&](const std::string& message) -> std::optional<FvlScheme> {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+  if (auto validation = spec->Validate()) return fail(*validation);
+  PropernessReport properness = AnalyzeProperness(spec->grammar);
+  if (!properness.IsProper(spec->grammar)) {
+    return fail("grammar is not proper:\n" +
+                properness.Describe(spec->grammar));
+  }
+  auto pg = std::make_shared<ProductionGraph>(&spec->grammar);
+  if (!pg->strictly_linear()) {
+    return fail(
+        "grammar is not strictly linear-recursive (Thm. 8 precondition)");
+  }
+  SafetyResult safety = CheckSafety(spec->grammar, spec->deps);
+  if (!safety.safe) return fail("specification is unsafe: " + safety.error);
+  return FvlScheme(spec, std::move(pg), std::move(safety.full));
+}
+
+FvlScheme::FvlScheme(const Specification* spec) : spec_(spec) {
+  std::string error;
+  std::optional<FvlScheme> checked = Create(spec, &error);
+  if (!checked.has_value()) {
+    std::fprintf(stderr, "FvlScheme: %s\n", error.c_str());
+    FVL_CHECK(false && "invalid specification for FVL");
+  }
+  pg_ = std::move(checked->pg_);
+  true_full_ = std::move(checked->true_full_);
+}
+
+FvlScheme::LabeledRun FvlScheme::GenerateLabeledRun(
+    const RunGeneratorOptions& options) const {
+  RunLabeler labeler = MakeRunLabeler();
+  Run run = GenerateRandomRun(
+      spec_->grammar, options,
+      [&labeler](const Run& current, const DerivationStep* step) {
+        if (step == nullptr) {
+          labeler.OnStart(current);
+        } else {
+          labeler.OnApply(current, *step);
+        }
+      });
+  return {std::move(run), std::move(labeler)};
+}
+
+BasicDynamicLabeling::BasicDynamicLabeling(const FvlScheme* scheme)
+    : labeler_(scheme->MakeRunLabeler()),
+      view_label_(nullptr),
+      decoder_(nullptr) {
+  View default_view = MakeDefaultView(scheme->spec());
+  std::string error;
+  std::optional<CompiledView> compiled =
+      CompiledView::Compile(scheme->grammar(), default_view, &error);
+  FVL_CHECK(compiled.has_value());
+  view_label_ = std::make_unique<ViewLabel>(
+      scheme->LabelView(*compiled, ViewLabelMode::kQueryEfficient));
+  decoder_ = Decoder(view_label_.get());
+}
+
+}  // namespace fvl

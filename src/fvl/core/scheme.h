@@ -1,0 +1,99 @@
+// Facade bundling the FVL machinery for one specification:
+//
+//   FvlScheme scheme(&spec);                  // checks Thm.-8 preconditions
+//   RunLabeler labeler = scheme.MakeRunLabeler();
+//   ... drive labeler.OnStart / OnApply while deriving ...
+//   ViewLabel vl = scheme.LabelView(view, ViewLabelMode::kQueryEfficient);
+//   Decoder pi(&vl);
+//   pi.Depends(labeler.Label(d1), labeler.Label(d2));
+//
+// BasicDynamicLabeling is the Thm.-1/Thm.-8 adapter: a (non-view-adaptive)
+// dynamic labeling scheme obtained by pairing every data label with the
+// default view's label — φ'(d) = (φr(d), φv(U_default)).
+
+#ifndef FVL_CORE_SCHEME_H_
+#define FVL_CORE_SCHEME_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "fvl/core/decoder.h"
+#include "fvl/core/run_labeler.h"
+#include "fvl/core/view_label.h"
+#include "fvl/core/visibility.h"
+#include "fvl/run/run_generator.h"
+
+namespace fvl {
+
+class FvlScheme {
+ public:
+  // Aborts if the specification is invalid, not strictly linear-recursive,
+  // or unsafe (use Create for a checked variant).
+  explicit FvlScheme(const Specification* spec);
+  static std::optional<FvlScheme> Create(const Specification* spec,
+                                         std::string* error);
+
+  const Specification& spec() const { return *spec_; }
+  const Grammar& grammar() const { return spec_->grammar; }
+  const ProductionGraph& production_graph() const { return *pg_; }
+  // The true full dependency assignment λ* of the specification.
+  const DependencyAssignment& true_full() const { return true_full_; }
+
+  RunLabeler MakeRunLabeler() const {
+    return RunLabeler(&spec_->grammar, pg_.get());
+  }
+  ViewLabel LabelView(const CompiledView& view, ViewLabelMode mode) const {
+    return ViewLabeler(&spec_->grammar, pg_.get()).Label(view, mode);
+  }
+  ViewLabel LabelView(const GroupedView& view, ViewLabelMode mode) const {
+    return ViewLabeler(&spec_->grammar, pg_.get()).Label(view, mode);
+  }
+
+  // Derives a random run while labeling it online; returns run + labels.
+  struct LabeledRun {
+    Run run;
+    RunLabeler labeler;
+  };
+  LabeledRun GenerateLabeledRun(const RunGeneratorOptions& options) const;
+
+ private:
+  FvlScheme(const Specification* spec, std::shared_ptr<ProductionGraph> pg,
+            DependencyAssignment true_full)
+      : spec_(spec), pg_(std::move(pg)), true_full_(std::move(true_full)) {}
+
+  const Specification* spec_;
+  std::shared_ptr<ProductionGraph> pg_;
+  DependencyAssignment true_full_;
+};
+
+// Thm. 1 / Thm. 8: the basic (single-view) dynamic labeling scheme derived
+// from the view-adaptive one. Labels runs online for the default view.
+class BasicDynamicLabeling {
+ public:
+  explicit BasicDynamicLabeling(const FvlScheme* scheme);
+
+  void OnStart(const Run& run) { labeler_.OnStart(run); }
+  void OnApply(const Run& run, const DerivationStep& step) {
+    labeler_.OnApply(run, step);
+  }
+
+  // φ'(d) — conceptually (φr(d), φv(U_default)); the shared view label is a
+  // constant-size component (Thm. 10 part 2), so it is stored once.
+  const DataLabel& DataPart(int item) const { return labeler_.Label(item); }
+  int64_t LabelBits(int item) const { return labeler_.LabelBits(item); }
+
+  // π'(φ'(d1), φ'(d2)).
+  bool Depends(int item1, int item2) const {
+    return decoder_.Depends(labeler_.Label(item1), labeler_.Label(item2));
+  }
+
+ private:
+  RunLabeler labeler_;
+  std::unique_ptr<ViewLabel> view_label_;
+  Decoder decoder_;
+};
+
+}  // namespace fvl
+
+#endif  // FVL_CORE_SCHEME_H_

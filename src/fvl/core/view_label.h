@@ -1,0 +1,128 @@
+// Static view labels φv(U) = {λ*(S), I, O, Z} (§4.3) in three variants:
+//
+//  * kSpaceEfficient — stores only the full assignment λ'^* and the active
+//    production set; every I/O/Z access performs a graph search over the
+//    view of the specification at query time (§4.3, "Space-Efficient View
+//    Labeling").
+//  * kDefault — materializes all I/O/Z reachability matrices.
+//  * kQueryEfficient — additionally materializes, per recursion and start
+//    edge, the cycle-walk prefix products and the matrix-power oracles of
+//    §4.4.3, so Inputs/Outputs walks are O(1).
+//
+// A lookup that is undefined in the view (inactive production, §5-hidden
+// port) reports as such; the decoder maps this to "item not visible in this
+// view", which is exactly the §5 data-visibility check.
+
+#ifndef FVL_CORE_VIEW_LABEL_H_
+#define FVL_CORE_VIEW_LABEL_H_
+
+#include <optional>
+#include <vector>
+
+#include "fvl/core/matrix_power.h"
+#include "fvl/workflow/production_graph.h"
+#include "fvl/workflow/user_defined_view.h"
+#include "fvl/workflow/view.h"
+
+namespace fvl {
+
+enum class ViewLabelMode { kSpaceEfficient, kDefault, kQueryEfficient };
+
+const char* ToString(ViewLabelMode mode);
+
+class ViewLabel {
+ public:
+  ViewLabelMode mode() const { return mode_; }
+  const ProductionGraph& production_graph() const { return *pg_; }
+
+  // λ'^*(S).
+  const BoolMatrix& StartMatrix() const { return start_matrix_; }
+  bool ProductionActive(ProductionId k) const { return active_[k]; }
+  // λ'^* (per derivable module).
+  const DependencyAssignment& full() const { return full_; }
+
+  // §4.3 functions; std::nullopt when undefined in this view.
+  std::optional<BoolMatrix> I(ProductionId k, int pos) const;
+  std::optional<BoolMatrix> O(ProductionId k, int pos) const;
+  std::optional<BoolMatrix> Z(ProductionId k, int i, int j) const;
+
+  // Algorithm 1 (and its Outputs twin): the product of iteration-1 cycle
+  // matrices for cycle s starting at edge t. iteration is 1-based; an
+  // iteration of 1 yields the identity.
+  std::optional<BoolMatrix> InputsWalk(int s, int t, int iteration) const;
+  std::optional<BoolMatrix> OutputsWalk(int s, int t, int iteration) const;
+
+  // §5 port visibility (true for regular views).
+  bool InputPortVisible(ProductionId k, int member, int port) const;
+  bool OutputPortVisible(ProductionId k, int member, int port) const;
+
+  // Exact storage accounting (bits) for the Fig.-19 comparison.
+  int64_t SizeBits() const;
+
+ private:
+  friend class ViewLabeler;
+
+  // On-demand (space-efficient) computation of one matrix via BFS over the
+  // production's port graph.
+  BoolMatrix ComputeI(ProductionId k, int pos) const;
+  BoolMatrix ComputeO(ProductionId k, int pos) const;
+  BoolMatrix ComputeZ(ProductionId k, int i, int j) const;
+  std::optional<BoolMatrix> WalkStepwise(int s, int t, int iteration,
+                                         bool inputs) const;
+  bool CycleFullyActive(int s) const;
+
+  ViewLabelMode mode_ = ViewLabelMode::kDefault;
+  const Grammar* grammar_ = nullptr;
+  const ProductionGraph* pg_ = nullptr;
+  std::vector<bool> active_;
+  DependencyAssignment full_;
+  BoolMatrix start_matrix_;
+
+  // kDefault / kQueryEfficient storage.
+  bool materialized_ = false;
+  std::vector<std::vector<BoolMatrix>> i_mats_;  // [k][pos]
+  std::vector<std::vector<BoolMatrix>> o_mats_;  // [k][pos]
+  std::vector<std::vector<BoolMatrix>> z_mats_;  // [k][i * members + j], i < j
+
+  // kQueryEfficient walk caches, indexed [cycle][start].
+  struct WalkCache {
+    bool valid = false;
+    std::vector<BoolMatrix> input_prefix;   // [r] = first r factors
+    std::vector<BoolMatrix> output_prefix;  // [r]
+    std::optional<MatrixPowerOracle> input_powers;
+    std::optional<MatrixPowerOracle> output_powers;
+  };
+  std::vector<std::vector<WalkCache>> walk_caches_;
+
+  // §5 hidden-port masks, sparse by production (-1 = nothing hidden).
+  struct HiddenPorts {
+    std::vector<std::vector<bool>> input_hidden;   // [member][port]
+    std::vector<std::vector<bool>> output_hidden;  // [member][port]
+  };
+  std::vector<int> hidden_index_;  // per production
+  std::vector<HiddenPorts> hidden_;
+  // Overlays for on-demand computation in grouped space-efficient labels.
+  std::vector<int> overlay_index_;  // per production
+  std::vector<PortGraphOverlay> overlays_;
+};
+
+class ViewLabeler {
+ public:
+  ViewLabeler(const Grammar* grammar, const ProductionGraph* pg)
+      : grammar_(grammar), pg_(pg) {}
+
+  ViewLabel Label(const CompiledView& view, ViewLabelMode mode) const;
+  ViewLabel Label(const GroupedView& view, ViewLabelMode mode) const;
+
+ private:
+  ViewLabel Build(const std::vector<bool>& active,
+                  const DependencyAssignment& full, ViewLabelMode mode,
+                  const GroupedView* grouped) const;
+
+  const Grammar* grammar_;
+  const ProductionGraph* pg_;
+};
+
+}  // namespace fvl
+
+#endif  // FVL_CORE_VIEW_LABEL_H_

@@ -1,0 +1,54 @@
+#include "fvl/core/visibility.h"
+
+#include <algorithm>
+
+namespace fvl {
+
+namespace {
+
+bool PathVisible(const std::vector<EdgeLabel>& path, const ViewLabel& view) {
+  const ProductionGraph& pg = view.production_graph();
+  for (const EdgeLabel& edge : path) {
+    if (edge.kind == EdgeLabel::Kind::kProduction) {
+      if (!view.ProductionActive(edge.production)) return false;
+    } else {
+      // Unfolding i members of cycle s uses the productions of cycle edges
+      // t .. t+i-2; checking min(i-1, cycle length) suffices (they repeat).
+      int length = pg.cycle(edge.cycle).length();
+      int needed = std::min(edge.iteration - 1, length);
+      for (int a = 0; a < needed; ++a) {
+        PgEdge cycle_edge = pg.CycleEdgeAt(edge.cycle, edge.start + a);
+        if (!view.ProductionActive(cycle_edge.production)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsItemVisible(const DataLabel& label, const ViewLabel& view) {
+  if (label.producer.has_value()) {
+    if (!PathVisible(label.producer->path, view)) return false;
+    const auto& path = label.producer->path;
+    if (!path.empty() && path.back().kind == EdgeLabel::Kind::kProduction) {
+      if (!view.OutputPortVisible(path.back().production, path.back().position,
+                                  label.producer->port)) {
+        return false;
+      }
+    }
+  }
+  if (label.consumer.has_value()) {
+    if (!PathVisible(label.consumer->path, view)) return false;
+    const auto& path = label.consumer->path;
+    if (!path.empty() && path.back().kind == EdgeLabel::Kind::kProduction) {
+      if (!view.InputPortVisible(path.back().production, path.back().position,
+                                 label.consumer->port)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace fvl

@@ -1,0 +1,19 @@
+// Data visibility checks (§5): from a data label and a view label alone,
+// decide in constant time whether the item is visible in the view's
+// projection of the run — i.e. whether every production on the label's
+// parse-tree path is active and, for §5 grouped views, whether the item's
+// creation ports are group-boundary ports.
+
+#ifndef FVL_CORE_VISIBILITY_H_
+#define FVL_CORE_VISIBILITY_H_
+
+#include "fvl/core/data_label.h"
+#include "fvl/core/view_label.h"
+
+namespace fvl {
+
+bool IsItemVisible(const DataLabel& label, const ViewLabel& view);
+
+}  // namespace fvl
+
+#endif  // FVL_CORE_VISIBILITY_H_

@@ -1,0 +1,59 @@
+// DRL labels — the baseline's per-view data labels.
+//
+// DRL ("Labeling Dynamic runs of Recursive workflows", the paper's
+// state-of-the-art comparator [5]) targets the coarse-grained model: every
+// output of a module depends on every input, and workflows have single
+// source/sink modules. Reachability between data items then only depends on
+// *module-level* structure, so DRL labels carry parse-tree paths without
+// port indices, plus the dynamic bracket counters its interval scheme
+// maintains (reconstructed here as per-production sequence numbers; see
+// DESIGN.md §2.4 for the fidelity discussion).
+//
+// DRL is *not* view-adaptive: labels are computed per view, over the view's
+// restricted grammar, and must be recomputed for every new view (the cost
+// model behind the paper's Figures 21–22).
+
+#ifndef FVL_DRL_DRL_LABEL_H_
+#define FVL_DRL_DRL_LABEL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fvl/core/data_label.h"
+
+namespace fvl {
+
+struct DrlLabel {
+  struct Side {
+    std::vector<EdgeLabel> path;  // edge ids of the *restricted* grammar
+    int seq = 0;                  // bracket counter (1-based)
+
+    bool operator==(const Side&) const = default;
+  };
+  std::optional<Side> producer;
+  std::optional<Side> consumer;
+
+  bool operator==(const DrlLabel&) const = default;
+  std::string ToString() const;
+};
+
+// Bit codec for DRL labels: same fixed-width edge fields as the FVL codec
+// (derived from the restricted grammar), gamma-coded bracket counters,
+// common path prefix factored once.
+class DrlCodec {
+ public:
+  explicit DrlCodec(const ProductionGraph& restricted_pg)
+      : edge_codec_(restricted_pg) {}
+
+  BitWriter Encode(const DrlLabel& label) const;
+  DrlLabel Decode(BitReader* reader) const;
+  int64_t EncodedBits(const DrlLabel& label) const;
+
+ private:
+  LabelCodec edge_codec_;
+};
+
+}  // namespace fvl
+
+#endif  // FVL_DRL_DRL_LABEL_H_

@@ -1,0 +1,196 @@
+#include "fvl/drl/drl_scheme.h"
+
+#include "fvl/util/check.h"
+
+namespace fvl {
+
+DrlViewIndex::DrlViewIndex(const Grammar* grammar, const CompiledView* view)
+    : grammar_(grammar) {
+  // Restricted grammar: same module table, only the view's productions;
+  // composite set = expandable set.
+  std::vector<bool> composite(grammar->num_modules(), false);
+  std::vector<Production> productions;
+  restricted_id_.assign(grammar->num_productions(), -1);
+  for (ProductionId k = 0; k < grammar->num_productions(); ++k) {
+    if (!view->IsActiveProduction(k)) continue;
+    restricted_id_[k] = static_cast<ProductionId>(productions.size());
+    productions.push_back(grammar->production(k));
+    composite[grammar->production(k).lhs] = true;
+  }
+  restricted_ = std::make_shared<const Grammar>(
+      grammar->modules(), composite, grammar->start(), productions);
+  pg_ = std::make_shared<const ProductionGraph>(restricted_.get());
+  FVL_CHECK(pg_->strictly_linear());
+  codec_ = std::make_shared<const DrlCodec>(*pg_);
+
+  // Member-level reachability bits per restricted production.
+  members_.resize(restricted_->num_productions());
+  reach_bits_.resize(restricted_->num_productions());
+  for (ProductionId rk = 0; rk < restricted_->num_productions(); ++rk) {
+    const SimpleWorkflow& w = restricted_->production(rk).rhs;
+    const int n = w.num_members();
+    members_[rk] = n;
+    std::vector<bool> bits(static_cast<size_t>(n) * n, false);
+    for (int m = 0; m < n; ++m) bits[m * n + m] = true;
+    for (int j = 0; j < n; ++j) {
+      for (const DataEdge& e : w.edges) {
+        if (e.dst.member != j) continue;
+        for (int i = 0; i < n; ++i) {
+          if (bits[i * n + e.src.member]) bits[i * n + j] = true;
+        }
+      }
+    }
+    reach_bits_[rk] = std::move(bits);
+  }
+}
+
+int64_t DrlViewIndex::SizeBits() const {
+  int64_t bits = 0;
+  for (const auto& per_production : reach_bits_) {
+    bits += static_cast<int64_t>(per_production.size());
+  }
+  return bits;
+}
+
+DrlRunLabeler::DrlRunLabeler(const DrlViewIndex* index) : index_(index) {}
+
+void DrlRunLabeler::OnStart(const Run& run) {
+  const ProductionGraph& pg = index_->pg();
+  ModuleId start = run.grammar().start();
+
+  visible_.assign(1, true);
+  paths_.assign(1, {});
+  if (pg.IsRecursive(start)) {
+    paths_[0] = {EdgeLabel::Rec(pg.CycleOf(start), pg.CycleStartIndex(start), 1)};
+  }
+
+  int boundary = static_cast<int>(run.InputItems(run.start_instance()).size() +
+                                  run.OutputItems(run.start_instance()).size());
+  labels_.resize(boundary);
+  has_label_.assign(boundary, false);
+  for (int item_id : run.InputItems(run.start_instance())) {
+    DrlLabel label;
+    label.consumer =
+        DrlLabel::Side{paths_[0], run.item(item_id).consumer_port + 1};
+    labels_[item_id] = std::move(label);
+    has_label_[item_id] = true;
+    ++num_visible_items_;
+  }
+  for (int item_id : run.OutputItems(run.start_instance())) {
+    DrlLabel label;
+    label.producer =
+        DrlLabel::Side{paths_[0], run.item(item_id).producer_port + 1};
+    labels_[item_id] = std::move(label);
+    has_label_[item_id] = true;
+    ++num_visible_items_;
+  }
+}
+
+void DrlRunLabeler::OnApply(const Run& run, const DerivationStep& step) {
+  const Grammar& g = run.grammar();
+  const ProductionGraph& pg = index_->pg();
+
+  visible_.resize(run.num_instances(), false);
+  paths_.resize(run.num_instances());
+  labels_.resize(run.num_items());
+  has_label_.resize(run.num_items(), false);
+
+  ProductionId rk = index_->Restrict(step.production);
+  if (rk < 0 || !visible_[step.instance]) return;  // invisible in this view
+
+  const Production& p = index_->restricted().production(rk);
+  ModuleId lhs = p.lhs;
+
+  for (int pos = 0; pos < p.rhs.num_members(); ++pos) {
+    int child = step.first_child + pos;
+    ModuleId member = p.rhs.members[pos];
+    visible_[child] = true;
+    if (!pg.IsRecursive(member)) {
+      paths_[child] = paths_[step.instance];
+      paths_[child].push_back(EdgeLabel::Prod(rk, pos));
+    } else if (pg.IsRecursive(lhs) &&
+               pg.CycleOf(member) == pg.CycleOf(lhs)) {
+      // Next sibling under the recursive node: bump the iteration.
+      paths_[child] = paths_[step.instance];
+      EdgeLabel& last = paths_[child].back();
+      FVL_CHECK(last.kind == EdgeLabel::Kind::kRecursion);
+      ++last.iteration;
+    } else {
+      paths_[child] = paths_[step.instance];
+      paths_[child].push_back(EdgeLabel::Prod(rk, pos));
+      paths_[child].push_back(
+          EdgeLabel::Rec(pg.CycleOf(member), pg.CycleStartIndex(member), 1));
+    }
+  }
+
+  for (int e = 0; e < step.num_items; ++e) {
+    int item_id = step.first_item + e;
+    const DataItem& item = run.item(item_id);
+    DrlLabel label;
+    label.producer = DrlLabel::Side{paths_[item.producer_instance], e + 1};
+    label.consumer = DrlLabel::Side{paths_[item.consumer_instance], e + 1};
+    labels_[item_id] = std::move(label);
+    has_label_[item_id] = true;
+    ++num_visible_items_;
+  }
+  (void)g;
+}
+
+bool DrlDepends(const DrlViewIndex& index, const DrlLabel& d1,
+                const DrlLabel& d2) {
+  // Boundary cases (black-box semantics, single source/sink).
+  if (!d1.consumer.has_value() || !d2.producer.has_value()) return false;
+  // Same intermediate item (the bracket counters make labels unique): it
+  // reaches itself through its own data edge.
+  if (d1 == d2) return true;
+  if (!d1.producer.has_value()) return true;
+  if (!d2.consumer.has_value()) return true;
+
+  const std::vector<EdgeLabel>& l1 = d1.consumer->path;
+  const std::vector<EdgeLabel>& l2 = d2.producer->path;
+  size_t cp = 0;
+  while (cp < l1.size() && cp < l2.size() && l1[cp] == l2[cp]) ++cp;
+  if (cp == l1.size() || cp == l2.size()) return true;  // same / ancestor
+
+  const EdgeLabel& e1 = l1[cp];
+  const EdgeLabel& e2 = l2[cp];
+  FVL_CHECK(e1.kind == e2.kind);
+
+  if (e1.kind == EdgeLabel::Kind::kProduction) {
+    return e1.position < e2.position &&
+           index.MemberReaches(e1.production, e1.position, e2.position);
+  }
+
+  const int s = e1.cycle;
+  const int t = e1.start;
+  const int i = e1.iteration;
+  const int j = e2.iteration;
+  if (i < j) {
+    if (cp + 1 == l1.size()) return true;  // consumer is the iteration itself
+    const EdgeLabel& branch = l1[cp + 1];
+    PgEdge successor = index.pg().CycleEdgeAt(s, t + i - 1);
+    return branch.position < successor.position &&
+           index.MemberReaches(successor.production, branch.position,
+                               successor.position);
+  }
+  if (i > j) {
+    if (cp + 1 == l2.size()) return true;  // producer is the iteration itself
+    const EdgeLabel& branch = l2[cp + 1];
+    PgEdge successor = index.pg().CycleEdgeAt(s, t + j - 1);
+    return successor.position < branch.position &&
+           index.MemberReaches(successor.production, successor.position,
+                               branch.position);
+  }
+  return true;
+}
+
+DrlRunLabeler DrlLabelRun(const Run& run, const DrlViewIndex& index) {
+  DrlRunLabeler labeler(&index);
+  labeler.OnStart(run);
+  for (int s = 0; s < run.num_steps(); ++s) {
+    labeler.OnApply(run, run.step(s));
+  }
+  return labeler;
+}
+
+}  // namespace fvl

@@ -1,0 +1,95 @@
+// DRL — reconstruction of the paper's state-of-the-art comparator [5]
+// ("Labeling recursive workflow executions on-the-fly", coarse-grained
+// model). See DESIGN.md §2.4 for what is reconstructed versus published.
+//
+// Cost model (what the paper's §6 comparisons exercise):
+//  * static part per view: DrlViewIndex — the view-restricted grammar, its
+//    production graph, and per-production module-level reachability bits;
+//  * dynamic part per (run, view): DrlRunLabeler labels the *view projection
+//    of the run* online; a new view requires relabeling every run
+//    (not view-adaptive);
+//  * queries: DrlDepends — constant time, no matrix algebra (black-box
+//    dependencies make port structure irrelevant).
+//
+// Correct only for black-box views over single-source/single-sink workflows
+// (Def. 8), which is the regime the paper compares DRL in.
+
+#ifndef FVL_DRL_DRL_SCHEME_H_
+#define FVL_DRL_DRL_SCHEME_H_
+
+#include <memory>
+#include <vector>
+
+#include "fvl/drl/drl_label.h"
+#include "fvl/run/run.h"
+#include "fvl/workflow/production_graph.h"
+#include "fvl/workflow/view.h"
+
+namespace fvl {
+
+class DrlViewIndex {
+ public:
+  DrlViewIndex(const Grammar* grammar, const CompiledView* view);
+
+  const Grammar& original() const { return *grammar_; }
+  const Grammar& restricted() const { return *restricted_; }
+  const ProductionGraph& pg() const { return *pg_; }
+  const DrlCodec& codec() const { return *codec_; }
+
+  // Restricted production id for an original one; -1 if inactive.
+  ProductionId Restrict(ProductionId original) const {
+    return restricted_id_[original];
+  }
+  bool MemberReaches(ProductionId restricted_k, int i, int j) const {
+    return reach_bits_[restricted_k][i * members_[restricted_k] + j];
+  }
+
+  int64_t SizeBits() const;
+
+ private:
+  const Grammar* grammar_;
+  std::shared_ptr<const Grammar> restricted_;
+  std::shared_ptr<const ProductionGraph> pg_;
+  std::shared_ptr<const DrlCodec> codec_;
+  std::vector<ProductionId> restricted_id_;
+  std::vector<int> members_;
+  std::vector<std::vector<bool>> reach_bits_;
+};
+
+class DrlRunLabeler {
+ public:
+  explicit DrlRunLabeler(const DrlViewIndex* index);
+
+  // Online hooks. OnApply silently skips steps invisible in the view.
+  void OnStart(const Run& run);
+  void OnApply(const Run& run, const DerivationStep& step);
+
+  bool HasLabel(int item) const {
+    return item < static_cast<int>(has_label_.size()) && has_label_[item];
+  }
+  const DrlLabel& Label(int item) const { return labels_[item]; }
+  int64_t LabelBits(int item) const {
+    return index_->codec().EncodedBits(labels_[item]);
+  }
+  int num_visible_items() const { return num_visible_items_; }
+
+ private:
+  const DrlViewIndex* index_;
+  std::vector<DrlLabel> labels_;
+  std::vector<bool> has_label_;
+  // Per instance: visibility and compressed-parse-tree path (restricted ids).
+  std::vector<bool> visible_;
+  std::vector<std::vector<EdgeLabel>> paths_;
+  int num_visible_items_ = 0;
+};
+
+// DRL's query predicate; both labels must come from the same DrlViewIndex.
+bool DrlDepends(const DrlViewIndex& index, const DrlLabel& d1,
+                const DrlLabel& d2);
+
+// Convenience: label an entire run for a view.
+DrlRunLabeler DrlLabelRun(const Run& run, const DrlViewIndex& index);
+
+}  // namespace fvl
+
+#endif  // FVL_DRL_DRL_SCHEME_H_

@@ -1,0 +1,64 @@
+#include "fvl/graph/reachability.h"
+
+#include <deque>
+
+namespace fvl {
+
+std::vector<bool> ReachableFrom(const Digraph& graph, int source) {
+  std::vector<bool> visited(graph.num_nodes(), false);
+  std::deque<int> queue = {source};
+  visited[source] = true;
+  while (!queue.empty()) {
+    int node = queue.front();
+    queue.pop_front();
+    for (int edge_id : graph.OutEdges(node)) {
+      int next = graph.edge(edge_id).to;
+      if (!visited[next]) {
+        visited[next] = true;
+        queue.push_back(next);
+      }
+    }
+  }
+  return visited;
+}
+
+BoolMatrix TransitiveClosure(const Digraph& graph) {
+  const int n = graph.num_nodes();
+  BoolMatrix closure(n, n);
+  // Process nodes in reverse topological order of SCC condensation would be
+  // faster; for the small graphs this is used on, per-node BFS suffices.
+  for (int source = 0; source < n; ++source) {
+    std::vector<bool> reachable = ReachableFrom(graph, source);
+    for (int target = 0; target < n; ++target) {
+      if (reachable[target]) closure.Set(source, target);
+    }
+  }
+  return closure;
+}
+
+std::vector<int> TopologicalOrder(const Digraph& graph) {
+  const int n = graph.num_nodes();
+  std::vector<int> in_degree(n, 0);
+  for (int node = 0; node < n; ++node) {
+    in_degree[node] = graph.InDegree(node);
+  }
+  std::deque<int> ready;
+  for (int node = 0; node < n; ++node) {
+    if (in_degree[node] == 0) ready.push_back(node);
+  }
+  std::vector<int> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    int node = ready.front();
+    ready.pop_front();
+    order.push_back(node);
+    for (int edge_id : graph.OutEdges(node)) {
+      int next = graph.edge(edge_id).to;
+      if (--in_degree[next] == 0) ready.push_back(next);
+    }
+  }
+  if (static_cast<int>(order.size()) != n) return {};
+  return order;
+}
+
+}  // namespace fvl

@@ -1,0 +1,28 @@
+// Graph reachability helpers: single-source BFS and all-pairs transitive
+// closure (bitset rows). Reachability here is reflexive, matching the
+// paper's footnote 4 ("a vertex is said to be reachable from itself").
+
+#ifndef FVL_GRAPH_REACHABILITY_H_
+#define FVL_GRAPH_REACHABILITY_H_
+
+#include <vector>
+
+#include "fvl/graph/digraph.h"
+#include "fvl/util/boolean_matrix.h"
+
+namespace fvl {
+
+// Nodes reachable from `source` (including `source` itself).
+std::vector<bool> ReachableFrom(const Digraph& graph, int source);
+
+// All-pairs reflexive transitive closure; entry (u, v) is true iff v is
+// reachable from u. Quadratic memory — use only on small graphs (tests,
+// specification-sized structures).
+BoolMatrix TransitiveClosure(const Digraph& graph);
+
+// Topological order of a DAG; returns empty if the graph has a cycle.
+std::vector<int> TopologicalOrder(const Digraph& graph);
+
+}  // namespace fvl
+
+#endif  // FVL_GRAPH_REACHABILITY_H_

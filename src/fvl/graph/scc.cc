@@ -1,0 +1,76 @@
+#include "fvl/graph/scc.h"
+
+#include <algorithm>
+
+namespace fvl {
+
+std::vector<std::vector<int>> SccResult::Members() const {
+  std::vector<std::vector<int>> members(num_components);
+  for (int node = 0; node < static_cast<int>(component.size()); ++node) {
+    members[component[node]].push_back(node);
+  }
+  return members;
+}
+
+SccResult StronglyConnectedComponents(const Digraph& graph) {
+  const int n = graph.num_nodes();
+  SccResult result;
+  result.component.assign(n, -1);
+
+  std::vector<int> index(n, -1);
+  std::vector<int> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<int> stack;
+  int next_index = 0;
+
+  // Explicit DFS stack: (node, position in its out-edge list).
+  struct Frame {
+    int node;
+    size_t edge_pos;
+  };
+  std::vector<Frame> frames;
+
+  for (int root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    frames.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      int node = frame.node;
+      const auto& out = graph.OutEdges(node);
+      if (frame.edge_pos < out.size()) {
+        int next = graph.edge(out[frame.edge_pos++]).to;
+        if (index[next] == -1) {
+          index[next] = lowlink[next] = next_index++;
+          stack.push_back(next);
+          on_stack[next] = true;
+          frames.push_back({next, 0});
+        } else if (on_stack[next]) {
+          lowlink[node] = std::min(lowlink[node], index[next]);
+        }
+      } else {
+        frames.pop_back();
+        if (!frames.empty()) {
+          int parent = frames.back().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[node]);
+        }
+        if (lowlink[node] == index[node]) {
+          int component_id = result.num_components++;
+          while (true) {
+            int member = stack.back();
+            stack.pop_back();
+            on_stack[member] = false;
+            result.component[member] = component_id;
+            if (member == node) break;
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fvl

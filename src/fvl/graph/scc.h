@@ -1,0 +1,27 @@
+// Strongly connected components (iterative Tarjan).
+
+#ifndef FVL_GRAPH_SCC_H_
+#define FVL_GRAPH_SCC_H_
+
+#include <vector>
+
+#include "fvl/graph/digraph.h"
+
+namespace fvl {
+
+struct SccResult {
+  // Component id per node; components are numbered in reverse topological
+  // order (an edge between distinct components goes from a higher id to a
+  // lower id).
+  std::vector<int> component;
+  int num_components = 0;
+
+  // Nodes grouped by component.
+  std::vector<std::vector<int>> Members() const;
+};
+
+SccResult StronglyConnectedComponents(const Digraph& graph);
+
+}  // namespace fvl
+
+#endif  // FVL_GRAPH_SCC_H_

@@ -1,0 +1,184 @@
+#include "fvl/run/provenance_oracle.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "fvl/util/check.h"
+
+namespace fvl {
+
+ProvenanceOracle::ProvenanceOracle(const Run& run, const CompiledView& view)
+    : run_(&run), projection_(ProjectRun(run, view)) {
+  Build(run, view.full(), nullptr);
+}
+
+ProvenanceOracle::ProvenanceOracle(const Run& run, const GroupedView& view)
+    : run_(&run), projection_(ProjectRun(run, view)), grouped_(&view) {
+  Build(run, view.base().full(), &view);
+}
+
+void ProvenanceOracle::Build(const Run& run, const DependencyAssignment& full,
+                             const GroupedView* grouped) {
+  const Grammar& g = run.grammar();
+  input_base_.assign(run.num_instances(), -1);
+  output_base_.assign(run.num_instances(), -1);
+
+  int next = 0;
+  for (int inst : projection_.leaves) {
+    const Module& module = g.module(run.instance(inst).type);
+    input_base_[inst] = next;
+    next += module.num_inputs;
+    output_base_[inst] = next;
+    next += module.num_outputs;
+  }
+  group_input_base_.assign(projection_.group_leaves.size(), -1);
+  group_output_base_.assign(projection_.group_leaves.size(), -1);
+  for (size_t leaf = 0; leaf < projection_.group_leaves.size(); ++leaf) {
+    FVL_CHECK(grouped != nullptr);
+    const GroupBoundary& boundary =
+        grouped->boundary(projection_.group_leaves[leaf].group_index);
+    group_input_base_[leaf] = next;
+    next += static_cast<int>(boundary.inputs.size());
+    group_output_base_[leaf] = next;
+    next += static_cast<int>(boundary.outputs.size());
+  }
+  graph_ = Digraph(next);
+
+  // Internal dependency edges of leaves.
+  for (int inst : projection_.leaves) {
+    ModuleId type = run.instance(inst).type;
+    FVL_CHECK(full.IsDefined(type));
+    const BoolMatrix& deps = full.Get(type);
+    for (int i = 0; i < deps.rows(); ++i) {
+      for (int o = 0; o < deps.cols(); ++o) {
+        if (deps.Get(i, o)) {
+          graph_.AddEdge(input_base_[inst] + i, output_base_[inst] + o);
+        }
+      }
+    }
+  }
+  for (size_t leaf = 0; leaf < projection_.group_leaves.size(); ++leaf) {
+    const ModuleGroup& group =
+        grouped->groups()[projection_.group_leaves[leaf].group_index];
+    const BoolMatrix& deps = group.perceived_deps;
+    for (int i = 0; i < deps.rows(); ++i) {
+      for (int o = 0; o < deps.cols(); ++o) {
+        if (deps.Get(i, o)) {
+          graph_.AddEdge(group_input_base_[leaf] + i,
+                         group_output_base_[leaf] + o);
+        }
+      }
+    }
+  }
+
+  // Item edges.
+  auto input_node = [&](const RunProjection::Endpoint& e) -> int {
+    int group_leaf = projection_.group_leaf_of_instance[e.instance];
+    if (group_leaf != -1) {
+      const GroupBoundary& boundary = grouped_->boundary(
+          projection_.group_leaves[group_leaf].group_index);
+      PortRef ref{run.instance(e.instance).position, e.port};
+      auto it = std::find(boundary.inputs.begin(), boundary.inputs.end(), ref);
+      FVL_CHECK(it != boundary.inputs.end());
+      return group_input_base_[group_leaf] +
+             static_cast<int>(it - boundary.inputs.begin());
+    }
+    FVL_CHECK(input_base_[e.instance] >= 0);
+    return input_base_[e.instance] + e.port;
+  };
+  auto output_node = [&](const RunProjection::Endpoint& e) -> int {
+    int group_leaf = projection_.group_leaf_of_instance[e.instance];
+    if (group_leaf != -1) {
+      const GroupBoundary& boundary = grouped_->boundary(
+          projection_.group_leaves[group_leaf].group_index);
+      PortRef ref{run.instance(e.instance).position, e.port};
+      auto it = std::find(boundary.outputs.begin(), boundary.outputs.end(), ref);
+      FVL_CHECK(it != boundary.outputs.end());
+      return group_output_base_[group_leaf] +
+             static_cast<int>(it - boundary.outputs.begin());
+    }
+    FVL_CHECK(output_base_[e.instance] >= 0);
+    return output_base_[e.instance] + e.port;
+  };
+
+  for (int item = 0; item < run.num_items(); ++item) {
+    if (!projection_.item_visible[item]) continue;
+    const RunProjection::Endpoint& producer = projection_.producer[item];
+    const RunProjection::Endpoint& consumer = projection_.consumer[item];
+    if (producer.instance != kNoInstance && consumer.instance != kNoInstance) {
+      graph_.AddEdge(output_node(producer), input_node(consumer));
+    }
+  }
+  reach_rows_.assign(graph_.num_nodes(), std::nullopt);
+}
+
+const std::vector<bool>& ProvenanceOracle::ReachRow(int node) const {
+  std::optional<std::vector<bool>>& row = reach_rows_[node];
+  if (!row.has_value()) {
+    std::vector<bool> visited(graph_.num_nodes(), false);
+    std::deque<int> queue = {node};
+    visited[node] = true;
+    while (!queue.empty()) {
+      int current = queue.front();
+      queue.pop_front();
+      for (int edge_id : graph_.OutEdges(current)) {
+        int next = graph_.edge(edge_id).to;
+        if (!visited[next]) {
+          visited[next] = true;
+          queue.push_back(next);
+        }
+      }
+    }
+    row = std::move(visited);
+  }
+  return *row;
+}
+
+bool ProvenanceOracle::Depends(int item1, int item2) const {
+  FVL_CHECK(ItemVisible(item1) && ItemVisible(item2));
+  const RunProjection::Endpoint& consumer1 = projection_.consumer[item1];
+  const RunProjection::Endpoint& producer2 = projection_.producer[item2];
+  // Algorithm 2, Case I: a final output depends on nothing downstream and an
+  // initial input depends on nothing.
+  if (consumer1.instance == kNoInstance) return false;
+  if (producer2.instance == kNoInstance) return false;
+
+  const RunProjection::Endpoint& producer1 = projection_.producer[item1];
+  const RunProjection::Endpoint& consumer2 = projection_.consumer[item2];
+
+  // Rebuild the node mapping lambdas (cheap; mirrors Build()).
+  auto input_node = [&](const RunProjection::Endpoint& e) -> int {
+    int group_leaf = projection_.group_leaf_of_instance[e.instance];
+    if (group_leaf != -1) {
+      const GroupBoundary& boundary = grouped_->boundary(
+          projection_.group_leaves[group_leaf].group_index);
+      PortRef ref{run_->instance(e.instance).position, e.port};
+      auto it = std::find(boundary.inputs.begin(), boundary.inputs.end(), ref);
+      FVL_CHECK(it != boundary.inputs.end());
+      return group_input_base_[group_leaf] +
+             static_cast<int>(it - boundary.inputs.begin());
+    }
+    return input_base_[e.instance] + e.port;
+  };
+  auto output_node = [&](const RunProjection::Endpoint& e) -> int {
+    int group_leaf = projection_.group_leaf_of_instance[e.instance];
+    if (group_leaf != -1) {
+      const GroupBoundary& boundary = grouped_->boundary(
+          projection_.group_leaves[group_leaf].group_index);
+      PortRef ref{run_->instance(e.instance).position, e.port};
+      auto it = std::find(boundary.outputs.begin(), boundary.outputs.end(), ref);
+      FVL_CHECK(it != boundary.outputs.end());
+      return group_output_base_[group_leaf] +
+             static_cast<int>(it - boundary.outputs.begin());
+    }
+    return output_base_[e.instance] + e.port;
+  };
+
+  int source = producer1.instance != kNoInstance ? output_node(producer1)
+                                                 : input_node(consumer1);
+  int target = consumer2.instance != kNoInstance ? input_node(consumer2)
+                                                 : output_node(producer2);
+  return ReachRow(source)[target];
+}
+
+}  // namespace fvl

@@ -1,0 +1,61 @@
+// Ground-truth reachability over views of runs.
+//
+// Materializes the port-level provenance graph of R_U: one node per port of
+// every view leaf (plus group leaves for §5 views), dependency edges inside
+// each leaf per the view's full assignment λ'^* (or λ'(F) for groups), and
+// one edge per visible data item from its producer port to its consumer
+// port. Queries then follow the decoding predicate's convention:
+//
+//   Depends(d1, d2)  =  d1 has a consumer  AND  d2 has a producer  AND
+//                       reach(source(d1), target(d2))
+//   source(d1) = producer output port if any, else consumer input port
+//   target(d2) = consumer input port if any, else producer output port
+//
+// This is the naive comparator the paper's labeling schemes are tested
+// against; it is deliberately simple and independent of the labeling code.
+
+#ifndef FVL_RUN_PROVENANCE_ORACLE_H_
+#define FVL_RUN_PROVENANCE_ORACLE_H_
+
+#include <optional>
+#include <vector>
+
+#include "fvl/graph/digraph.h"
+#include "fvl/run/view_projection.h"
+
+namespace fvl {
+
+class ProvenanceOracle {
+ public:
+  ProvenanceOracle(const Run& run, const CompiledView& view);
+  ProvenanceOracle(const Run& run, const GroupedView& view);
+
+  bool ItemVisible(int item) const { return projection_.item_visible[item]; }
+  const RunProjection& projection() const { return projection_; }
+
+  // Ground truth for the ternary predicate π; both items must be visible.
+  bool Depends(int item1, int item2) const;
+
+  int num_nodes() const { return graph_.num_nodes(); }
+
+ private:
+  void Build(const Run& run, const DependencyAssignment& full,
+             const GroupedView* grouped);
+  // Lazily computed reachable-set per source node.
+  const std::vector<bool>& ReachRow(int node) const;
+
+  const Run* run_;
+  RunProjection projection_;
+  Digraph graph_;
+  // Node numbering per leaf instance / group leaf.
+  std::vector<int> input_base_;   // per instance, -1 if not a leaf
+  std::vector<int> output_base_;  // per instance
+  std::vector<int> group_input_base_;   // per group leaf
+  std::vector<int> group_output_base_;  // per group leaf
+  const GroupedView* grouped_ = nullptr;
+  mutable std::vector<std::optional<std::vector<bool>>> reach_rows_;
+};
+
+}  // namespace fvl
+
+#endif  // FVL_RUN_PROVENANCE_ORACLE_H_

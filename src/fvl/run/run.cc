@@ -1,0 +1,112 @@
+#include "fvl/run/run.h"
+
+#include "fvl/util/check.h"
+
+namespace fvl {
+
+Run::Run(const Grammar* grammar) : grammar_(grammar) {
+  const Module& start = grammar_->module(grammar_->start());
+
+  ModuleInstance root;
+  root.id = 0;
+  root.type = grammar_->start();
+  instances_.push_back(root);
+  expanded_.push_back(false);
+  frontier_.push_back(0);
+  frontier_position_.push_back(0);
+
+  input_items_.emplace_back();
+  output_items_.emplace_back();
+  for (int port = 0; port < start.num_inputs; ++port) {
+    DataItem item;
+    item.id = num_items();
+    item.consumer_instance = 0;
+    item.consumer_port = port;
+    input_items_[0].push_back(item.id);
+    items_.push_back(item);
+  }
+  for (int port = 0; port < start.num_outputs; ++port) {
+    DataItem item;
+    item.id = num_items();
+    item.producer_instance = 0;
+    item.producer_port = port;
+    output_items_[0].push_back(item.id);
+    items_.push_back(item);
+  }
+}
+
+const DerivationStep& Run::Apply(int instance, ProductionId production) {
+  FVL_CHECK(instance >= 0 && instance < num_instances());
+  FVL_CHECK(!expanded_[instance]);
+  const Production& p = grammar_->production(production);
+  FVL_CHECK(p.lhs == instances_[instance].type);
+  const SimpleWorkflow& w = p.rhs;
+
+  DerivationStep step;
+  step.index = num_steps();
+  step.instance = instance;
+  step.production = production;
+  step.first_child = num_instances();
+  step.first_item = num_items();
+  step.num_items = static_cast<int>(w.edges.size());
+
+  // Children.
+  for (int pos = 0; pos < w.num_members(); ++pos) {
+    ModuleInstance child;
+    child.id = num_instances();
+    child.type = w.members[pos];
+    child.creation_step = step.index;
+    child.position = pos;
+    instances_.push_back(child);
+    expanded_.push_back(false);
+    frontier_position_.push_back(-1);
+    const Module& module = grammar_->module(child.type);
+    input_items_.emplace_back(module.num_inputs, -1);
+    output_items_.emplace_back(module.num_outputs, -1);
+    if (grammar_->is_composite(child.type)) {
+      frontier_position_[child.id] = static_cast<int>(frontier_.size());
+      frontier_.push_back(child.id);
+    }
+  }
+
+  // New items, one per rhs data edge.
+  for (const DataEdge& e : w.edges) {
+    DataItem item;
+    item.id = num_items();
+    item.producer_instance = step.first_child + e.src.member;
+    item.producer_port = e.src.port;
+    item.consumer_instance = step.first_child + e.dst.member;
+    item.consumer_port = e.dst.port;
+    items_.push_back(item);
+    output_items_[item.producer_instance][item.producer_port] = item.id;
+    input_items_[item.consumer_instance][item.consumer_port] = item.id;
+  }
+
+  // Rewire the expanded instance's adjacent items to the children (creation
+  // records of those items are untouched).
+  for (int x = 0; x < static_cast<int>(w.initial_inputs.size()); ++x) {
+    const PortRef& target = w.initial_inputs[x];
+    int item_id = input_items_[instance][x];
+    input_items_[step.first_child + target.member][target.port] = item_id;
+  }
+  for (int y = 0; y < static_cast<int>(w.final_outputs.size()); ++y) {
+    const PortRef& source = w.final_outputs[y];
+    int item_id = output_items_[instance][y];
+    output_items_[step.first_child + source.member][source.port] = item_id;
+  }
+
+  // Frontier maintenance (swap-remove).
+  expanded_[instance] = true;
+  int pos = frontier_position_[instance];
+  FVL_CHECK(pos >= 0);
+  int last = frontier_.back();
+  frontier_[pos] = last;
+  frontier_position_[last] = pos;
+  frontier_.pop_back();
+  frontier_position_[instance] = -1;
+
+  steps_.push_back(step);
+  return steps_.back();
+}
+
+}  // namespace fvl

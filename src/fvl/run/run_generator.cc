@@ -1,0 +1,135 @@
+#include "fvl/run/run_generator.h"
+
+#include <limits>
+
+#include "fvl/util/check.h"
+#include "fvl/util/random.h"
+
+namespace fvl {
+
+namespace {
+constexpr int64_t kInfinity = std::numeric_limits<int64_t>::max() / 4;
+}  // namespace
+
+std::vector<int64_t> MinCompletionItems(const Grammar& grammar) {
+  std::vector<int64_t> cost(grammar.num_modules(), kInfinity);
+  for (ModuleId m = 0; m < grammar.num_modules(); ++m) {
+    if (!grammar.is_composite(m)) cost[m] = 0;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ProductionId k = 0; k < grammar.num_productions(); ++k) {
+      const Production& p = grammar.production(k);
+      int64_t total = static_cast<int64_t>(p.rhs.edges.size());
+      for (ModuleId member : p.rhs.members) {
+        total += cost[member];
+        if (total >= kInfinity) {
+          total = kInfinity;
+          break;
+        }
+      }
+      if (total < cost[p.lhs]) {
+        cost[p.lhs] = total;
+        changed = true;
+      }
+    }
+  }
+  return cost;
+}
+
+Run GenerateRandomRun(const Grammar& grammar,
+                      const RunGeneratorOptions& options) {
+  return GenerateRandomRun(grammar, options, StepCallback());
+}
+
+Run GenerateRandomRun(const Grammar& grammar,
+                      const RunGeneratorOptions& options,
+                      const StepCallback& callback) {
+  std::vector<int64_t> min_cost = MinCompletionItems(grammar);
+  FVL_CHECK(min_cost[grammar.start()] < kInfinity &&
+            "grammar has an empty language");
+  // Cheapest production per module.
+  std::vector<ProductionId> cheapest(grammar.num_modules(), -1);
+  for (ModuleId m : grammar.CompositeModules()) {
+    int64_t best = kInfinity + 1;
+    for (ProductionId k : grammar.ProductionsOf(m)) {
+      const Production& p = grammar.production(k);
+      int64_t total = static_cast<int64_t>(p.rhs.edges.size());
+      for (ModuleId member : p.rhs.members) total += min_cost[member];
+      if (total < best) {
+        best = total;
+        cheapest[m] = k;
+      }
+    }
+  }
+  // A production is "recursive" for weighting purposes if some member can
+  // derive the lhs again (keeps the recursion alive).
+  std::vector<bool> productive_recursion(grammar.num_productions(), false);
+  {
+    // Reachability over the module derivation relation.
+    std::vector<std::vector<bool>> reaches(
+        grammar.num_modules(), std::vector<bool>(grammar.num_modules(), false));
+    for (ModuleId m = 0; m < grammar.num_modules(); ++m) reaches[m][m] = true;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (ProductionId k = 0; k < grammar.num_productions(); ++k) {
+        const Production& p = grammar.production(k);
+        for (ModuleId member : p.rhs.members) {
+          for (ModuleId target = 0; target < grammar.num_modules(); ++target) {
+            if (reaches[member][target] && !reaches[p.lhs][target]) {
+              reaches[p.lhs][target] = true;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+    for (ProductionId k = 0; k < grammar.num_productions(); ++k) {
+      const Production& p = grammar.production(k);
+      for (ModuleId member : p.rhs.members) {
+        if (reaches[member][p.lhs]) productive_recursion[k] = true;
+      }
+    }
+  }
+
+  Rng rng(options.seed);
+  Run run(&grammar);
+  if (callback) callback(run, nullptr);
+
+  while (!run.IsComplete()) {
+    // Pick a random frontier instance.
+    const std::vector<int>& frontier = run.Frontier();
+    int inst = frontier[rng.NextBounded(frontier.size())];
+    ModuleId type = run.instance(inst).type;
+    const std::vector<ProductionId>& candidates = grammar.ProductionsOf(type);
+    FVL_CHECK(!candidates.empty());
+
+    ProductionId choice;
+    if (run.num_items() >= options.target_items) {
+      choice = cheapest[type];
+    } else {
+      // Below target: keep recursions alive. A recursion lineage that takes
+      // its base production never respawns, so any merely-weighted pick
+      // makes lineage lifetimes geometric and caps attainable run sizes;
+      // recursive candidates therefore win outright (uniformly among
+      // themselves) while the deficit lasts. Randomness remains in the
+      // frontier choice and among competing recursive productions.
+      std::vector<ProductionId> recursive;
+      for (ProductionId k : candidates) {
+        if (productive_recursion[k]) recursive.push_back(k);
+      }
+      if (!recursive.empty()) {
+        choice = recursive[rng.NextBounded(recursive.size())];
+      } else {
+        choice = candidates[rng.NextBounded(candidates.size())];
+      }
+    }
+    const DerivationStep& step = run.Apply(inst, choice);
+    if (callback) callback(run, &step);
+  }
+  return run;
+}
+
+}  // namespace fvl

@@ -1,0 +1,129 @@
+#include "fvl/run/view_projection.h"
+
+#include "fvl/util/check.h"
+
+namespace fvl {
+
+namespace {
+
+enum class InstanceState { kHidden, kVisible, kGroupMember };
+
+RunProjection Project(const Run& run, const std::vector<bool>& expandable,
+                      const GroupedView* grouped) {
+  const Grammar& g = run.grammar();
+  RunProjection result;
+  result.instance_visible.assign(run.num_instances(), false);
+  result.step_visible.assign(run.num_steps(), false);
+  result.item_visible.assign(run.num_items(), false);
+  result.producer.resize(run.num_items());
+  result.consumer.resize(run.num_items());
+  result.group_leaf_of_instance.assign(run.num_instances(), -1);
+
+  std::vector<InstanceState> state(run.num_instances(),
+                                   InstanceState::kHidden);
+  state[run.start_instance()] = InstanceState::kVisible;
+
+  // The start module's boundary items.
+  for (int item_id : run.InputItems(run.start_instance())) {
+    result.item_visible[item_id] = true;
+    result.consumer[item_id] = {run.start_instance(),
+                                run.item(item_id).consumer_port};
+  }
+  for (int item_id : run.OutputItems(run.start_instance())) {
+    result.item_visible[item_id] = true;
+    result.producer[item_id] = {run.start_instance(),
+                                run.item(item_id).producer_port};
+  }
+
+  for (int s = 0; s < run.num_steps(); ++s) {
+    const DerivationStep& step = run.step(s);
+    bool active = expandable[g.production(step.production).lhs];
+    if (state[step.instance] != InstanceState::kVisible || !active) {
+      continue;  // children/items stay hidden
+    }
+    result.step_visible[s] = true;
+    const SimpleWorkflow& w = g.production(step.production).rhs;
+
+    // Group handling: members of the production's group collapse into one
+    // synthetic leaf.
+    int group_leaf_id = -1;
+    const GroupBoundary* boundary = nullptr;
+    int gi = grouped != nullptr
+                 ? grouped->GroupOfProduction(step.production)
+                 : -1;
+    if (gi != -1) {
+      group_leaf_id = static_cast<int>(result.group_leaves.size());
+      result.group_leaves.push_back({s, gi});
+      boundary = &grouped->boundary(gi);
+    }
+
+    for (int pos = 0; pos < w.num_members(); ++pos) {
+      int child = step.first_child + pos;
+      if (boundary != nullptr && boundary->in_group[pos]) {
+        state[child] = InstanceState::kGroupMember;
+        result.group_leaf_of_instance[child] = group_leaf_id;
+      } else {
+        state[child] = InstanceState::kVisible;
+        result.instance_visible[child] = true;
+      }
+    }
+
+    // New items: visible unless internal to the group.
+    std::vector<bool> internal(w.edges.size(), false);
+    if (boundary != nullptr) {
+      for (int edge_index : boundary->internal_edges) {
+        internal[edge_index] = true;
+      }
+    }
+    for (int e = 0; e < step.num_items; ++e) {
+      int item_id = step.first_item + e;
+      if (internal[e]) continue;
+      const DataItem& item = run.item(item_id);
+      result.item_visible[item_id] = true;
+      result.producer[item_id] = {item.producer_instance, item.producer_port};
+      result.consumer[item_id] = {item.consumer_instance, item.consumer_port};
+    }
+
+    // Rewire the expanded instance's adjacent items to the children.
+    for (int x = 0; x < static_cast<int>(w.initial_inputs.size()); ++x) {
+      const PortRef& target = w.initial_inputs[x];
+      int item_id = run.InputItems(step.instance)[x];
+      result.consumer[item_id] = {step.first_child + target.member,
+                                  target.port};
+    }
+    for (int y = 0; y < static_cast<int>(w.final_outputs.size()); ++y) {
+      const PortRef& source = w.final_outputs[y];
+      int item_id = run.OutputItems(step.instance)[y];
+      result.producer[item_id] = {step.first_child + source.member,
+                                  source.port};
+    }
+  }
+
+  // Leaves: visible instances that are atomic in the view or not (yet)
+  // expanded. A visible instance of expandable type that was expanded in the
+  // run is always expanded in the view too (its expansion step was visible
+  // and active by construction).
+  result.instance_visible[run.start_instance()] = true;
+  for (int inst = 0; inst < run.num_instances(); ++inst) {
+    if (state[inst] != InstanceState::kVisible) continue;
+    ModuleId type = run.instance(inst).type;
+    bool expanded_in_view = expandable[type] && run.IsExpanded(inst);
+    if (!expanded_in_view) result.leaves.push_back(inst);
+  }
+  for (bool visible : result.item_visible) {
+    if (visible) ++result.num_visible_items;
+  }
+  return result;
+}
+
+}  // namespace
+
+RunProjection ProjectRun(const Run& run, const CompiledView& view) {
+  return Project(run, view.view().expandable, nullptr);
+}
+
+RunProjection ProjectRun(const Run& run, const GroupedView& view) {
+  return Project(run, view.base().view().expandable, &view);
+}
+
+}  // namespace fvl

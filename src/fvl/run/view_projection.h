@@ -1,0 +1,50 @@
+// Projection of runs onto views (§2.2: R_U = (R_Δ')^λ').
+//
+// Replays a run's derivation, keeping only steps whose expanded instance is
+// visible and whose production is active in the view. Produces visibility
+// flags for instances/items/steps, the view-level ("deepest visible")
+// endpoints of every visible item, and the view leaves — the module
+// instances that appear atomic in R_U. Supports regular views and §5
+// grouped (user-defined) views, where the members of a group collapse into
+// one synthetic leaf.
+
+#ifndef FVL_RUN_VIEW_PROJECTION_H_
+#define FVL_RUN_VIEW_PROJECTION_H_
+
+#include <vector>
+
+#include "fvl/run/run.h"
+#include "fvl/workflow/user_defined_view.h"
+#include "fvl/workflow/view.h"
+
+namespace fvl {
+
+struct RunProjection {
+  struct Endpoint {
+    int instance = kNoInstance;
+    int port = -1;
+  };
+  struct GroupLeaf {
+    int step = -1;         // derivation step whose production hosts the group
+    int group_index = -1;  // index into GroupedView::groups()
+  };
+
+  std::vector<bool> instance_visible;  // proper view modules (group members excluded)
+  std::vector<bool> step_visible;
+  std::vector<bool> item_visible;
+  std::vector<Endpoint> producer;  // per item; view-level endpoints
+  std::vector<Endpoint> consumer;
+  // Visible instances that are atomic in the view (not expanded in R_U).
+  std::vector<int> leaves;
+  // Grouped views only.
+  std::vector<GroupLeaf> group_leaves;
+  std::vector<int> group_leaf_of_instance;  // per instance, -1 if none
+  int num_visible_items = 0;
+};
+
+RunProjection ProjectRun(const Run& run, const CompiledView& view);
+RunProjection ProjectRun(const Run& run, const GroupedView& view);
+
+}  // namespace fvl
+
+#endif  // FVL_RUN_VIEW_PROJECTION_H_

@@ -1,0 +1,70 @@
+#include "fvl/util/bitstream.h"
+
+#include <bit>
+
+#include "fvl/util/check.h"
+
+namespace fvl {
+
+void BitWriter::WriteBit(bool bit) {
+  int64_t word_index = size_bits_ / 64;
+  if (word_index == static_cast<int64_t>(words_.size())) words_.push_back(0);
+  if (bit) words_[word_index] |= uint64_t{1} << (size_bits_ % 64);
+  ++size_bits_;
+}
+
+void BitWriter::WriteFixed(uint64_t value, int width) {
+  FVL_CHECK(width >= 0 && width <= 64);
+  FVL_DCHECK(width == 64 || value < (uint64_t{1} << width));
+  for (int i = 0; i < width; ++i) WriteBit((value >> i) & 1);
+}
+
+void BitWriter::WriteGamma(uint64_t value) {
+  FVL_CHECK(value >= 1);
+  int bits = 64 - std::countl_zero(value);  // position of the highest set bit
+  for (int i = 0; i < bits - 1; ++i) WriteBit(false);
+  WriteBit(true);
+  // Remaining bits of the value below the leading one, most significant
+  // first (the conventional gamma layout).
+  for (int i = bits - 2; i >= 0; --i) WriteBit((value >> i) & 1);
+}
+
+bool BitReader::ReadBit() {
+  FVL_CHECK(position_ < size_bits_);
+  bool bit = ((*words_)[position_ / 64] >> (position_ % 64)) & 1;
+  ++position_;
+  return bit;
+}
+
+uint64_t BitReader::ReadFixed(int width) {
+  FVL_CHECK(width >= 0 && width <= 64);
+  uint64_t value = 0;
+  for (int i = 0; i < width; ++i) {
+    if (ReadBit()) value |= uint64_t{1} << i;
+  }
+  return value;
+}
+
+uint64_t BitReader::ReadGamma() {
+  int zeros = 0;
+  while (!ReadBit()) ++zeros;
+  uint64_t value = 1;
+  for (int i = 0; i < zeros; ++i) {
+    value = (value << 1) | (ReadBit() ? 1 : 0);
+  }
+  return value;
+}
+
+int BitWidthFor(int64_t n) {
+  FVL_CHECK(n >= 0);
+  if (n <= 1) return 0;
+  return 64 - std::countl_zero(static_cast<uint64_t>(n - 1));
+}
+
+int GammaLength(uint64_t value) {
+  FVL_CHECK(value >= 1);
+  int bits = 64 - std::countl_zero(value);
+  return 2 * bits - 1;
+}
+
+}  // namespace fvl

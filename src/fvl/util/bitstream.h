@@ -1,0 +1,69 @@
+// Bit-level writer/reader used for the exact label-size accounting of the
+// labeling schemes (data labels are measured in bits, as in the paper's
+// Figures 17, 21 and 24).
+//
+// Supported encodings:
+//  * fixed-width unsigned fields (for grammar-bounded components such as
+//    production ids and member positions), and
+//  * Elias-gamma codes (for unbounded components such as recursion iteration
+//    indices), which cost 2*floor(log2 v) + 1 bits for v >= 1.
+
+#ifndef FVL_UTIL_BITSTREAM_H_
+#define FVL_UTIL_BITSTREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fvl {
+
+class BitWriter {
+ public:
+  // Appends the low `width` bits of `value` (width in [0, 64]).
+  void WriteFixed(uint64_t value, int width);
+  // Appends the Elias-gamma code of `value`; requires value >= 1.
+  void WriteGamma(uint64_t value);
+
+  int64_t size_bits() const { return size_bits_; }
+  const std::vector<uint64_t>& words() const { return words_; }
+
+ private:
+  void WriteBit(bool bit);
+
+  std::vector<uint64_t> words_;
+  int64_t size_bits_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(const BitWriter& writer)
+      : words_(&writer.words()), size_bits_(writer.size_bits()) {}
+  // Reads the bit range [start_bit, end_bit) of a word arena (used by the
+  // provenance index to decode one label out of a packed blob).
+  BitReader(const std::vector<uint64_t>* words, int64_t start_bit,
+            int64_t end_bit)
+      : words_(words), size_bits_(end_bit), position_(start_bit) {}
+
+  uint64_t ReadFixed(int width);
+  uint64_t ReadGamma();
+
+  int64_t position() const { return position_; }
+  bool AtEnd() const { return position_ == size_bits_; }
+
+ private:
+  bool ReadBit();
+
+  const std::vector<uint64_t>* words_;
+  int64_t size_bits_;
+  int64_t position_ = 0;
+};
+
+// Number of bits needed to store values in [0, n-1] as a fixed-width field;
+// BitWidthFor(0) and BitWidthFor(1) are 0 (nothing to distinguish).
+int BitWidthFor(int64_t n);
+
+// Length of the Elias-gamma code for value >= 1.
+int GammaLength(uint64_t value);
+
+}  // namespace fvl
+
+#endif  // FVL_UTIL_BITSTREAM_H_

@@ -1,0 +1,41 @@
+// Lightweight assertion macros for programmer errors.
+//
+// Library code does not use exceptions (see DESIGN.md); recoverable
+// validation errors are reported through std::optional<std::string> return
+// values, while violated invariants abort with a source location.
+
+#ifndef FVL_UTIL_CHECK_H_
+#define FVL_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fvl::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "FVL_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace fvl::internal
+
+// Always-on invariant check.
+#define FVL_CHECK(expr)                                       \
+  do {                                                        \
+    if (!(expr)) {                                            \
+      ::fvl::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                         \
+  } while (false)
+
+// Debug-only invariant check (compiled out in NDEBUG builds).
+#ifdef NDEBUG
+#define FVL_DCHECK(expr) \
+  do {                   \
+  } while (false)
+#else
+#define FVL_DCHECK(expr) FVL_CHECK(expr)
+#endif
+
+#endif  // FVL_UTIL_CHECK_H_

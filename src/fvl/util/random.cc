@@ -1,0 +1,42 @@
+#include "fvl/util/random.h"
+
+#include "fvl/util/check.h"
+
+namespace fvl {
+
+uint64_t Rng::Next() {
+  // splitmix64 (public domain, Sebastiano Vigna).
+  state_ += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  FVL_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = -bound % bound;
+  while (true) {
+    uint64_t value = Next();
+    if (value >= threshold) return value % bound;
+  }
+}
+
+int Rng::NextInt(int lo, int hi) {
+  FVL_CHECK(lo <= hi);
+  return lo + static_cast<int>(
+                  NextBounded(static_cast<uint64_t>(hi) - lo + 1));
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace fvl

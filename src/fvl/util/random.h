@@ -1,0 +1,47 @@
+// Deterministic, seedable pseudo-random generator (splitmix64-based).
+//
+// Every generator in the workloads and benchmarks is seeded explicitly so
+// that runs, views, and query samples are reproducible across machines; we
+// do not use std::mt19937 because its streams differ between standard
+// library implementations for some distribution adapters.
+
+#ifndef FVL_UTIL_RANDOM_H_
+#define FVL_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace fvl {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+  // Uniform in [0, bound); requires bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+  // Uniform int in [lo, hi] inclusive; requires lo <= hi.
+  int NextInt(int lo, int hi);
+  // True with probability p (clamped to [0, 1]).
+  bool NextBool(double p);
+  // Uniform double in [0, 1).
+  double NextDouble();
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = NextBounded(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace fvl
+
+#endif  // FVL_UTIL_RANDOM_H_

@@ -1,0 +1,29 @@
+// Monotonic wall-clock stopwatch used by the benchmark harness.
+
+#ifndef FVL_UTIL_STOPWATCH_H_
+#define FVL_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace fvl {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedNanos() const { return ElapsedSeconds() * 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fvl
+
+#endif  // FVL_UTIL_STOPWATCH_H_

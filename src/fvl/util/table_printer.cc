@@ -1,0 +1,73 @@
+#include "fvl/util/table_printer.h"
+
+#include <cstdio>
+
+#include "fvl/util/check.h"
+
+namespace fvl {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  FVL_CHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Num(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+      if (c + 1 < row.size()) line += "  ";
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = render_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string TablePrinter::ToCsv() const {
+  auto join = [](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += ',';
+      line += row[c];
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = join(header_);
+  for (const auto& row : rows_) out += join(row);
+  return out;
+}
+
+void TablePrinter::Print(const std::string& title) const {
+  std::printf("== %s ==\n%s\ncsv:\n%s\n", title.c_str(), ToString().c_str(),
+              ToCsv().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace fvl

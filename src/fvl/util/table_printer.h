@@ -1,0 +1,37 @@
+// Aligned-column table printer for the benchmark harness.
+//
+// Every bench binary prints the rows/series of the paper table or figure it
+// regenerates; this helper keeps the output format uniform (aligned text
+// table plus an optional machine-readable CSV block).
+
+#ifndef FVL_UTIL_TABLE_PRINTER_H_
+#define FVL_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace fvl {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double value, int precision = 2);
+
+  // Renders the aligned table.
+  std::string ToString() const;
+  // Renders a CSV block (one line per row, comma-separated).
+  std::string ToCsv() const;
+  // Prints both to stdout, with `title` above.
+  void Print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fvl
+
+#endif  // FVL_UTIL_TABLE_PRINTER_H_

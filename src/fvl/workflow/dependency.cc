@@ -1,0 +1,58 @@
+#include "fvl/workflow/dependency.h"
+
+#include "fvl/util/check.h"
+
+namespace fvl {
+
+const BoolMatrix& DependencyAssignment::Get(ModuleId m) const {
+  FVL_CHECK(IsDefined(m));
+  return *deps_[m];
+}
+
+void DependencyAssignment::Set(ModuleId m, BoolMatrix deps) {
+  FVL_CHECK(m >= 0);
+  if (m >= num_modules()) deps_.resize(m + 1);
+  deps_[m] = std::move(deps);
+}
+
+void DependencyAssignment::Clear(ModuleId m) {
+  if (m >= 0 && m < num_modules()) deps_[m].reset();
+}
+
+std::optional<std::string> DependencyAssignment::ValidateProper(
+    const Module& module, const BoolMatrix& deps) {
+  if (deps.rows() != module.num_inputs || deps.cols() != module.num_outputs) {
+    return "dependency matrix for module '" + module.name + "' has shape " +
+           std::to_string(deps.rows()) + "x" + std::to_string(deps.cols()) +
+           ", expected " + std::to_string(module.num_inputs) + "x" +
+           std::to_string(module.num_outputs);
+  }
+  for (int i = 0; i < deps.rows(); ++i) {
+    if (!deps.RowAny(i)) {
+      return "input " + std::to_string(i) + " of module '" + module.name +
+             "' contributes to no output (violates Def. 6)";
+    }
+  }
+  for (int o = 0; o < deps.cols(); ++o) {
+    if (!deps.ColAny(o)) {
+      return "output " + std::to_string(o) + " of module '" + module.name +
+             "' depends on no input (violates Def. 6)";
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> DependencyAssignment::ValidateCoverage(
+    const std::vector<Module>& modules,
+    const std::vector<ModuleId>& required) const {
+  for (ModuleId m : required) {
+    FVL_CHECK(m >= 0 && m < static_cast<int>(modules.size()));
+    if (!IsDefined(m)) {
+      return "no dependency assignment for module '" + modules[m].name + "'";
+    }
+    if (auto error = ValidateProper(modules[m], Get(m))) return error;
+  }
+  return std::nullopt;
+}
+
+}  // namespace fvl

@@ -1,0 +1,50 @@
+// Dependency assignments (Def. 6): per module, a boolean matrix from input
+// ports (rows) to output ports (columns); entry (i, o) is true iff output o
+// depends on input i.
+//
+// A *proper* assignment requires every input to contribute to at least one
+// output and every output to depend on at least one input (every row and
+// every column non-empty).
+
+#ifndef FVL_WORKFLOW_DEPENDENCY_H_
+#define FVL_WORKFLOW_DEPENDENCY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fvl/util/boolean_matrix.h"
+#include "fvl/workflow/module.h"
+
+namespace fvl {
+
+class DependencyAssignment {
+ public:
+  DependencyAssignment() = default;
+  explicit DependencyAssignment(int num_modules) : deps_(num_modules) {}
+
+  int num_modules() const { return static_cast<int>(deps_.size()); }
+
+  bool IsDefined(ModuleId m) const {
+    return m >= 0 && m < num_modules() && deps_[m].has_value();
+  }
+  const BoolMatrix& Get(ModuleId m) const;
+  void Set(ModuleId m, BoolMatrix deps);
+  void Clear(ModuleId m);
+
+  // Def. 6 validity check for one module.
+  static std::optional<std::string> ValidateProper(const Module& module,
+                                                   const BoolMatrix& deps);
+
+  // Checks definedness + Def. 6 for all modules in `required`.
+  std::optional<std::string> ValidateCoverage(
+      const std::vector<Module>& modules,
+      const std::vector<ModuleId>& required) const;
+
+ private:
+  std::vector<std::optional<BoolMatrix>> deps_;
+};
+
+}  // namespace fvl
+
+#endif  // FVL_WORKFLOW_DEPENDENCY_H_

@@ -1,0 +1,123 @@
+#include "fvl/workflow/grammar_builder.h"
+
+#include <cstdio>
+
+#include "fvl/util/check.h"
+
+namespace fvl {
+
+GrammarBuilder::ProductionBuilder::ProductionBuilder(GrammarBuilder* parent,
+                                                     ModuleId lhs)
+    : parent_(parent) {
+  FVL_CHECK(lhs >= 0 && lhs < parent->num_modules());
+  FVL_CHECK(parent->composite_[lhs]);
+  production_.lhs = lhs;
+  production_.rhs.initial_inputs.assign(parent->modules_[lhs].num_inputs,
+                                        PortRef{});
+  production_.rhs.final_outputs.assign(parent->modules_[lhs].num_outputs,
+                                       PortRef{});
+}
+
+int GrammarBuilder::ProductionBuilder::AddMember(ModuleId type) {
+  FVL_CHECK(!built_);
+  FVL_CHECK(type >= 0 && type < parent_->num_modules());
+  production_.rhs.members.push_back(type);
+  return production_.rhs.num_members() - 1;
+}
+
+GrammarBuilder::ProductionBuilder& GrammarBuilder::ProductionBuilder::Edge(
+    int src_member, int src_port, int dst_member, int dst_port) {
+  FVL_CHECK(!built_);
+  production_.rhs.edges.push_back(
+      {{src_member, src_port}, {dst_member, dst_port}});
+  return *this;
+}
+
+GrammarBuilder::ProductionBuilder& GrammarBuilder::ProductionBuilder::MapInput(
+    int lhs_input, int member, int port) {
+  FVL_CHECK(!built_);
+  FVL_CHECK(lhs_input >= 0 &&
+            lhs_input < static_cast<int>(production_.rhs.initial_inputs.size()));
+  production_.rhs.initial_inputs[lhs_input] = {member, port};
+  return *this;
+}
+
+GrammarBuilder::ProductionBuilder&
+GrammarBuilder::ProductionBuilder::MapOutput(int lhs_output, int member,
+                                             int port) {
+  FVL_CHECK(!built_);
+  FVL_CHECK(lhs_output >= 0 &&
+            lhs_output < static_cast<int>(production_.rhs.final_outputs.size()));
+  production_.rhs.final_outputs[lhs_output] = {member, port};
+  return *this;
+}
+
+ProductionId GrammarBuilder::ProductionBuilder::Build() {
+  FVL_CHECK(!built_);
+  built_ = true;
+  parent_->productions_.push_back(std::move(production_));
+  return static_cast<ProductionId>(parent_->productions_.size()) - 1;
+}
+
+ModuleId GrammarBuilder::AddModule(std::string name, int num_inputs,
+                                   int num_outputs, bool composite) {
+  FVL_CHECK(num_inputs >= 0 && num_outputs >= 0);
+  modules_.push_back({std::move(name), num_inputs, num_outputs});
+  composite_.push_back(composite);
+  return num_modules() - 1;
+}
+
+ModuleId GrammarBuilder::AddAtomic(std::string name, int num_inputs,
+                                   int num_outputs) {
+  return AddModule(std::move(name), num_inputs, num_outputs, false);
+}
+
+ModuleId GrammarBuilder::AddComposite(std::string name, int num_inputs,
+                                      int num_outputs) {
+  return AddModule(std::move(name), num_inputs, num_outputs, true);
+}
+
+void GrammarBuilder::SetStart(ModuleId m) {
+  FVL_CHECK(m >= 0 && m < num_modules());
+  start_ = m;
+}
+
+GrammarBuilder::ProductionBuilder GrammarBuilder::NewProduction(ModuleId lhs) {
+  return ProductionBuilder(this, lhs);
+}
+
+void GrammarBuilder::SetDeps(ModuleId m, BoolMatrix deps) {
+  FVL_CHECK(m >= 0 && m < num_modules());
+  deps_.Set(m, std::move(deps));
+}
+
+void GrammarBuilder::SetCompleteDeps(ModuleId m) {
+  FVL_CHECK(m >= 0 && m < num_modules());
+  SetDeps(m, BoolMatrix::Full(modules_[m].num_inputs, modules_[m].num_outputs));
+}
+
+void GrammarBuilder::SetIdentityDeps(ModuleId m) {
+  FVL_CHECK(m >= 0 && m < num_modules());
+  FVL_CHECK(modules_[m].num_inputs == modules_[m].num_outputs);
+  SetDeps(m, BoolMatrix::Identity(modules_[m].num_inputs));
+}
+
+Grammar GrammarBuilder::BuildGrammar() const {
+  Grammar grammar(modules_, composite_, start_, productions_);
+  if (auto error = grammar.Validate()) {
+    std::fprintf(stderr, "GrammarBuilder: %s\n", error->c_str());
+    FVL_CHECK(false && "invalid grammar");
+  }
+  return grammar;
+}
+
+Specification GrammarBuilder::BuildSpecification() const {
+  Specification spec{BuildGrammar(), deps_};
+  if (auto error = spec.Validate()) {
+    std::fprintf(stderr, "GrammarBuilder: %s\n", error->c_str());
+    FVL_CHECK(false && "invalid specification");
+  }
+  return spec;
+}
+
+}  // namespace fvl

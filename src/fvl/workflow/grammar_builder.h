@@ -1,0 +1,85 @@
+// Fluent construction of grammars and specifications.
+//
+// Usage:
+//   GrammarBuilder b;
+//   ModuleId s = b.AddComposite("S", 2, 3);
+//   ModuleId a = b.AddAtomic("a", 1, 2);
+//   b.SetStart(s);
+//   auto p = b.NewProduction(s);
+//   int ma = p.AddMember(a); ...
+//   p.Edge(ma, 0, mb, 1).MapInput(0, ma, 0).MapOutput(0, mc, 1);
+//   p.Build();
+//   b.SetDeps(a, matrix);
+//   Specification spec = b.BuildSpecification();   // FVL_CHECKs validity
+//
+// Builder misuse (mismatched arities, invalid wiring) is a programmer error
+// and aborts via FVL_CHECK with the underlying validation message.
+
+#ifndef FVL_WORKFLOW_GRAMMAR_BUILDER_H_
+#define FVL_WORKFLOW_GRAMMAR_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "fvl/workflow/grammar.h"
+
+namespace fvl {
+
+class GrammarBuilder {
+ public:
+  class ProductionBuilder {
+   public:
+    // Appends a member instance of the given module; returns member index.
+    int AddMember(ModuleId type);
+    ProductionBuilder& Edge(int src_member, int src_port, int dst_member,
+                            int dst_port);
+    // Binds the lhs_input-th input port of the produced module to
+    // (member, port) under the bijection f.
+    ProductionBuilder& MapInput(int lhs_input, int member, int port);
+    ProductionBuilder& MapOutput(int lhs_output, int member, int port);
+    // Registers the production; returns its id.
+    ProductionId Build();
+
+   private:
+    friend class GrammarBuilder;
+    ProductionBuilder(GrammarBuilder* parent, ModuleId lhs);
+
+    GrammarBuilder* parent_;
+    Production production_;
+    bool built_ = false;
+  };
+
+  ModuleId AddAtomic(std::string name, int num_inputs, int num_outputs);
+  ModuleId AddComposite(std::string name, int num_inputs, int num_outputs);
+  void SetStart(ModuleId m);
+
+  ProductionBuilder NewProduction(ModuleId lhs);
+
+  // Dependency assignment for atomic modules (λ).
+  void SetDeps(ModuleId m, BoolMatrix deps);
+  // Convenience: complete (black-box) dependencies.
+  void SetCompleteDeps(ModuleId m);
+  // Convenience: identity dependencies (requires square port counts).
+  void SetIdentityDeps(ModuleId m);
+
+  int num_modules() const { return static_cast<int>(modules_.size()); }
+  const Module& module(ModuleId m) const { return modules_[m]; }
+
+  // Builds and validates; aborts on invalid input.
+  Grammar BuildGrammar() const;
+  Specification BuildSpecification() const;
+
+ private:
+  ModuleId AddModule(std::string name, int num_inputs, int num_outputs,
+                     bool composite);
+
+  std::vector<Module> modules_;
+  std::vector<bool> composite_;
+  ModuleId start_ = kInvalidModule;
+  std::vector<Production> productions_;
+  DependencyAssignment deps_;
+};
+
+}  // namespace fvl
+
+#endif  // FVL_WORKFLOW_GRAMMAR_BUILDER_H_

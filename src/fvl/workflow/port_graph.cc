@@ -1,0 +1,131 @@
+#include "fvl/workflow/port_graph.h"
+
+#include "fvl/graph/reachability.h"
+#include "fvl/util/check.h"
+
+namespace fvl {
+
+WorkflowPortGraph::WorkflowPortGraph(const Grammar& grammar,
+                                     const SimpleWorkflow& w,
+                                     const DependencyAssignment& deps,
+                                     const PortGraphOverlay* overlay)
+    : grammar_(&grammar), workflow_(&w) {
+  const int n = w.num_members();
+  input_base_.resize(n);
+  output_base_.resize(n);
+  int next = 0;
+  for (int m = 0; m < n; ++m) {
+    const Module& module = grammar.module(w.members[m]);
+    input_base_[m] = next;
+    next += module.num_inputs;
+    output_base_[m] = next;
+    next += module.num_outputs;
+  }
+  graph_ = Digraph(next);
+
+  for (int m = 0; m < n; ++m) {
+    if (overlay != nullptr && m < static_cast<int>(overlay->suppress_member.size()) &&
+        overlay->suppress_member[m]) {
+      continue;
+    }
+    ModuleId type = w.members[m];
+    FVL_CHECK(deps.IsDefined(type));
+    const BoolMatrix& matrix = deps.Get(type);
+    const Module& module = grammar.module(type);
+    FVL_CHECK(matrix.rows() == module.num_inputs &&
+              matrix.cols() == module.num_outputs);
+    for (int i = 0; i < matrix.rows(); ++i) {
+      for (int o = 0; o < matrix.cols(); ++o) {
+        if (matrix.Get(i, o)) {
+          graph_.AddEdge(input_base_[m] + i, output_base_[m] + o);
+        }
+      }
+    }
+  }
+  std::vector<bool> edge_suppressed(w.edges.size(), false);
+  if (overlay != nullptr) {
+    for (int index : overlay->suppressed_edges) {
+      FVL_CHECK(index >= 0 && index < static_cast<int>(w.edges.size()));
+      edge_suppressed[index] = true;
+    }
+  }
+  for (size_t i = 0; i < w.edges.size(); ++i) {
+    if (edge_suppressed[i]) continue;
+    const DataEdge& e = w.edges[i];
+    graph_.AddEdge(OutputNode(e.src), InputNode(e.dst));
+  }
+  if (overlay != nullptr) {
+    for (const PortGraphOverlay::CrossDep& dep : overlay->extra_deps) {
+      graph_.AddEdge(InputNode(dep.from_input), OutputNode(dep.to_output));
+    }
+  }
+  closure_ = TransitiveClosure(graph_);
+}
+
+bool WorkflowPortGraph::Reaches(int from, int to) const {
+  return closure_.Get(from, to);
+}
+
+bool WorkflowPortGraph::InputReachesInput(PortRef from, PortRef to) const {
+  return Reaches(InputNode(from), InputNode(to));
+}
+bool WorkflowPortGraph::InputReachesOutput(PortRef from, PortRef to) const {
+  return Reaches(InputNode(from), OutputNode(to));
+}
+bool WorkflowPortGraph::OutputReachesInput(PortRef from, PortRef to) const {
+  return Reaches(OutputNode(from), InputNode(to));
+}
+bool WorkflowPortGraph::OutputReachesOutput(PortRef from, PortRef to) const {
+  return Reaches(OutputNode(from), OutputNode(to));
+}
+
+BoolMatrix WorkflowPortGraph::InitialToFinal() const {
+  const auto& inits = workflow_->initial_inputs;
+  const auto& finals = workflow_->final_outputs;
+  BoolMatrix result(static_cast<int>(inits.size()),
+                    static_cast<int>(finals.size()));
+  for (int x = 0; x < result.rows(); ++x) {
+    for (int y = 0; y < result.cols(); ++y) {
+      if (InputReachesOutput(inits[x], finals[y])) result.Set(x, y);
+    }
+  }
+  return result;
+}
+
+BoolMatrix WorkflowPortGraph::InitialToMemberInputs(int member) const {
+  const auto& inits = workflow_->initial_inputs;
+  const Module& module = grammar_->module(workflow_->members[member]);
+  BoolMatrix result(static_cast<int>(inits.size()), module.num_inputs);
+  for (int x = 0; x < result.rows(); ++x) {
+    for (int y = 0; y < result.cols(); ++y) {
+      if (InputReachesInput(inits[x], {member, y})) result.Set(x, y);
+    }
+  }
+  return result;
+}
+
+BoolMatrix WorkflowPortGraph::MemberOutputsToFinalReversed(int member) const {
+  const auto& finals = workflow_->final_outputs;
+  const Module& module = grammar_->module(workflow_->members[member]);
+  BoolMatrix result(static_cast<int>(finals.size()), module.num_outputs);
+  for (int x = 0; x < result.rows(); ++x) {
+    for (int y = 0; y < result.cols(); ++y) {
+      if (OutputReachesOutput({member, y}, finals[x])) result.Set(x, y);
+    }
+  }
+  return result;
+}
+
+BoolMatrix WorkflowPortGraph::MemberOutputsToMemberInputs(int i, int j) const {
+  const Module& from = grammar_->module(workflow_->members[i]);
+  const Module& to = grammar_->module(workflow_->members[j]);
+  BoolMatrix result(from.num_outputs, to.num_inputs);
+  for (int x = 0; x < result.rows(); ++x) {
+    for (int y = 0; y < result.cols(); ++y) {
+      if (OutputReachesInput({i, x}, {j, y})) result.Set(x, y);
+    }
+  }
+  return result;
+}
+
+}  // namespace fvl

@@ -1,0 +1,127 @@
+#include "fvl/workflow/production_graph.h"
+
+#include <algorithm>
+
+#include "fvl/graph/reachability.h"
+#include "fvl/graph/scc.h"
+#include "fvl/util/check.h"
+
+namespace fvl {
+
+ProductionGraph::ProductionGraph(const Grammar* grammar)
+    : grammar_(grammar), graph_(grammar->num_modules()) {
+  for (ProductionId k = 0; k < grammar_->num_productions(); ++k) {
+    const Production& p = grammar_->production(k);
+    for (int pos = 0; pos < p.rhs.num_members(); ++pos) {
+      graph_.AddEdge(p.lhs, p.rhs.members[pos]);
+      edge_ids_.push_back({k, pos});
+    }
+  }
+  closure_ = TransitiveClosure(graph_);
+
+  // Cycle extraction from SCCs. A non-trivial SCC (>= 2 nodes, or a single
+  // node with a self-loop) hosts vertex-disjoint cycles iff it is itself a
+  // single simple cycle: every member has exactly one outgoing and one
+  // incoming edge *within* the SCC, counting parallel edges individually.
+  const int n = grammar_->num_modules();
+  cycle_of_.assign(n, -1);
+  cycle_index_of_.assign(n, -1);
+
+  SccResult scc = StronglyConnectedComponents(graph_);
+  std::vector<std::vector<int>> members_by_component = scc.Members();
+  // Deterministic cycle numbering: order components by smallest member id.
+  std::sort(members_by_component.begin(), members_by_component.end());
+
+  for (const std::vector<int>& members : members_by_component) {
+    // Internal edges per member.
+    bool non_trivial = members.size() > 1;
+    std::vector<std::vector<int>> internal_out(members.size());
+    for (size_t idx = 0; idx < members.size(); ++idx) {
+      int node = members[idx];
+      for (int edge_id : graph_.OutEdges(node)) {
+        if (scc.component[graph_.edge(edge_id).to] == scc.component[node]) {
+          internal_out[idx].push_back(edge_id);
+          non_trivial = true;
+        }
+      }
+    }
+    if (!non_trivial) continue;  // singleton without self-loop
+
+    for (const auto& out : internal_out) {
+      if (out.size() != 1) {
+        // Two cycles share a vertex (or a vertex cannot close the cycle).
+        strictly_linear_ = false;
+      }
+    }
+    if (!strictly_linear_) continue;
+
+    // Walk the unique cycle starting at the smallest module id.
+    int start = *std::min_element(members.begin(), members.end());
+    Cycle cycle;
+    int node = start;
+    do {
+      size_t idx = 0;
+      while (members[idx] != node) ++idx;
+      FVL_CHECK(internal_out[idx].size() == 1);
+      int edge_id = internal_out[idx][0];
+      cycle.members.push_back(node);
+      cycle.edges.push_back(edge_ids_[edge_id]);
+      node = graph_.edge(edge_id).to;
+    } while (node != start);
+    FVL_CHECK(cycle.members.size() == members.size());
+
+    int cycle_id = static_cast<int>(cycles_.size());
+    for (int a = 0; a < cycle.length(); ++a) {
+      cycle_of_[cycle.members[a]] = cycle_id;
+      cycle_index_of_[cycle.members[a]] = a;
+    }
+    cycles_.push_back(std::move(cycle));
+  }
+  if (!strictly_linear_) {
+    cycles_.clear();
+    // cycle_of_ stays meaningful as "lies on some cycle" only for entries we
+    // set; recompute it generically so IsRecursive works for any grammar.
+    cycle_of_.assign(n, -1);
+    cycle_index_of_.assign(n, -1);
+    SccResult again = StronglyConnectedComponents(graph_);
+    std::vector<int> component_size(again.num_components, 0);
+    for (int node = 0; node < n; ++node) ++component_size[again.component[node]];
+    for (int node = 0; node < n; ++node) {
+      bool self_loop = false;
+      for (int edge_id : graph_.OutEdges(node)) {
+        if (graph_.edge(edge_id).to == node) self_loop = true;
+      }
+      if (component_size[again.component[node]] > 1 || self_loop) {
+        cycle_of_[node] = -2;  // recursive, but no cycle id available
+      }
+    }
+  }
+}
+
+ModuleId ProductionGraph::EdgeTarget(PgEdge e) const {
+  const Production& p = grammar_->production(e.production);
+  FVL_CHECK(e.position >= 0 && e.position < p.rhs.num_members());
+  return p.rhs.members[e.position];
+}
+
+ModuleId ProductionGraph::EdgeSource(PgEdge e) const {
+  return grammar_->production(e.production).lhs;
+}
+
+bool ProductionGraph::IsRecursiveGrammar() const {
+  for (int value : cycle_of_) {
+    if (value != -1) return true;
+  }
+  return false;
+}
+
+PgEdge ProductionGraph::CycleEdgeAt(int s, int index) const {
+  FVL_CHECK(strictly_linear_);
+  FVL_CHECK(s >= 0 && s < num_cycles());
+  const Cycle& cycle = cycles_[s];
+  int wrapped = index % cycle.length();
+  if (wrapped < 0) wrapped += cycle.length();
+  return cycle.edges[wrapped];
+}
+
+}  // namespace fvl

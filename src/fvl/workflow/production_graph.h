@@ -1,0 +1,98 @@
+// Production graphs (Def. 15) and the §4.1 preprocessing.
+//
+// P(G) is a directed multigraph over modules with one edge per production
+// member: production k = M -> W with its i-th member M' contributes an edge
+// M -> M' identified by the pair (k, i) (0-based here; the paper is
+// 1-based).
+//
+// For strictly linear-recursive grammars (Def. 16) the cycles of P(G) are
+// vertex-disjoint; the preprocessing fixes an order among them and a first
+// edge within each, producing the global cycle index C(s) used by both data
+// and view labels. The first edge of a cycle is the edge sourced at the
+// cycle member with the smallest module id.
+
+#ifndef FVL_WORKFLOW_PRODUCTION_GRAPH_H_
+#define FVL_WORKFLOW_PRODUCTION_GRAPH_H_
+
+#include <vector>
+
+#include "fvl/graph/digraph.h"
+#include "fvl/util/boolean_matrix.h"
+#include "fvl/workflow/grammar.h"
+
+namespace fvl {
+
+// The paper's edge id (k, i): member `pos` of production `k`.
+struct PgEdge {
+  ProductionId production = -1;
+  int position = -1;
+
+  bool operator==(const PgEdge&) const = default;
+};
+
+class ProductionGraph {
+ public:
+  explicit ProductionGraph(const Grammar* grammar);
+
+  const Grammar& grammar() const { return *grammar_; }
+  const Digraph& graph() const { return graph_; }
+
+  // The module that edge (k, i) points to (the i-th member of production k).
+  ModuleId EdgeTarget(PgEdge e) const;
+  // The module that edge (k, i) leaves (the lhs of production k).
+  ModuleId EdgeSource(PgEdge e) const;
+
+  // Reflexive reachability between modules in P(G).
+  bool Reaches(ModuleId from, ModuleId to) const {
+    return closure_.Get(from, to);
+  }
+
+  // A module is recursive iff it lies on a cycle of P(G). (For non-strict
+  // grammars cycle ids are unavailable and CycleOf reports -2; recursiveness
+  // itself is still meaningful.)
+  bool IsRecursive(ModuleId m) const { return cycle_of_[m] != -1; }
+  // True iff some module is recursive.
+  bool IsRecursiveGrammar() const;
+
+  // --- Cycle structure (valid only when strictly_linear()). ---
+
+  // True iff all cycles of P(G) are vertex-disjoint (Def. 16), computed from
+  // the SCC structure: every non-trivial SCC must be a single simple cycle.
+  bool strictly_linear() const { return strictly_linear_; }
+
+  struct Cycle {
+    // edges[a] goes members[a] -> members[(a + 1) % length]; edges[a] is an
+    // edge of a production of members[a].
+    std::vector<PgEdge> edges;
+    std::vector<ModuleId> members;
+
+    int length() const { return static_cast<int>(edges.size()); }
+  };
+
+  int num_cycles() const { return static_cast<int>(cycles_.size()); }
+  const Cycle& cycle(int s) const { return cycles_[s]; }
+
+  // Cycle id of a recursive module (-1 otherwise) — the paper's s.
+  int CycleOf(ModuleId m) const { return cycle_of_[m]; }
+  // Index (within cycle CycleOf(m)) of the edge sourced at m — the paper's t
+  // for a recursion whose first unfolded member is m.
+  int CycleStartIndex(ModuleId m) const { return cycle_index_of_[m]; }
+
+  // The cycle edge at offset `index` (taken modulo the cycle length), i.e.
+  // the paper's (k_{t+a}, i_{t+a}) lookups.
+  PgEdge CycleEdgeAt(int s, int index) const;
+
+ private:
+  const Grammar* grammar_;
+  Digraph graph_;                 // one node per module
+  std::vector<PgEdge> edge_ids_;  // per digraph edge id
+  BoolMatrix closure_;
+  bool strictly_linear_ = true;
+  std::vector<Cycle> cycles_;
+  std::vector<int> cycle_of_;        // per module, -1 if non-recursive
+  std::vector<int> cycle_index_of_;  // per module, -1 if non-recursive
+};
+
+}  // namespace fvl
+
+#endif  // FVL_WORKFLOW_PRODUCTION_GRAPH_H_

@@ -1,0 +1,285 @@
+#include "fvl/workflow/properness.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "fvl/graph/digraph.h"
+#include "fvl/graph/scc.h"
+#include "fvl/util/check.h"
+
+namespace fvl {
+
+namespace {
+
+// A unit production is M -> W where W consists of a single member; the
+// derivation step merely renames M (modulo the port bijection).
+bool IsUnitProduction(const Production& p) { return p.rhs.num_members() == 1; }
+
+// True iff the unit production's port bijection is the identity (initial
+// input x is the member's input x, and similarly for outputs).
+bool UnitBijectionIsIdentity(const Production& p) {
+  for (int x = 0; x < static_cast<int>(p.rhs.initial_inputs.size()); ++x) {
+    if (p.rhs.initial_inputs[x] != PortRef{0, x}) return false;
+  }
+  for (int y = 0; y < static_cast<int>(p.rhs.final_outputs.size()); ++y) {
+    if (p.rhs.final_outputs[y] != PortRef{0, y}) return false;
+  }
+  return true;
+}
+
+std::vector<bool> ComputeProductive(const Grammar& g) {
+  std::vector<bool> productive(g.num_modules(), false);
+  for (ModuleId m = 0; m < g.num_modules(); ++m) {
+    if (!g.is_composite(m)) productive[m] = true;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ProductionId k = 0; k < g.num_productions(); ++k) {
+      const Production& p = g.production(k);
+      if (productive[p.lhs]) continue;
+      bool all = true;
+      for (ModuleId member : p.rhs.members) {
+        if (!productive[member]) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        productive[p.lhs] = true;
+        changed = true;
+      }
+    }
+  }
+  return productive;
+}
+
+std::vector<bool> ComputeDerivable(const Grammar& g) {
+  // Derivable = reachable from S through production membership (the paper's
+  // S =>* W containing M allows any intermediate workflow).
+  std::vector<bool> derivable(g.num_modules(), false);
+  std::deque<ModuleId> queue = {g.start()};
+  derivable[g.start()] = true;
+  while (!queue.empty()) {
+    ModuleId m = queue.front();
+    queue.pop_front();
+    for (ProductionId k : g.ProductionsOf(m)) {
+      for (ModuleId member : g.production(k).rhs.members) {
+        if (!derivable[member]) {
+          derivable[member] = true;
+          queue.push_back(member);
+        }
+      }
+    }
+  }
+  return derivable;
+}
+
+// Finds one cycle among unit productions between composite modules, if any.
+std::vector<ModuleId> FindUnitCycle(const Grammar& g) {
+  // unit_next[m] = composite modules reachable from m by one unit production.
+  std::vector<std::vector<ModuleId>> unit_next(g.num_modules());
+  for (ProductionId k = 0; k < g.num_productions(); ++k) {
+    const Production& p = g.production(k);
+    if (IsUnitProduction(p) && g.is_composite(p.rhs.members[0])) {
+      unit_next[p.lhs].push_back(p.rhs.members[0]);
+    }
+  }
+  // DFS with colors.
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(g.num_modules(), Color::kWhite);
+  std::vector<ModuleId> parent(g.num_modules(), kInvalidModule);
+
+  for (ModuleId root = 0; root < g.num_modules(); ++root) {
+    if (color[root] != Color::kWhite) continue;
+    std::vector<std::pair<ModuleId, size_t>> stack = {{root, 0}};
+    color[root] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [node, pos] = stack.back();
+      if (pos < unit_next[node].size()) {
+        ModuleId next = unit_next[node][pos++];
+        if (color[next] == Color::kGray) {
+          // Found a cycle: walk back from node to next.
+          std::vector<ModuleId> cycle = {next};
+          for (ModuleId walk = node; walk != next; walk = parent[walk]) {
+            cycle.push_back(walk);
+          }
+          std::reverse(cycle.begin() + 1, cycle.end());
+          return cycle;
+        }
+        if (color[next] == Color::kWhite) {
+          color[next] = Color::kGray;
+          parent[next] = node;
+          stack.push_back({next, 0});
+        }
+      } else {
+        color[node] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+bool PropernessReport::IsProper(const Grammar& g) const {
+  if (has_unit_cycle) return false;
+  for (ModuleId m = 0; m < g.num_modules(); ++m) {
+    if (!g.is_composite(m)) continue;
+    if (!derivable[m] || !productive[m]) return false;
+  }
+  return true;
+}
+
+std::string PropernessReport::Describe(const Grammar& g) const {
+  std::string out;
+  for (ModuleId m = 0; m < g.num_modules(); ++m) {
+    if (!g.is_composite(m)) continue;
+    if (!derivable[m]) out += "underivable: " + g.module(m).name + "\n";
+    if (!productive[m]) out += "unproductive: " + g.module(m).name + "\n";
+  }
+  if (has_unit_cycle) {
+    out += "unit cycle:";
+    for (ModuleId m : unit_cycle_witness) out += " " + g.module(m).name;
+    out += "\n";
+  }
+  return out.empty() ? "proper" : out;
+}
+
+PropernessReport AnalyzeProperness(const Grammar& g) {
+  PropernessReport report;
+  report.productive = ComputeProductive(g);
+  report.derivable = ComputeDerivable(g);
+  report.unit_cycle_witness = FindUnitCycle(g);
+  report.has_unit_cycle = !report.unit_cycle_witness.empty();
+  return report;
+}
+
+std::optional<Grammar> MakeProper(const Grammar& g, std::string* error) {
+  // Step 1: eliminate unit cycles. Modules on a common unit cycle derive
+  // exactly each other's workflows; we merge their production sets onto each
+  // member and drop the intra-cycle unit productions.
+  std::vector<Production> productions;
+  for (ProductionId k = 0; k < g.num_productions(); ++k) {
+    productions.push_back(g.production(k));
+  }
+
+  Grammar working(g.modules(), [&] {
+    std::vector<bool> composite(g.num_modules());
+    for (ModuleId m = 0; m < g.num_modules(); ++m) composite[m] = g.is_composite(m);
+    return composite;
+  }(), g.start(), productions);
+
+  // Build the unit graph over composite modules and merge every non-trivial
+  // strongly connected class in one pass: all modules on a common unit cycle
+  // derive exactly each other's workflows, so each receives every
+  // non-intra-class production of the class and the intra-class unit
+  // productions are dropped. A single pass makes the unit graph acyclic on
+  // its condensation, so no new unit cycles can appear.
+  if (!FindUnitCycle(working).empty()) {
+    Digraph unit_graph(working.num_modules());
+    for (ProductionId k = 0; k < working.num_productions(); ++k) {
+      const Production& p = working.production(k);
+      if (IsUnitProduction(p) && working.is_composite(p.rhs.members[0])) {
+        unit_graph.AddEdge(p.lhs, p.rhs.members[0]);
+      }
+    }
+    SccResult scc = StronglyConnectedComponents(unit_graph);
+    std::vector<int> component_size(scc.num_components, 0);
+    for (ModuleId m = 0; m < working.num_modules(); ++m) {
+      ++component_size[scc.component[m]];
+    }
+    auto same_class = [&](ModuleId a, ModuleId b) {
+      if (scc.component[a] != scc.component[b]) return false;
+      if (component_size[scc.component[a]] > 1) return true;
+      return a == b;  // singleton class: only a self-loop is intra-class
+    };
+
+    std::vector<Production> next_productions;
+    // Per class, its non-intra-class productions (for cloning).
+    std::vector<std::vector<Production>> class_shared(scc.num_components);
+    for (ProductionId k = 0; k < working.num_productions(); ++k) {
+      const Production& p = working.production(k);
+      bool intra_class_unit = IsUnitProduction(p) &&
+                              working.is_composite(p.rhs.members[0]) &&
+                              same_class(p.lhs, p.rhs.members[0]);
+      if (intra_class_unit) {
+        if (!UnitBijectionIsIdentity(p)) {
+          if (error != nullptr) {
+            *error = "unit cycle with non-identity port bijection through '" +
+                     working.module(p.lhs).name + "' is not supported";
+          }
+          return std::nullopt;
+        }
+        continue;  // drop
+      }
+      next_productions.push_back(p);
+      if (component_size[scc.component[p.lhs]] > 1 ||
+          same_class(p.lhs, p.lhs)) {
+        class_shared[scc.component[p.lhs]].push_back(p);
+      }
+    }
+    for (ModuleId m = 0; m < working.num_modules(); ++m) {
+      if (!working.is_composite(m)) continue;
+      if (component_size[scc.component[m]] <= 1) continue;
+      for (const Production& p : class_shared[scc.component[m]]) {
+        if (p.lhs == m) continue;
+        Production clone = p;
+        clone.lhs = m;
+        next_productions.push_back(clone);
+      }
+    }
+    working = Grammar(working.modules(), [&] {
+      std::vector<bool> composite(working.num_modules());
+      for (ModuleId m = 0; m < working.num_modules(); ++m) {
+        composite[m] = working.is_composite(m);
+      }
+      return composite;
+    }(), working.start(), next_productions);
+    FVL_CHECK(FindUnitCycle(working).empty());
+  }
+
+  // Step 2: drop productions that mention unproductive modules.
+  std::vector<bool> productive = ComputeProductive(working);
+  if (!productive[working.start()]) {
+    if (error != nullptr) *error = "language is empty (start is unproductive)";
+    return std::nullopt;
+  }
+  std::vector<Production> surviving;
+  for (ProductionId k = 0; k < working.num_productions(); ++k) {
+    const Production& p = working.production(k);
+    bool keep = productive[p.lhs];
+    for (ModuleId member : p.rhs.members) keep = keep && productive[member];
+    if (keep) surviving.push_back(p);
+  }
+  working = Grammar(working.modules(), [&] {
+    std::vector<bool> composite(working.num_modules());
+    for (ModuleId m = 0; m < working.num_modules(); ++m) {
+      composite[m] = working.is_composite(m);
+    }
+    return composite;
+  }(), working.start(), surviving);
+
+  // Step 3: drop underivable modules. Module ids must stay stable for
+  // callers, so underivable modules are retained in the table but all their
+  // productions are removed and they are no longer marked composite unless
+  // derivable. (The language only depends on derivable modules.)
+  std::vector<bool> derivable = ComputeDerivable(working);
+  std::vector<Production> reachable_productions;
+  for (ProductionId k = 0; k < working.num_productions(); ++k) {
+    if (derivable[working.production(k).lhs]) {
+      reachable_productions.push_back(working.production(k));
+    }
+  }
+  std::vector<bool> composite(working.num_modules(), false);
+  for (const Production& p : reachable_productions) composite[p.lhs] = true;
+  composite[working.start()] = true;
+
+  Grammar result(working.modules(), composite, working.start(),
+                 reachable_productions);
+  FVL_CHECK(!result.Validate().has_value());
+  return result;
+}
+
+}  // namespace fvl

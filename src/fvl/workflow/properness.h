@@ -1,0 +1,41 @@
+// Properness (Def. 5): a grammar is proper iff it has no underivable
+// composite modules, no unproductive composite modules, and no unit-cycles
+// (M =>* M by at least one step, which can only arise through chains of
+// unit productions M -> M').
+//
+// MakeProper transforms any grammar into a proper one with the same
+// language: it removes unproductive modules (and productions mentioning
+// them), removes underivable modules, and eliminates unit-production cycles.
+
+#ifndef FVL_WORKFLOW_PROPERNESS_H_
+#define FVL_WORKFLOW_PROPERNESS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fvl/workflow/grammar.h"
+
+namespace fvl {
+
+struct PropernessReport {
+  std::vector<bool> derivable;   // per module: appears in some S =>* W
+  std::vector<bool> productive;  // per module: derives an all-atomic workflow
+  bool has_unit_cycle = false;
+  std::vector<ModuleId> unit_cycle_witness;  // modules on one unit cycle
+
+  bool IsProper(const Grammar& g) const;
+  std::string Describe(const Grammar& g) const;
+};
+
+PropernessReport AnalyzeProperness(const Grammar& g);
+
+// Language-preserving properness transformation. Returns std::nullopt if the
+// language is empty (the start module is unproductive) or if a unit cycle
+// with non-identity port bijections is encountered (unsupported; see
+// DESIGN.md §7).
+std::optional<Grammar> MakeProper(const Grammar& g, std::string* error);
+
+}  // namespace fvl
+
+#endif  // FVL_WORKFLOW_PROPERNESS_H_

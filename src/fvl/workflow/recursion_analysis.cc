@@ -1,0 +1,89 @@
+#include "fvl/workflow/recursion_analysis.h"
+
+#include <deque>
+#include <vector>
+
+namespace fvl {
+
+bool IsLinearRecursive(const ProductionGraph& pg) {
+  const Grammar& g = pg.grammar();
+  // Lemma 3: for every production M -> W, at most one member of W (counting
+  // duplicates) reaches M in P(G).
+  for (ProductionId k = 0; k < g.num_productions(); ++k) {
+    const Production& p = g.production(k);
+    int reaching = 0;
+    for (ModuleId member : p.rhs.members) {
+      if (pg.Reaches(member, p.lhs)) ++reaching;
+    }
+    if (reaching > 1) return false;
+  }
+  return true;
+}
+
+bool IsStrictlyLinearRecursive(const ProductionGraph& pg) {
+  return pg.strictly_linear();
+}
+
+namespace {
+
+// BFS for a cycle through `v`, ignoring edges whose id is in `banned`
+// (at most one entry). Returns the edge ids of one such cycle, or empty.
+std::vector<int> FindCycleThrough(const Digraph& graph, int v, int banned) {
+  // Find a path from any successor of v back to v.
+  std::vector<int> parent_edge(graph.num_nodes(), -1);
+  std::vector<bool> visited(graph.num_nodes(), false);
+  std::deque<int> queue;
+
+  for (int edge_id : graph.OutEdges(v)) {
+    if (edge_id == banned) continue;
+    int to = graph.edge(edge_id).to;
+    if (to == v) return {edge_id};  // self-loop
+    if (!visited[to]) {
+      visited[to] = true;
+      parent_edge[to] = edge_id;
+      queue.push_back(to);
+    }
+  }
+  while (!queue.empty()) {
+    int node = queue.front();
+    queue.pop_front();
+    for (int edge_id : graph.OutEdges(node)) {
+      if (edge_id == banned) continue;
+      int to = graph.edge(edge_id).to;
+      if (to == v) {
+        // Reconstruct: v -> ... -> node -> v.
+        std::vector<int> cycle = {edge_id};
+        for (int walk = node; walk != v;) {
+          int pe = parent_edge[walk];
+          cycle.push_back(pe);
+          walk = graph.edge(pe).from;
+        }
+        return cycle;
+      }
+      if (!visited[to]) {
+        visited[to] = true;
+        parent_edge[to] = edge_id;
+        queue.push_back(to);
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+bool IsStrictlyLinearRecursivePaperAlgorithm(const ProductionGraph& pg) {
+  const Digraph& graph = pg.graph();
+  for (int v = 0; v < graph.num_nodes(); ++v) {
+    std::vector<int> first_cycle = FindCycleThrough(graph, v, /*banned=*/-1);
+    if (first_cycle.empty()) continue;
+    // Any second cycle through v must avoid at least one edge of the first;
+    // search once per removed edge.
+    for (int removed : first_cycle) {
+      if (!FindCycleThrough(graph, v, removed).empty()) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fvl

@@ -1,0 +1,30 @@
+// Recursion structure of workflow grammars (Defs. 14–16, Thm. 7, Lemma 3).
+//
+// * linear-recursive: every workflow derivable from a composite module M
+//   contains at most one instance of M. Decided via Lemma 3: for every
+//   production M -> W, M is reachable (in P(G), reflexively) from at most
+//   one member of W, counting duplicate members individually.
+// * strictly linear-recursive: all cycles of P(G) are vertex-disjoint.
+//   Decided two ways (cross-checked in tests): via the SCC structure
+//   (ProductionGraph::strictly_linear) and via the paper's Thm.-7 algorithm
+//   (for each vertex, find a cycle through it by BFS, then look for a second
+//   cycle after removing each edge of the first).
+
+#ifndef FVL_WORKFLOW_RECURSION_ANALYSIS_H_
+#define FVL_WORKFLOW_RECURSION_ANALYSIS_H_
+
+#include "fvl/workflow/grammar.h"
+#include "fvl/workflow/production_graph.h"
+
+namespace fvl {
+
+bool IsLinearRecursive(const ProductionGraph& pg);
+
+bool IsStrictlyLinearRecursive(const ProductionGraph& pg);
+
+// The Thm.-7 proof algorithm, implemented independently of the SCC route.
+bool IsStrictlyLinearRecursivePaperAlgorithm(const ProductionGraph& pg);
+
+}  // namespace fvl
+
+#endif  // FVL_WORKFLOW_RECURSION_ANALYSIS_H_

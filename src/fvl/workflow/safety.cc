@@ -1,0 +1,94 @@
+#include "fvl/workflow/safety.h"
+
+#include <deque>
+
+#include "fvl/util/check.h"
+#include "fvl/workflow/port_graph.h"
+
+namespace fvl {
+
+SafetyResult CheckSafety(const Grammar& grammar,
+                         const DependencyAssignment& base_deps,
+                         const std::vector<bool>* composite) {
+  SafetyResult result;
+  auto is_composite = [&](ModuleId m) {
+    return composite != nullptr ? (*composite)[m] : grammar.is_composite(m);
+  };
+
+  // λ* starts from the base assignment on non-composite modules.
+  DependencyAssignment full(grammar.num_modules());
+  for (ModuleId m = 0; m < grammar.num_modules(); ++m) {
+    if (!is_composite(m) && base_deps.IsDefined(m)) {
+      full.Set(m, base_deps.Get(m));
+    }
+  }
+
+  // Active productions and, per production, the count of distinct member
+  // modules whose λ* is still undefined.
+  std::vector<ProductionId> active;
+  for (ProductionId k = 0; k < grammar.num_productions(); ++k) {
+    if (is_composite(grammar.production(k).lhs)) active.push_back(k);
+  }
+  std::vector<int> undefined_members(grammar.num_productions(), 0);
+  // waiters[m] = active productions containing module m as a member.
+  std::vector<std::vector<ProductionId>> waiters(grammar.num_modules());
+  std::deque<ProductionId> ready;
+
+  for (ProductionId k : active) {
+    const Production& p = grammar.production(k);
+    std::vector<bool> counted(grammar.num_modules(), false);
+    for (ModuleId member : p.rhs.members) {
+      if (counted[member]) continue;
+      counted[member] = true;
+      if (!is_composite(member) && !full.IsDefined(member)) {
+        result.error = "module '" + grammar.module(member).name +
+                       "' is used by production " + std::to_string(k + 1) +
+                       " but has no dependency assignment";
+        return result;
+      }
+      if (!full.IsDefined(member)) {
+        ++undefined_members[k];
+        waiters[member].push_back(k);
+      }
+    }
+    if (undefined_members[k] == 0) ready.push_back(k);
+  }
+
+  int processed = 0;
+  while (!ready.empty()) {
+    ProductionId k = ready.front();
+    ready.pop_front();
+    ++processed;
+    const Production& p = grammar.production(k);
+    WorkflowPortGraph port_graph(grammar, p.rhs, full);
+    BoolMatrix reach = port_graph.InitialToFinal();
+    if (full.IsDefined(p.lhs)) {
+      if (full.Get(p.lhs) != reach) {
+        result.error = "production " + std::to_string(k + 1) +
+                       " is inconsistent with the full assignment of '" +
+                       grammar.module(p.lhs).name + "':\nexpected\n" +
+                       full.Get(p.lhs).ToString() + "\ngot\n" +
+                       reach.ToString();
+        return result;
+      }
+    } else {
+      full.Set(p.lhs, reach);
+      for (ProductionId waiter : waiters[p.lhs]) {
+        if (--undefined_members[waiter] == 0) ready.push_back(waiter);
+      }
+    }
+  }
+
+  if (processed != static_cast<int>(active.size())) {
+    result.error =
+        "some productions never became verifiable (grammar or view is not "
+        "proper: unproductive composite modules)";
+    return result;
+  }
+
+  result.safe = true;
+  result.full = std::move(full);
+  return result;
+}
+
+}  // namespace fvl

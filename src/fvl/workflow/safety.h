@@ -1,0 +1,43 @@
+// Safety of workflow specifications (Defs. 12–13, Lemma 1, Thm. 2).
+//
+// A specification is safe iff any two all-atomic workflows derivable from
+// the same composite module have identical dependencies between initial
+// inputs and final outputs. By Lemma 1 this holds iff the atomic assignment
+// extends to a unique *full dependency assignment* λ* over all modules under
+// which every production M ->f W is consistent
+// (λ*(M)[x][y] == reach_{W^{λ*}}(f(x), f(y))).
+//
+// CheckSafety implements the paper's worklist algorithm: productions become
+// verifiable once λ* is defined for all their members; the first production
+// of a module defines λ*(M), later ones must agree. Runs in O(|G|^2).
+//
+// The same routine checks safety of views: pass the per-module
+// "composite in this view" flags and the view's perceived assignment λ'.
+
+#ifndef FVL_WORKFLOW_SAFETY_H_
+#define FVL_WORKFLOW_SAFETY_H_
+
+#include <string>
+#include <vector>
+
+#include "fvl/workflow/grammar.h"
+
+namespace fvl {
+
+struct SafetyResult {
+  bool safe = false;
+  std::string error;           // set when !safe
+  DependencyAssignment full;   // λ*; meaningful only when safe
+};
+
+// `composite` selects which modules are treated as composite (their
+// productions are active); modules not in `composite` must have `base_deps`
+// defined if they occur in an active production. Pass nullptr to use the
+// grammar's own composite set (= safety of the specification itself).
+SafetyResult CheckSafety(const Grammar& grammar,
+                         const DependencyAssignment& base_deps,
+                         const std::vector<bool>* composite = nullptr);
+
+}  // namespace fvl
+
+#endif  // FVL_WORKFLOW_SAFETY_H_

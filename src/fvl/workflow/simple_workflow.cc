@@ -1,0 +1,87 @@
+#include "fvl/workflow/simple_workflow.h"
+
+#include <string>
+
+namespace fvl {
+
+namespace {
+
+std::string PortName(const PortRef& p, bool is_input) {
+  return "member " + std::to_string(p.member) + (is_input ? " input " : " output ") +
+         std::to_string(p.port);
+}
+
+}  // namespace
+
+std::optional<std::string> SimpleWorkflow::Validate(
+    const std::vector<Module>& modules) const {
+  if (members.empty()) return "simple workflow has no members";
+  for (ModuleId type : members) {
+    if (type < 0 || type >= static_cast<int>(modules.size())) {
+      return "member references unknown module id " + std::to_string(type);
+    }
+  }
+  auto valid_input = [&](const PortRef& p) {
+    return p.member >= 0 && p.member < num_members() && p.port >= 0 &&
+           p.port < modules[members[p.member]].num_inputs;
+  };
+  auto valid_output = [&](const PortRef& p) {
+    return p.member >= 0 && p.member < num_members() && p.port >= 0 &&
+           p.port < modules[members[p.member]].num_outputs;
+  };
+
+  // Count how many times each port is used.
+  std::vector<std::vector<int>> in_uses(num_members());
+  std::vector<std::vector<int>> out_uses(num_members());
+  for (int m = 0; m < num_members(); ++m) {
+    in_uses[m].assign(modules[members[m]].num_inputs, 0);
+    out_uses[m].assign(modules[members[m]].num_outputs, 0);
+  }
+
+  for (const DataEdge& e : edges) {
+    if (!valid_output(e.src)) return "edge source is not a valid output port";
+    if (!valid_input(e.dst)) return "edge target is not a valid input port";
+    if (e.src.member >= e.dst.member) {
+      return "edge from member " + std::to_string(e.src.member) + " to member " +
+             std::to_string(e.dst.member) +
+             " violates the fixed topological member order";
+    }
+    ++out_uses[e.src.member][e.src.port];
+    ++in_uses[e.dst.member][e.dst.port];
+  }
+  for (const PortRef& p : initial_inputs) {
+    if (!valid_input(p)) return "initial input is not a valid input port";
+    ++in_uses[p.member][p.port];
+  }
+  for (const PortRef& p : final_outputs) {
+    if (!valid_output(p)) return "final output is not a valid output port";
+    ++out_uses[p.member][p.port];
+  }
+
+  for (int m = 0; m < num_members(); ++m) {
+    for (int p = 0; p < static_cast<int>(in_uses[m].size()); ++p) {
+      if (in_uses[m][p] != 1) {
+        return PortName({m, p}, true) +
+               (in_uses[m][p] == 0 ? " is never fed" : " is fed more than once");
+      }
+    }
+    for (int p = 0; p < static_cast<int>(out_uses[m].size()); ++p) {
+      if (out_uses[m][p] != 1) {
+        return PortName({m, p}, false) + (out_uses[m][p] == 0
+                                              ? " is never consumed"
+                                              : " is consumed more than once");
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+int SimpleWorkflow::TotalPorts(const std::vector<Module>& modules) const {
+  int total = 0;
+  for (ModuleId type : members) {
+    total += modules[type].num_inputs + modules[type].num_outputs;
+  }
+  return total;
+}
+
+}  // namespace fvl

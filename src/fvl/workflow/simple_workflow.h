@@ -1,0 +1,65 @@
+// Simple workflows (Def. 2): a multiset of module instances ("members")
+// connected by data edges from output ports to input ports.
+//
+// Representation invariants (checked by Validate):
+//  * members are listed in a fixed topological order (the paper fixes one
+//    arbitrarily in §4.1; here it is the listing order, and every data edge
+//    must go from an earlier member to a later one, which also enforces
+//    acyclicity);
+//  * data edges are pairwise non-adjacent: every (member, input port) is fed
+//    exactly once — by a data edge or by being an initial input — and every
+//    (member, output port) is consumed exactly once — by a data edge or by
+//    being a final output;
+//  * initial_inputs / final_outputs are ordered by the port bijection f of
+//    the production that owns this workflow: initial_inputs[x] is the port
+//    that the x-th input of the produced module maps to.
+
+#ifndef FVL_WORKFLOW_SIMPLE_WORKFLOW_H_
+#define FVL_WORKFLOW_SIMPLE_WORKFLOW_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fvl/workflow/module.h"
+
+namespace fvl {
+
+// A port of a member instance within a simple workflow. `member` is an index
+// into SimpleWorkflow::members (not a ModuleId: the same module may occur
+// several times).
+struct PortRef {
+  int member = -1;
+  int port = -1;
+
+  bool operator==(const PortRef&) const = default;
+};
+
+// A data edge carrying one data item from an output port to an input port.
+struct DataEdge {
+  PortRef src;  // (member, output port)
+  PortRef dst;  // (member, input port)
+
+  bool operator==(const DataEdge&) const = default;
+};
+
+struct SimpleWorkflow {
+  std::vector<ModuleId> members;        // fixed topological order
+  std::vector<DataEdge> edges;
+  std::vector<PortRef> initial_inputs;  // [x] = image of lhs input x under f
+  std::vector<PortRef> final_outputs;   // [y] = image of lhs output y under f
+
+  int num_members() const { return static_cast<int>(members.size()); }
+
+  // Structural validation against a module table (see invariants above).
+  // Does not know about the production's lhs; the grammar validates that
+  // initial/final counts match the lhs ports.
+  std::optional<std::string> Validate(const std::vector<Module>& modules) const;
+
+  // Total number of ports over all members (the paper's |W| contribution).
+  int TotalPorts(const std::vector<Module>& modules) const;
+};
+
+}  // namespace fvl
+
+#endif  // FVL_WORKFLOW_SIMPLE_WORKFLOW_H_

@@ -1,0 +1,359 @@
+#include "fvl/workflow/user_defined_view.h"
+
+#include <algorithm>
+
+#include "fvl/graph/digraph.h"
+#include "fvl/graph/reachability.h"
+#include "fvl/util/check.h"
+#include "fvl/workflow/production_graph.h"
+
+namespace fvl {
+
+GroupBoundary ComputeGroupBoundary(const Grammar& grammar, ProductionId k,
+                                   const std::vector<int>& member_positions) {
+  const SimpleWorkflow& w = grammar.production(k).rhs;
+  GroupBoundary boundary;
+  boundary.in_group.assign(w.num_members(), false);
+  for (int pos : member_positions) {
+    FVL_CHECK(pos >= 0 && pos < w.num_members());
+    boundary.in_group[pos] = true;
+  }
+
+  // Classify each port of each grouped member.
+  // Inputs: fed by an edge from outside the group, or initial -> boundary;
+  // fed by an internal edge -> hidden.
+  std::vector<std::vector<bool>> input_internal(w.num_members());
+  std::vector<std::vector<bool>> output_internal(w.num_members());
+  for (int m = 0; m < w.num_members(); ++m) {
+    const Module& module = grammar.module(w.members[m]);
+    input_internal[m].assign(module.num_inputs, false);
+    output_internal[m].assign(module.num_outputs, false);
+  }
+  for (size_t i = 0; i < w.edges.size(); ++i) {
+    const DataEdge& e = w.edges[i];
+    bool src_in = boundary.in_group[e.src.member];
+    bool dst_in = boundary.in_group[e.dst.member];
+    if (src_in && dst_in) {
+      boundary.internal_edges.push_back(static_cast<int>(i));
+      output_internal[e.src.member][e.src.port] = true;
+      input_internal[e.dst.member][e.dst.port] = true;
+    }
+  }
+  for (int m = 0; m < w.num_members(); ++m) {
+    if (!boundary.in_group[m]) continue;
+    for (int p = 0; p < static_cast<int>(input_internal[m].size()); ++p) {
+      if (!input_internal[m][p]) boundary.inputs.push_back({m, p});
+    }
+    for (int p = 0; p < static_cast<int>(output_internal[m].size()); ++p) {
+      if (!output_internal[m][p]) boundary.outputs.push_back({m, p});
+    }
+  }
+  auto port_order = [](const PortRef& a, const PortRef& b) {
+    return a.member != b.member ? a.member < b.member : a.port < b.port;
+  };
+  std::sort(boundary.inputs.begin(), boundary.inputs.end(), port_order);
+  std::sort(boundary.outputs.begin(), boundary.outputs.end(), port_order);
+  return boundary;
+}
+
+namespace {
+
+// Builds the §5 virtual grammar: appends one module F per group, replaces
+// each grouped production M -> W by M -> W9, and appends F -> W10.
+Grammar BuildVirtualGrammar(const Grammar& grammar,
+                            const std::vector<ModuleGroup>& groups,
+                            const std::vector<GroupBoundary>& boundaries,
+                            std::vector<ModuleId>* group_module_ids,
+                            std::string* error) {
+  std::vector<Module> modules = grammar.modules();
+  std::vector<bool> composite(grammar.num_modules());
+  for (ModuleId m = 0; m < grammar.num_modules(); ++m) {
+    composite[m] = grammar.is_composite(m);
+  }
+  group_module_ids->clear();
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    Module f;
+    f.name = groups[gi].name;
+    f.num_inputs = static_cast<int>(boundaries[gi].inputs.size());
+    f.num_outputs = static_cast<int>(boundaries[gi].outputs.size());
+    modules.push_back(f);
+    composite.push_back(true);
+    group_module_ids->push_back(static_cast<ModuleId>(modules.size()) - 1);
+  }
+
+  auto boundary_input_index = [&](const GroupBoundary& b, PortRef p) {
+    auto it = std::find(b.inputs.begin(), b.inputs.end(), p);
+    FVL_CHECK(it != b.inputs.end());
+    return static_cast<int>(it - b.inputs.begin());
+  };
+  auto boundary_output_index = [&](const GroupBoundary& b, PortRef p) {
+    auto it = std::find(b.outputs.begin(), b.outputs.end(), p);
+    FVL_CHECK(it != b.outputs.end());
+    return static_cast<int>(it - b.outputs.begin());
+  };
+
+  std::vector<Production> productions;
+  for (ProductionId k = 0; k < grammar.num_productions(); ++k) {
+    int gi = -1;
+    for (size_t i = 0; i < groups.size(); ++i) {
+      if (groups[i].production == k) gi = static_cast<int>(i);
+    }
+    if (gi == -1) {
+      productions.push_back(grammar.production(k));
+      continue;
+    }
+    const Production& p = grammar.production(k);
+    const SimpleWorkflow& w = p.rhs;
+    const GroupBoundary& b = boundaries[gi];
+    ModuleId f_id = (*group_module_ids)[gi];
+
+    // --- W9: collapse the group to one F member. ---
+    // Member mapping: ungrouped members keep relative order; F is placed at
+    // the position of the first grouped member, then the member list is
+    // re-sorted topologically below via edge validation order. We first build
+    // with F at the first grouped slot and verify topological validity; if
+    // collapsing creates a backward edge the grouping is rejected by the
+    // caller's acyclicity check, so this cannot fail here.
+    std::vector<int> new_index(w.num_members(), -1);
+    SimpleWorkflow w9;
+    int f_member = -1;
+    for (int m = 0; m < w.num_members(); ++m) {
+      if (b.in_group[m]) {
+        if (f_member == -1) {
+          f_member = w9.num_members();
+          w9.members.push_back(f_id);
+        }
+      } else {
+        new_index[m] = w9.num_members();
+        w9.members.push_back(w.members[m]);
+      }
+    }
+    auto map_src = [&](PortRef src) -> PortRef {
+      if (b.in_group[src.member]) {
+        return {f_member, boundary_output_index(b, src)};
+      }
+      return {new_index[src.member], src.port};
+    };
+    auto map_dst = [&](PortRef dst) -> PortRef {
+      if (b.in_group[dst.member]) {
+        return {f_member, boundary_input_index(b, dst)};
+      }
+      return {new_index[dst.member], dst.port};
+    };
+    std::vector<bool> internal(w.edges.size(), false);
+    for (int idx : b.internal_edges) internal[idx] = true;
+    for (size_t i = 0; i < w.edges.size(); ++i) {
+      if (internal[i]) continue;
+      w9.edges.push_back({map_src(w.edges[i].src), map_dst(w.edges[i].dst)});
+    }
+    for (const PortRef& p0 : w.initial_inputs) w9.initial_inputs.push_back(map_dst(p0));
+    for (const PortRef& p0 : w.final_outputs) w9.final_outputs.push_back(map_src(p0));
+
+    // Re-sort members topologically if collapsing disturbed the order.
+    {
+      Digraph member_dag(w9.num_members());
+      for (const DataEdge& e : w9.edges) {
+        if (e.src.member != e.dst.member) {
+          member_dag.AddEdge(e.src.member, e.dst.member);
+        }
+      }
+      std::vector<int> order = TopologicalOrder(member_dag);
+      if (order.empty()) {
+        if (error != nullptr) {
+          *error = "grouping creates a cycle through '" + groups[gi].name + "'";
+        }
+        return Grammar();
+      }
+      std::vector<int> rank(w9.num_members());
+      for (int pos = 0; pos < static_cast<int>(order.size()); ++pos) {
+        rank[order[pos]] = pos;
+      }
+      SimpleWorkflow sorted;
+      sorted.members.resize(w9.num_members());
+      for (int m = 0; m < w9.num_members(); ++m) {
+        sorted.members[rank[m]] = w9.members[m];
+      }
+      auto remap = [&](PortRef p0) { return PortRef{rank[p0.member], p0.port}; };
+      for (const DataEdge& e : w9.edges) {
+        sorted.edges.push_back({remap(e.src), remap(e.dst)});
+      }
+      for (const PortRef& p0 : w9.initial_inputs) sorted.initial_inputs.push_back(remap(p0));
+      for (const PortRef& p0 : w9.final_outputs) sorted.final_outputs.push_back(remap(p0));
+      w9 = std::move(sorted);
+    }
+    productions.push_back({p.lhs, std::move(w9)});
+
+    // --- W10: the group's subworkflow, F's production. ---
+    SimpleWorkflow w10;
+    std::vector<int> group_index(w.num_members(), -1);
+    for (int m = 0; m < w.num_members(); ++m) {
+      if (b.in_group[m]) {
+        group_index[m] = w10.num_members();
+        w10.members.push_back(w.members[m]);
+      }
+    }
+    for (int idx : b.internal_edges) {
+      const DataEdge& e = w.edges[idx];
+      w10.edges.push_back({{group_index[e.src.member], e.src.port},
+                           {group_index[e.dst.member], e.dst.port}});
+    }
+    for (const PortRef& p0 : b.inputs) {
+      w10.initial_inputs.push_back({group_index[p0.member], p0.port});
+    }
+    for (const PortRef& p0 : b.outputs) {
+      w10.final_outputs.push_back({group_index[p0.member], p0.port});
+    }
+    productions.push_back({f_id, std::move(w10)});
+  }
+
+  Grammar result(std::move(modules), std::move(composite), grammar.start(),
+                 std::move(productions));
+  if (auto validation = result.Validate()) {
+    if (error != nullptr) *error = "virtual grammar invalid: " + *validation;
+    return Grammar();
+  }
+  return result;
+}
+
+}  // namespace
+
+std::optional<GroupedView> GroupedView::Compile(const Grammar& grammar,
+                                                View base,
+                                                std::vector<ModuleGroup> groups,
+                                                std::string* error) {
+  auto fail = [&](const std::string& message) -> std::optional<GroupedView> {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+
+  GroupedView result;
+  result.grammar_ = &grammar;
+  result.group_of_production_.assign(grammar.num_productions(), -1);
+
+  ProductionGraph pg(&grammar);
+
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    ModuleGroup& group = groups[gi];
+    if (group.production < 0 || group.production >= grammar.num_productions()) {
+      return fail("group references an unknown production");
+    }
+    if (result.group_of_production_[group.production] != -1) {
+      return fail("at most one group per production is supported");
+    }
+    if (group.member_positions.empty()) return fail("empty group");
+    std::sort(group.member_positions.begin(), group.member_positions.end());
+    const Production& p = grammar.production(group.production);
+    for (int pos : group.member_positions) {
+      if (pos < 0 || pos >= p.rhs.num_members()) {
+        return fail("group member position out of range");
+      }
+      ModuleId member = p.rhs.members[pos];
+      if (base.expandable.size() == static_cast<size_t>(grammar.num_modules()) &&
+          base.expandable[member]) {
+        return fail("grouped member '" + grammar.module(member).name +
+                    "' must not be expandable in the base view");
+      }
+      // Grouping a member of the lhs's own recursion would sever the cycle
+      // that existing data labels encode; reject.
+      if (pg.Reaches(member, p.lhs)) {
+        return fail("grouped member '" + grammar.module(member).name +
+                    "' participates in the recursion of '" +
+                    grammar.module(p.lhs).name + "'");
+      }
+    }
+    result.group_of_production_[group.production] = static_cast<int>(gi);
+    result.boundaries_.push_back(
+        ComputeGroupBoundary(grammar, group.production, group.member_positions));
+    const GroupBoundary& b = result.boundaries_.back();
+    if (group.perceived_deps.rows() != static_cast<int>(b.inputs.size()) ||
+        group.perceived_deps.cols() != static_cast<int>(b.outputs.size())) {
+      return fail("perceived dependency matrix of '" + group.name +
+                  "' has the wrong shape: expected " +
+                  std::to_string(b.inputs.size()) + "x" +
+                  std::to_string(b.outputs.size()));
+    }
+    Module f{group.name, static_cast<int>(b.inputs.size()),
+             static_cast<int>(b.outputs.size())};
+    if (auto dep_error =
+            DependencyAssignment::ValidateProper(f, group.perceived_deps)) {
+      return fail(*dep_error);
+    }
+  }
+  result.groups_ = std::move(groups);
+
+  // Virtual grammar + safety of the projected view.
+  Grammar virtual_grammar =
+      BuildVirtualGrammar(grammar, result.groups_, result.boundaries_,
+                          &result.virtual_group_module_, error);
+  if (virtual_grammar.num_modules() == 0) return std::nullopt;
+  result.virtual_grammar_ =
+      std::make_shared<const Grammar>(std::move(virtual_grammar));
+
+  View virtual_view;
+  virtual_view.expandable = base.expandable;
+  virtual_view.expandable.resize(result.virtual_grammar_->num_modules(), false);
+  virtual_view.perceived = base.perceived;
+  for (size_t gi = 0; gi < result.groups_.size(); ++gi) {
+    virtual_view.perceived.Set(result.virtual_group_module_[gi],
+                               result.groups_[gi].perceived_deps);
+  }
+  std::string compile_error;
+  auto compiled = CompiledView::Compile(*result.virtual_grammar_, virtual_view,
+                                        &compile_error);
+  if (!compiled.has_value()) return fail(compile_error);
+  result.base_ = std::move(*compiled);
+
+  // Overlays for labeling against the original grammar.
+  for (size_t gi = 0; gi < result.groups_.size(); ++gi) {
+    const ModuleGroup& group = result.groups_[gi];
+    const GroupBoundary& b = result.boundaries_[gi];
+    PortGraphOverlay overlay;
+    overlay.suppress_member.assign(
+        grammar.production(group.production).rhs.num_members(), false);
+    for (int pos : group.member_positions) overlay.suppress_member[pos] = true;
+    overlay.suppressed_edges = b.internal_edges;
+    for (int bi = 0; bi < group.perceived_deps.rows(); ++bi) {
+      for (int bo = 0; bo < group.perceived_deps.cols(); ++bo) {
+        if (group.perceived_deps.Get(bi, bo)) {
+          overlay.extra_deps.push_back({b.inputs[bi], b.outputs[bo]});
+        }
+      }
+    }
+    result.overlays_.push_back(std::move(overlay));
+  }
+  return result;
+}
+
+int GroupedView::GroupAt(ProductionId k, int position) const {
+  int gi = group_of_production_[k];
+  if (gi == -1) return -1;
+  const auto& positions = groups_[gi].member_positions;
+  if (std::binary_search(positions.begin(), positions.end(), position)) {
+    return gi;
+  }
+  return -1;
+}
+
+const PortGraphOverlay* GroupedView::OverlayFor(ProductionId k) const {
+  int gi = group_of_production_[k];
+  return gi == -1 ? nullptr : &overlays_[gi];
+}
+
+bool GroupedView::InputPortVisible(ProductionId k, int member, int port) const {
+  int gi = GroupAt(k, member);
+  if (gi == -1) return true;
+  const auto& inputs = boundaries_[gi].inputs;
+  return std::find(inputs.begin(), inputs.end(), PortRef{member, port}) !=
+         inputs.end();
+}
+
+bool GroupedView::OutputPortVisible(ProductionId k, int member,
+                                    int port) const {
+  int gi = GroupAt(k, member);
+  if (gi == -1) return true;
+  const auto& outputs = boundaries_[gi].outputs;
+  return std::find(outputs.begin(), outputs.end(), PortRef{member, port}) !=
+         outputs.end();
+}
+
+}  // namespace fvl

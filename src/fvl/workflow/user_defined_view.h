@@ -1,0 +1,110 @@
+// User-defined views (§5): views constructed by grouping members of a
+// production into a new composite module F whose internals (members, their
+// expansions, and the data items flowing between them) are hidden, and whose
+// perceived input/output dependencies λ'(F) are supplied by the view author.
+//
+// Following §5, a user-defined view is *labeled against the original
+// specification*: it is projected onto a regular view by (virtually)
+// expanding F, and the view label is computed over the original production
+// graph using the new dependency assignment. Existing data labels therefore
+// keep working — the essential goal of view-adaptive labeling. The "virtual"
+// grammar (F added, the grouped production split in two) exists only for
+// validation/safety checking and inspection.
+
+#ifndef FVL_WORKFLOW_USER_DEFINED_VIEW_H_
+#define FVL_WORKFLOW_USER_DEFINED_VIEW_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fvl/workflow/port_graph.h"
+#include "fvl/workflow/view.h"
+
+namespace fvl {
+
+// A request to group the given member positions of one production into a new
+// module named `name` with perceived dependencies `perceived_deps` (rows =
+// group boundary inputs, cols = group boundary outputs, in boundary order —
+// see GroupBoundary).
+struct ModuleGroup {
+  ProductionId production = -1;
+  std::vector<int> member_positions;  // ascending
+  std::string name;
+  BoolMatrix perceived_deps;
+};
+
+// Boundary ports of a group, ordered by (member position, port index).
+struct GroupBoundary {
+  std::vector<PortRef> inputs;   // fed from outside the group (or initial)
+  std::vector<PortRef> outputs;  // consumed outside the group (or final)
+  std::vector<bool> in_group;    // per member of the production
+  // Indices (into rhs.edges) of the group-internal data edges (hidden).
+  std::vector<int> internal_edges;
+};
+
+GroupBoundary ComputeGroupBoundary(const Grammar& grammar, ProductionId k,
+                                   const std::vector<int>& member_positions);
+
+class GroupedView {
+ public:
+  // `base` is the regular (Δ', λ') part. Grouped members must not be
+  // expandable in `base`, and at most one group per production (a pragmatic
+  // restriction; multiple disjoint groups would compose the same way).
+  static std::optional<GroupedView> Compile(const Grammar& grammar, View base,
+                                            std::vector<ModuleGroup> groups,
+                                            std::string* error);
+
+  const Grammar& grammar() const { return *grammar_; }
+  const CompiledView& base() const { return base_; }
+  const std::vector<ModuleGroup>& groups() const { return groups_; }
+  const GroupBoundary& boundary(int group_index) const {
+    return boundaries_[group_index];
+  }
+
+  // Whether the *original* grammar's production k is visible in this view.
+  // (base().IsActiveProduction indexes the virtual grammar's production
+  // table, whose ids differ; labeling uses original ids.)
+  bool IsActiveProduction(ProductionId k) const {
+    return base_.view().expandable[grammar_->production(k).lhs];
+  }
+
+  // Group index owning (production, member position); -1 if ungrouped.
+  int GroupAt(ProductionId k, int position) const;
+  // Index of the group defined on production k; -1 if none.
+  int GroupOfProduction(ProductionId k) const { return group_of_production_[k]; }
+
+  // Port-graph overlay realizing λ'(F) for production k (nullptr if k has no
+  // group). Pass to WorkflowPortGraph to compute the §5 view-label matrices.
+  const PortGraphOverlay* OverlayFor(ProductionId k) const;
+
+  // Port visibility (§5): a port of a grouped member is visible iff it is a
+  // group boundary port.
+  bool InputPortVisible(ProductionId k, int member, int port) const;
+  bool OutputPortVisible(ProductionId k, int member, int port) const;
+
+  // The §5 virtual specification: F_i appended to the module table, each
+  // grouped production k = M -> W replaced by M -> W9 (group collapsed to
+  // F_i) plus F_i -> W10 (the group's subworkflow). Held behind a pointer so
+  // that CompiledView's reference into it survives moves of GroupedView.
+  const Grammar& virtual_grammar() const { return *virtual_grammar_; }
+  // Module id of group i's module F_i within virtual_grammar().
+  ModuleId VirtualGroupModule(int group_index) const {
+    return virtual_group_module_[group_index];
+  }
+
+ private:
+  const Grammar* grammar_ = nullptr;
+  CompiledView base_;
+  std::vector<ModuleGroup> groups_;
+  std::vector<GroupBoundary> boundaries_;
+  std::vector<int> group_of_production_;  // per production, -1 if none
+  std::vector<PortGraphOverlay> overlays_;  // per group
+  std::shared_ptr<const Grammar> virtual_grammar_;
+  std::vector<ModuleId> virtual_group_module_;
+};
+
+}  // namespace fvl
+
+#endif  // FVL_WORKFLOW_USER_DEFINED_VIEW_H_

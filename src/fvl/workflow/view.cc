@@ -1,0 +1,130 @@
+#include "fvl/workflow/view.h"
+
+#include <deque>
+
+#include "fvl/util/check.h"
+
+namespace fvl {
+
+View MakeDefaultView(const Specification& spec) {
+  View view;
+  view.expandable.resize(spec.grammar.num_modules());
+  for (ModuleId m = 0; m < spec.grammar.num_modules(); ++m) {
+    view.expandable[m] = spec.grammar.is_composite(m);
+  }
+  view.perceived = spec.deps;
+  return view;
+}
+
+std::optional<CompiledView> CompiledView::Compile(const Grammar& grammar,
+                                                  View view,
+                                                  std::string* error) {
+  auto fail = [&](const std::string& message) -> std::optional<CompiledView> {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+
+  if (static_cast<int>(view.expandable.size()) != grammar.num_modules()) {
+    return fail("expandable flags do not match the module table");
+  }
+  for (ModuleId m = 0; m < grammar.num_modules(); ++m) {
+    if (view.expandable[m] && !grammar.is_composite(m)) {
+      return fail("module '" + grammar.module(m).name +
+                  "' is atomic and cannot be expandable");
+    }
+  }
+  if (!view.expandable[grammar.start()]) {
+    return fail("the start module must be expandable in a proper view");
+  }
+
+  // Derivability in G_Δ'.
+  std::vector<bool> derivable(grammar.num_modules(), false);
+  std::deque<ModuleId> queue = {grammar.start()};
+  derivable[grammar.start()] = true;
+  while (!queue.empty()) {
+    ModuleId m = queue.front();
+    queue.pop_front();
+    if (!view.expandable[m]) continue;
+    for (ProductionId k : grammar.ProductionsOf(m)) {
+      for (ModuleId member : grammar.production(k).rhs.members) {
+        if (!derivable[member]) {
+          derivable[member] = true;
+          queue.push_back(member);
+        }
+      }
+    }
+  }
+
+  // Properness of G_Δ': every expandable module derivable and productive
+  // (treating non-expandable modules as terminal).
+  std::vector<bool> productive(grammar.num_modules(), false);
+  for (ModuleId m = 0; m < grammar.num_modules(); ++m) {
+    if (!view.expandable[m]) productive[m] = true;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ProductionId k = 0; k < grammar.num_productions(); ++k) {
+      const Production& p = grammar.production(k);
+      if (!view.expandable[p.lhs] || productive[p.lhs]) continue;
+      bool all = true;
+      for (ModuleId member : p.rhs.members) all = all && productive[member];
+      if (all) {
+        productive[p.lhs] = true;
+        changed = true;
+      }
+    }
+  }
+  for (ModuleId m = 0; m < grammar.num_modules(); ++m) {
+    if (!view.expandable[m]) continue;
+    if (!derivable[m]) {
+      return fail("view is not proper: expandable module '" +
+                  grammar.module(m).name + "' is underivable");
+    }
+    if (!productive[m]) {
+      return fail("view is not proper: expandable module '" +
+                  grammar.module(m).name + "' is unproductive");
+    }
+  }
+
+  // λ' coverage of derivable non-expandable modules.
+  std::vector<ModuleId> needs_deps;
+  for (ModuleId m = 0; m < grammar.num_modules(); ++m) {
+    if (derivable[m] && !view.expandable[m]) needs_deps.push_back(m);
+  }
+  if (auto coverage_error =
+          view.perceived.ValidateCoverage(grammar.modules(), needs_deps)) {
+    return fail(*coverage_error);
+  }
+
+  // Safety of the view (Def. 13 applied to G_U).
+  SafetyResult safety =
+      CheckSafety(grammar, view.perceived, &view.expandable);
+  if (!safety.safe) return fail("view is unsafe: " + safety.error);
+
+  CompiledView compiled;
+  compiled.grammar_ = &grammar;
+  compiled.view_ = std::move(view);
+  compiled.derivable_ = std::move(derivable);
+  compiled.full_ = std::move(safety.full);
+  return compiled;
+}
+
+bool CompiledView::IsWhiteBox(const DependencyAssignment& true_full) const {
+  for (ModuleId m = 0; m < grammar_->num_modules(); ++m) {
+    if (!derivable_[m]) continue;
+    if (!true_full.IsDefined(m) || !full_.IsDefined(m)) return false;
+    if (true_full.Get(m) != full_.Get(m)) return false;
+  }
+  return true;
+}
+
+bool CompiledView::IsBlackBox() const {
+  for (ModuleId m = 0; m < grammar_->num_modules(); ++m) {
+    if (!derivable_[m]) continue;
+    if (!full_.IsDefined(m) || !full_.Get(m).IsFull()) return false;
+  }
+  return true;
+}
+
+}  // namespace fvl

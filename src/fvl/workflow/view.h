@@ -1,0 +1,71 @@
+// Workflow views (Def. 9): a view over a specification G^λ is U = (Δ', λ')
+// with Δ' ⊆ Δ a subset of composite modules that remain expandable and λ' a
+// new ("perceived") dependency assignment for the modules that are atomic in
+// the view. λ' may differ from the true dependencies (grey-box, Remark 1).
+//
+// CompiledView validates a view (Δ' ⊆ Δ, properness of the restricted
+// grammar G_Δ', λ'-coverage, safety) and precomputes the view's full
+// assignment λ'^* used by labeling and by the ground-truth oracle.
+
+#ifndef FVL_WORKFLOW_VIEW_H_
+#define FVL_WORKFLOW_VIEW_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fvl/workflow/grammar.h"
+#include "fvl/workflow/safety.h"
+
+namespace fvl {
+
+struct View {
+  // Per module: true iff the module is in Δ' (its productions stay visible).
+  std::vector<bool> expandable;
+  // λ': must cover every view-derivable module outside Δ'.
+  DependencyAssignment perceived;
+};
+
+// The default view (Δ, λ) over a specification.
+View MakeDefaultView(const Specification& spec);
+
+class CompiledView {
+ public:
+  // Returns std::nullopt and sets *error if the view is invalid, improper,
+  // or unsafe.
+  static std::optional<CompiledView> Compile(const Grammar& grammar, View view,
+                                             std::string* error);
+
+  const Grammar& grammar() const { return *grammar_; }
+  const View& view() const { return view_; }
+
+  bool IsExpandable(ModuleId m) const { return view_.expandable[m]; }
+  // Productions of expandable modules.
+  bool IsActiveProduction(ProductionId k) const {
+    return view_.expandable[grammar_->production(k).lhs];
+  }
+  // Modules derivable in the view grammar G_Δ'.
+  bool IsDerivable(ModuleId m) const { return derivable_[m]; }
+
+  // The view's full dependency assignment λ'^* (defined for every derivable
+  // module).
+  const DependencyAssignment& full() const { return full_; }
+
+  // Remark 1: the view is white-box iff λ'^* agrees with the given true full
+  // assignment on every view-derivable module.
+  bool IsWhiteBox(const DependencyAssignment& true_full) const;
+
+  // True iff λ'^* is complete (all-ones) for every derivable module — the
+  // coarse-grained situation exploited by Matrix-Free decoding (§6.4).
+  bool IsBlackBox() const;
+
+ private:
+  const Grammar* grammar_ = nullptr;
+  View view_;
+  std::vector<bool> derivable_;
+  DependencyAssignment full_;
+};
+
+}  // namespace fvl
+
+#endif  // FVL_WORKFLOW_VIEW_H_

@@ -1,0 +1,29 @@
+// A real-life-shaped workflow matching the statistics the paper reports for
+// its representative myExperiment workflow "BioAID" (§6.1): 112 modules of
+// which 16 are composite, 23 productions of which 7 are recursive (here:
+// one two-module loop, one self-loop, four forks), at most 19 modules per
+// production, at most 4 input and 7 output ports per module, and
+// single-source/single-sink simple workflows (so black-box views are safe —
+// Lemma 2 — and the DRL baseline is applicable).
+//
+// The actual BioAID Taverna workflow is not redistributable/available
+// offline; this deterministic generator reproduces its published shape
+// parameters, which are the only properties the experiments depend on
+// (substitution documented in DESIGN.md §5).
+
+#ifndef FVL_WORKLOAD_BIOAID_H_
+#define FVL_WORKLOAD_BIOAID_H_
+
+#include <cstdint>
+
+#include "fvl/workload/workload_spec.h"
+
+namespace fvl {
+
+// `seed` drives the random fine-grained dependency assignment (§6.1:
+// "assigning random input-output dependencies to atomic modules").
+Workload MakeBioAid(uint64_t seed = 2012);
+
+}  // namespace fvl
+
+#endif  // FVL_WORKLOAD_BIOAID_H_

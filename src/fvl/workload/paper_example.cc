@@ -1,0 +1,229 @@
+#include "fvl/workload/paper_example.h"
+
+#include "fvl/util/check.h"
+#include "fvl/workflow/grammar_builder.h"
+
+namespace fvl {
+
+namespace {
+
+BoolMatrix MatrixFromRows(int rows, int cols,
+                          std::initializer_list<std::initializer_list<int>> v) {
+  BoolMatrix m(rows, cols);
+  int r = 0;
+  for (const auto& row : v) {
+    int c = 0;
+    for (int bit : row) {
+      if (bit) m.Set(r, c);
+      ++c;
+    }
+    ++r;
+  }
+  return m;
+}
+
+}  // namespace
+
+PaperExample MakePaperExample() {
+  GrammarBuilder builder;
+  PaperExample ex;
+
+  // Module table order fixes the cycle numbering (components are ordered by
+  // their smallest module id): {A, B} becomes cycle 1 and {D} cycle 2, as in
+  // Example 12.
+  ex.S = builder.AddComposite("S", 2, 3);
+  ex.A = builder.AddComposite("A", 2, 2);
+  ex.B = builder.AddComposite("B", 2, 2);
+  ex.C = builder.AddComposite("C", 2, 2);
+  ex.D = builder.AddComposite("D", 2, 2);
+  ex.E = builder.AddComposite("E", 2, 2);
+  ex.a = builder.AddAtomic("a", 1, 2);
+  ex.b = builder.AddAtomic("b", 1, 1);
+  ex.c = builder.AddAtomic("c", 2, 2);
+  ex.d = builder.AddAtomic("d", 2, 2);
+  ex.e = builder.AddAtomic("e", 1, 1);
+  ex.f = builder.AddAtomic("f", 2, 2);
+  builder.SetStart(ex.S);
+
+  {  // p1: S -> W1 = [a, b, A, C, c, d]
+    auto p = builder.NewProduction(ex.S);
+    int ma = p.AddMember(ex.a);
+    int mb = p.AddMember(ex.b);
+    int mA = p.AddMember(ex.A);
+    int mC = p.AddMember(ex.C);
+    int mc = p.AddMember(ex.c);
+    int md = p.AddMember(ex.d);
+    p.MapInput(0, ma, 0).MapInput(1, mb, 0);
+    p.Edge(ma, 0, mA, 0)
+        .Edge(ma, 1, mA, 1)
+        .Edge(mb, 0, mC, 0)
+        .Edge(mA, 0, mC, 1)
+        .Edge(mA, 1, mc, 0)
+        .Edge(mC, 0, mc, 1)
+        .Edge(mC, 1, md, 0)
+        .Edge(mc, 0, md, 1);
+    p.MapOutput(0, mc, 1).MapOutput(1, md, 0).MapOutput(2, md, 1);
+    ex.p[0] = p.Build();
+  }
+  {  // p2: A -> W2 = [d, B, C] (B's outputs cross into C)
+    auto p = builder.NewProduction(ex.A);
+    int md = p.AddMember(ex.d);
+    int mB = p.AddMember(ex.B);
+    int mC = p.AddMember(ex.C);
+    p.MapInput(0, md, 0).MapInput(1, md, 1);
+    p.Edge(md, 0, mB, 0)
+        .Edge(md, 1, mB, 1)
+        .Edge(mB, 0, mC, 1)
+        .Edge(mB, 1, mC, 0);
+    p.MapOutput(0, mC, 0).MapOutput(1, mC, 1);
+    ex.p[1] = p.Build();
+  }
+  {  // p3: A -> W3 = [e, C]
+    auto p = builder.NewProduction(ex.A);
+    int me = p.AddMember(ex.e);
+    int mC = p.AddMember(ex.C);
+    p.MapInput(0, me, 0).MapInput(1, mC, 0);
+    p.Edge(me, 0, mC, 1);
+    p.MapOutput(0, mC, 0).MapOutput(1, mC, 1);
+    ex.p[2] = p.Build();
+  }
+  {  // p4: B -> W4 = [e, A]
+    auto p = builder.NewProduction(ex.B);
+    int me = p.AddMember(ex.e);
+    int mA = p.AddMember(ex.A);
+    p.MapInput(0, me, 0).MapInput(1, mA, 0);
+    p.Edge(me, 0, mA, 1);
+    p.MapOutput(0, mA, 0).MapOutput(1, mA, 1);
+    ex.p[3] = p.Build();
+  }
+  {  // p5: C -> W5 = [b, D, E, c]
+    auto p = builder.NewProduction(ex.C);
+    int mb = p.AddMember(ex.b);
+    int mD = p.AddMember(ex.D);
+    int mE = p.AddMember(ex.E);
+    int mc = p.AddMember(ex.c);
+    p.MapInput(0, mb, 0).MapInput(1, mD, 0);
+    p.Edge(mb, 0, mD, 1)
+        .Edge(mD, 0, mE, 0)
+        .Edge(mD, 1, mE, 1)
+        .Edge(mE, 0, mc, 0)
+        .Edge(mE, 1, mc, 1);
+    p.MapOutput(0, mc, 0).MapOutput(1, mc, 1);
+    ex.p[4] = p.Build();
+  }
+  {  // p6: D -> W6 = [f, D] (the loop over f)
+    auto p = builder.NewProduction(ex.D);
+    int mf = p.AddMember(ex.f);
+    int mD = p.AddMember(ex.D);
+    p.MapInput(0, mf, 0).MapInput(1, mf, 1);
+    p.Edge(mf, 0, mD, 0).Edge(mf, 1, mD, 1);
+    p.MapOutput(0, mD, 0).MapOutput(1, mD, 1);
+    ex.p[5] = p.Build();
+  }
+  {  // p7: D -> W7 = [f]
+    auto p = builder.NewProduction(ex.D);
+    int mf = p.AddMember(ex.f);
+    p.MapInput(0, mf, 0).MapInput(1, mf, 1);
+    p.MapOutput(0, mf, 0).MapOutput(1, mf, 1);
+    ex.p[6] = p.Build();
+  }
+  {  // p8: E -> W8 = [f, c]
+    auto p = builder.NewProduction(ex.E);
+    int mf = p.AddMember(ex.f);
+    int mc = p.AddMember(ex.c);
+    p.MapInput(0, mf, 0).MapInput(1, mf, 1);
+    p.Edge(mf, 0, mc, 0).Edge(mf, 1, mc, 1);
+    p.MapOutput(0, mc, 0).MapOutput(1, mc, 1);
+    ex.p[7] = p.Build();
+  }
+
+  // λ (white-box dependencies of the atomic modules). λ(f) is idempotent,
+  // which is what makes the loop over f safe (λ*(D) = λ(f) from p7 must
+  // agree with λ(f)·λ*(D) from p6).
+  builder.SetDeps(ex.a, MatrixFromRows(1, 2, {{1, 1}}));
+  builder.SetDeps(ex.b, MatrixFromRows(1, 1, {{1}}));
+  builder.SetIdentityDeps(ex.c);
+  builder.SetDeps(ex.d, MatrixFromRows(2, 2, {{0, 1}, {1, 0}}));  // crossover
+  builder.SetDeps(ex.e, MatrixFromRows(1, 1, {{1}}));
+  builder.SetDeps(ex.f, MatrixFromRows(2, 2, {{1, 1}, {0, 1}}));
+
+  ex.spec = builder.BuildSpecification();
+
+  // U1 = (Δ, λ).
+  ex.default_view = MakeDefaultView(ex.spec);
+
+  // U2 = ({S, A, B}, λ'): C, D, E, f collapse; λ'(C) is grey-box complete
+  // (Example 7 keeps the other perceived dependencies unchanged; our e is
+  // 1x1 so the paper's change to λ'(e) has no analogue and C carries the
+  // grey-box difference, as in Example 8).
+  ex.grey_view.expandable.assign(ex.spec.grammar.num_modules(), false);
+  ex.grey_view.expandable[ex.S] = true;
+  ex.grey_view.expandable[ex.A] = true;
+  ex.grey_view.expandable[ex.B] = true;
+  ex.grey_view.perceived = ex.spec.deps;
+  ex.grey_view.perceived.Set(ex.C, BoolMatrix::Full(2, 2));
+
+  return ex;
+}
+
+Specification MakeUnsafeExample() {
+  GrammarBuilder builder;
+  ModuleId S = builder.AddComposite("S", 2, 2);
+  ModuleId a = builder.AddAtomic("a", 2, 2);
+  ModuleId b = builder.AddAtomic("b", 2, 2);
+  builder.SetStart(S);
+  {
+    auto p = builder.NewProduction(S);
+    int m = p.AddMember(a);
+    p.MapInput(0, m, 0).MapInput(1, m, 1);
+    p.MapOutput(0, m, 0).MapOutput(1, m, 1);
+    p.Build();
+  }
+  {
+    auto p = builder.NewProduction(S);
+    int m = p.AddMember(b);
+    p.MapInput(0, m, 0).MapInput(1, m, 1);
+    p.MapOutput(0, m, 0).MapOutput(1, m, 1);
+    p.Build();
+  }
+  BoolMatrix identity = BoolMatrix::Identity(2);
+  BoolMatrix swap(2, 2);
+  swap.Set(0, 1);
+  swap.Set(1, 0);
+  builder.SetDeps(a, identity);
+  builder.SetDeps(b, swap);
+  return builder.BuildSpecification();
+}
+
+Specification MakeFig10Example() {
+  GrammarBuilder builder;
+  ModuleId S = builder.AddComposite("S", 1, 1);
+  ModuleId a = builder.AddAtomic("a", 1, 1);
+  ModuleId b = builder.AddAtomic("b", 1, 1);
+  ModuleId c = builder.AddAtomic("c", 1, 1);
+  builder.SetStart(S);
+  auto chain_production = [&](ModuleId head) {
+    auto p = builder.NewProduction(S);
+    int mh = p.AddMember(head);
+    int mS = p.AddMember(S);
+    p.MapInput(0, mh, 0);
+    p.Edge(mh, 0, mS, 0);
+    p.MapOutput(0, mS, 0);
+    p.Build();
+  };
+  chain_production(a);  // pa
+  chain_production(b);  // pb
+  {
+    auto p = builder.NewProduction(S);  // pc
+    int mc = p.AddMember(c);
+    p.MapInput(0, mc, 0);
+    p.MapOutput(0, mc, 0);
+    p.Build();
+  }
+  builder.SetCompleteDeps(a);
+  builder.SetCompleteDeps(b);
+  builder.SetCompleteDeps(c);
+  return builder.BuildSpecification();
+}
+
+}  // namespace fvl

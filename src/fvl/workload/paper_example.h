@@ -1,0 +1,54 @@
+// The paper's running example (Figures 2–5, Examples 3–19) plus the two
+// counter-example grammars used by the negative results.
+//
+// The grammar skeleton is reconstructed exactly from the text: modules
+// S, A..E (composite) and a..f (atomic); productions
+//   p1: S -> W1 = [a, b, A, C, c, d]     p5: C -> W5 = [b, D, E, c]
+//   p2: A -> W2 = [d, B, C]              p6: D -> W6 = [f, D]
+//   p3: A -> W3 = [e, C]                 p7: D -> W7 = [f]
+//   p4: B -> W4 = [e, A]                 p8: E -> W8 = [f, c]
+// with cycles C(1) = {(2,2), (4,2)} (A<->B) and C(2) = {(6,2)} (D's
+// self-loop), matching Example 12. Port arities and dependency assignments
+// are chosen (the figures' drawings are not fully recoverable from prose)
+// such that the hand-checkable artifacts of the paper hold verbatim where
+// shapes permit — notably Example 16's I(1,5) = [[1,1],[0,0]] under the
+// default view vs [[1,1],[0,1]] under the grey-box view U2, and the
+// Example-15 label paths {(1,3),(1,1,5),(3,2),(5,1)}… See
+// tests/paper_examples_test.cc for the full correspondence table.
+
+#ifndef FVL_WORKLOAD_PAPER_EXAMPLE_H_
+#define FVL_WORKLOAD_PAPER_EXAMPLE_H_
+
+#include "fvl/workflow/grammar.h"
+#include "fvl/workflow/view.h"
+
+namespace fvl {
+
+struct PaperExample {
+  Specification spec;
+
+  // Module ids.
+  ModuleId S, A, B, C, D, E;
+  ModuleId a, b, c, d, e, f;
+  // Production ids p1..p8 (0-based: p[0] is the paper's p1).
+  ProductionId p[8];
+
+  // U1 = (Δ, λ): the default view.
+  View default_view;
+  // U2 = ({S, A, B}, λ') with grey-box λ'(C) = complete (Examples 7–8).
+  View grey_view;
+};
+
+PaperExample MakePaperExample();
+
+// Figure 6: two productions S -> [a] | S -> [b] whose dependency assignments
+// disagree — no dynamic labeling scheme exists (Thm. 1).
+Specification MakeUnsafeExample();
+
+// Figure 10: linear-recursive but not strictly linear-recursive (two
+// self-loop cycles share S); compact dynamic labeling impossible (Thm. 6).
+Specification MakeFig10Example();
+
+}  // namespace fvl
+
+#endif  // FVL_WORKLOAD_PAPER_EXAMPLE_H_

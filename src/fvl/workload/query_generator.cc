@@ -1,0 +1,41 @@
+#include "fvl/workload/query_generator.h"
+
+#include "fvl/core/visibility.h"
+#include "fvl/util/check.h"
+#include "fvl/util/random.h"
+
+namespace fvl {
+
+std::vector<std::pair<int, int>> GenerateQueries(const Run& run, int count,
+                                                 uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<int, int>> queries;
+  queries.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    int d1 = static_cast<int>(rng.NextBounded(run.num_items()));
+    int d2 = static_cast<int>(rng.NextBounded(run.num_items()));
+    queries.emplace_back(d1, d2);
+  }
+  return queries;
+}
+
+std::vector<std::pair<int, int>> GenerateVisibleQueries(
+    const Run& run, const RunLabeler& labeler, const ViewLabel& view,
+    int count, uint64_t seed) {
+  std::vector<int> visible;
+  for (int item = 0; item < run.num_items(); ++item) {
+    if (IsItemVisible(labeler.Label(item), view)) visible.push_back(item);
+  }
+  FVL_CHECK(!visible.empty());
+  Rng rng(seed);
+  std::vector<std::pair<int, int>> queries;
+  queries.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    int d1 = visible[rng.NextBounded(visible.size())];
+    int d2 = visible[rng.NextBounded(visible.size())];
+    queries.emplace_back(d1, d2);
+  }
+  return queries;
+}
+
+}  // namespace fvl

@@ -1,0 +1,29 @@
+// Query sampling (§6.1: "we generate sample queries by randomly selecting
+// two data items in the same run").
+
+#ifndef FVL_WORKLOAD_QUERY_GENERATOR_H_
+#define FVL_WORKLOAD_QUERY_GENERATOR_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "fvl/core/run_labeler.h"
+#include "fvl/core/view_label.h"
+#include "fvl/run/run.h"
+
+namespace fvl {
+
+// Uniform random ordered item pairs.
+std::vector<std::pair<int, int>> GenerateQueries(const Run& run, int count,
+                                                 uint64_t seed);
+
+// Pairs restricted to items visible in the given view (checked through the
+// labels, as a §5 client would).
+std::vector<std::pair<int, int>> GenerateVisibleQueries(
+    const Run& run, const RunLabeler& labeler, const ViewLabel& view,
+    int count, uint64_t seed);
+
+}  // namespace fvl
+
+#endif  // FVL_WORKLOAD_QUERY_GENERATOR_H_

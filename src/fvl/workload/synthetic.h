@@ -1,0 +1,34 @@
+// The synthetic workflow family of §6.5 (Figure 26): a linear-recursive
+// topology parameterized by
+//   * workflow size      — modules per simple workflow (default 40),
+//   * module degree      — input/output ports per module (default 4),
+//   * nesting depth      — depth of nested composite modules (default 4),
+//   * recursion length   — composite modules per recursion ring (default 2).
+//
+// Level i hosts a ring C[i][0] -> C[i][1] -> ... -> C[i][r-1] -> C[i][0] of
+// recursive productions whose carry stages are pinned identity modules (safe
+// for any assignment); the ring members share one structurally identical
+// base production, whose chain descends into level i+1 via C[i+1][0].
+
+#ifndef FVL_WORKLOAD_SYNTHETIC_H_
+#define FVL_WORKLOAD_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "fvl/workload/workload_spec.h"
+
+namespace fvl {
+
+struct SyntheticOptions {
+  int workflow_size = 40;
+  int module_degree = 4;
+  int nesting_depth = 4;
+  int recursion_length = 2;
+  uint64_t seed = 7;
+};
+
+Workload MakeSynthetic(const SyntheticOptions& options);
+
+}  // namespace fvl
+
+#endif  // FVL_WORKLOAD_SYNTHETIC_H_

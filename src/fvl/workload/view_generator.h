@@ -1,0 +1,41 @@
+// Safe view sampling (§6.1: "we obtained safe views by enumerating all
+// possible proper subsets of composite modules and assigning random
+// input-output dependencies to atomic modules").
+//
+// Δ' is grown top-down from the start module one recursion-closed group at a
+// time (whole cycles enter or leave together, so no partial-cycle
+// consistency constraint can be violated); perceived dependencies are
+// white-box (true λ*), black-box (complete), or grey-box (true λ* plus
+// random extra dependencies, honoring the workload's pinned/forced
+// constraints). Every sampled view is verified with the safety checker; in
+// the (by construction unreachable) failure case the sampler falls back to
+// white-box dependencies.
+
+#ifndef FVL_WORKLOAD_VIEW_GENERATOR_H_
+#define FVL_WORKLOAD_VIEW_GENERATOR_H_
+
+#include <cstdint>
+
+#include "fvl/workflow/view.h"
+#include "fvl/workload/workload_spec.h"
+
+namespace fvl {
+
+enum class PerceivedDeps { kWhiteBox, kGreyBox, kBlackBox };
+
+struct ViewGeneratorOptions {
+  // Target |Δ'| in modules; -1 expands everything (default-view structure).
+  int num_expandable = -1;
+  PerceivedDeps deps = PerceivedDeps::kGreyBox;
+  // Grey-box: probability of adding each absent dependency bit.
+  double add_probability = 0.3;
+  uint64_t seed = 1;
+  int max_attempts = 16;
+};
+
+CompiledView GenerateSafeView(const Workload& workload,
+                              const ViewGeneratorOptions& options);
+
+}  // namespace fvl
+
+#endif  // FVL_WORKLOAD_VIEW_GENERATOR_H_

@@ -1,0 +1,46 @@
+// A workload bundles a specification with the structural constraints its
+// generator relies on for safety-under-any-assignment (DESIGN.md §3):
+// loop-carry stages must keep identity dependencies, fork split/join stages
+// keep their routing pattern, and fork base chains keep the (0,0) bit that
+// absorbs the side-branch contribution. View generators honor these
+// constraints when sampling grey-box perceived dependencies, which keeps
+// every sampled view safe by construction.
+
+#ifndef FVL_WORKLOAD_WORKLOAD_SPEC_H_
+#define FVL_WORKLOAD_WORKLOAD_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "fvl/workflow/grammar.h"
+
+namespace fvl {
+
+struct SafeDepConstraints {
+  // Modules whose perceived dependencies must equal the specification's λ.
+  std::vector<ModuleId> pinned;
+  // Dependency bits that must stay set in any perceived assignment.
+  struct Bit {
+    ModuleId module;
+    int in;
+    int out;
+  };
+  std::vector<Bit> forced_bits;
+
+  bool IsPinned(ModuleId m) const {
+    for (ModuleId p : pinned) {
+      if (p == m) return true;
+    }
+    return false;
+  }
+};
+
+struct Workload {
+  std::string name;
+  Specification spec;
+  SafeDepConstraints constraints;
+};
+
+}  // namespace fvl
+
+#endif  // FVL_WORKLOAD_WORKLOAD_SPEC_H_

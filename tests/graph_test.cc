@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "fvl/graph/digraph.h"
+#include "fvl/graph/reachability.h"
+#include "fvl/graph/scc.h"
+#include "fvl/util/random.h"
+
+namespace fvl {
+namespace {
+
+TEST(Digraph, BasicEdges) {
+  Digraph g(3);
+  int e0 = g.AddEdge(0, 1);
+  int e1 = g.AddEdge(1, 2);
+  int e2 = g.AddEdge(0, 1);  // parallel edge
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.OutDegree(0), 2);
+  EXPECT_EQ(g.InDegree(1), 2);
+  EXPECT_EQ(g.edge(e0).to, 1);
+  EXPECT_EQ(g.edge(e1).from, 1);
+  EXPECT_NE(e0, e2);
+}
+
+TEST(Digraph, SelfLoop) {
+  Digraph g(1);
+  g.AddEdge(0, 0);
+  EXPECT_EQ(g.OutDegree(0), 1);
+  EXPECT_EQ(g.InDegree(0), 1);
+}
+
+TEST(Scc, Chain) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 3);
+  // Reverse topological numbering: edges go from higher to lower ids.
+  EXPECT_GT(scc.component[0], scc.component[1]);
+  EXPECT_GT(scc.component[1], scc.component[2]);
+}
+
+TEST(Scc, Cycle) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  g.AddEdge(2, 3);
+  SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 2);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[1], scc.component[2]);
+  EXPECT_NE(scc.component[0], scc.component[3]);
+}
+
+TEST(Scc, TwoCyclesSharingNothing) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 2);
+  SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 2);
+  auto members = scc.Members();
+  EXPECT_EQ(members[scc.component[0]].size(), 2u);
+  EXPECT_EQ(members[scc.component[2]].size(), 2u);
+}
+
+TEST(Scc, MatchesClosureOnRandomGraphs) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = rng.NextInt(2, 12);
+    Digraph g(n);
+    int edges = rng.NextInt(0, 3 * n);
+    for (int e = 0; e < edges; ++e) {
+      g.AddEdge(rng.NextInt(0, n - 1), rng.NextInt(0, n - 1));
+    }
+    SccResult scc = StronglyConnectedComponents(g);
+    BoolMatrix closure = TransitiveClosure(g);
+    for (int u = 0; u < n; ++u) {
+      for (int v = 0; v < n; ++v) {
+        bool same_component = scc.component[u] == scc.component[v];
+        bool mutually_reachable = closure.Get(u, v) && closure.Get(v, u);
+        EXPECT_EQ(same_component, mutually_reachable)
+            << "trial " << trial << " nodes " << u << "," << v;
+      }
+    }
+  }
+}
+
+TEST(Reachability, BfsAndClosure) {
+  Digraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 4);
+  std::vector<bool> from0 = ReachableFrom(g, 0);
+  EXPECT_TRUE(from0[0]);  // reflexive
+  EXPECT_TRUE(from0[2]);
+  EXPECT_FALSE(from0[3]);
+  BoolMatrix closure = TransitiveClosure(g);
+  EXPECT_TRUE(closure.Get(0, 2));
+  EXPECT_TRUE(closure.Get(3, 4));
+  EXPECT_FALSE(closure.Get(2, 0));
+  for (int v = 0; v < 5; ++v) EXPECT_TRUE(closure.Get(v, v));
+}
+
+TEST(Reachability, TopologicalOrderOnDag) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  std::vector<int> order = TopologicalOrder(g);
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<int> rank(4);
+  for (int i = 0; i < 4; ++i) rank[order[i]] = i;
+  EXPECT_LT(rank[0], rank[1]);
+  EXPECT_LT(rank[0], rank[2]);
+  EXPECT_LT(rank[1], rank[3]);
+  EXPECT_LT(rank[2], rank[3]);
+}
+
+TEST(Reachability, TopologicalOrderRejectsCycle) {
+  Digraph g(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  EXPECT_TRUE(TopologicalOrder(g).empty());
+}
+
+}  // namespace
+}  // namespace fvl

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "fvl/core/decoder.h"
+#include "fvl/core/index.h"
+#include "fvl/core/scheme.h"
+#include "fvl/run/provenance_oracle.h"
+#include "fvl/workload/bioaid.h"
+#include "fvl/workload/paper_example.h"
+#include "fvl/workload/view_generator.h"
+#include "test_util.h"
+
+namespace fvl {
+namespace {
+
+class IndexTest : public ::testing::Test {
+ protected:
+  IndexTest() : ex_(MakePaperExample()), scheme_(&ex_.spec) {
+    RunGeneratorOptions options;
+    options.target_items = 400;
+    options.seed = 8;
+    labeled_ = std::make_unique<FvlScheme::LabeledRun>(
+        scheme_.GenerateLabeledRun(options));
+  }
+
+  PaperExample ex_;
+  FvlScheme scheme_;
+  std::unique_ptr<FvlScheme::LabeledRun> labeled_;
+};
+
+TEST_F(IndexTest, RoundTripsEveryLabel) {
+  ProvenanceIndex index = ProvenanceIndexBuilder::FromLabeledRun(
+      scheme_.production_graph(), labeled_->labeler);
+  ASSERT_EQ(index.num_items(), labeled_->run.num_items());
+  for (int item = 0; item < index.num_items(); ++item) {
+    ASSERT_EQ(index.Label(item), labeled_->labeler.Label(item))
+        << "item " << item;
+    ASSERT_EQ(index.LabelBits(item), labeled_->labeler.LabelBits(item));
+  }
+}
+
+TEST_F(IndexTest, SerializeDeserializeRoundTrip) {
+  ProvenanceIndex index = ProvenanceIndexBuilder::FromLabeledRun(
+      scheme_.production_graph(), labeled_->labeler);
+  std::string blob = index.Serialize();
+  std::string error;
+  LabelCodec codec(scheme_.production_graph());
+  auto restored = ProvenanceIndex::Deserialize(blob, codec, &error);
+  ASSERT_TRUE(restored.has_value()) << error;
+  ASSERT_EQ(restored->num_items(), index.num_items());
+  for (int item = 0; item < index.num_items(); ++item) {
+    ASSERT_EQ(restored->Label(item), index.Label(item));
+  }
+  EXPECT_EQ(restored->Serialize(), blob);
+}
+
+TEST_F(IndexTest, DeserializeRejectsCorruption) {
+  ProvenanceIndex index = ProvenanceIndexBuilder::FromLabeledRun(
+      scheme_.production_graph(), labeled_->labeler);
+  std::string blob = index.Serialize();
+  LabelCodec codec(scheme_.production_graph());
+  std::string error;
+
+  // Bad magic.
+  std::string bad = blob;
+  bad[0] = 'X';
+  EXPECT_FALSE(ProvenanceIndex::Deserialize(bad, codec, &error).has_value());
+  EXPECT_EQ(error, "bad magic");
+  // Truncation at every prefix length must fail cleanly, never crash.
+  for (size_t cut : {size_t{4}, size_t{10}, size_t{30}, blob.size() - 3}) {
+    EXPECT_FALSE(ProvenanceIndex::Deserialize(blob.substr(0, cut), codec,
+                                              &error)
+                     .has_value());
+  }
+  // Trailing garbage.
+  EXPECT_FALSE(
+      ProvenanceIndex::Deserialize(blob + "zz", codec, &error).has_value());
+}
+
+TEST_F(IndexTest, QueriesWorkFromDeserializedIndex) {
+  ProvenanceIndex index = ProvenanceIndexBuilder::FromLabeledRun(
+      scheme_.production_graph(), labeled_->labeler);
+  std::string blob = index.Serialize();
+  LabelCodec codec(scheme_.production_graph());
+  std::string error;
+  auto restored = *ProvenanceIndex::Deserialize(blob, codec, &error);
+
+  auto view = *CompiledView::Compile(ex_.spec.grammar, ex_.grey_view, &error);
+  ViewLabel label = scheme_.LabelView(view, ViewLabelMode::kQueryEfficient);
+  Decoder pi(&label);
+  ProvenanceOracle oracle(labeled_->run, view);
+  int checked = 0;
+  for (int d1 = 0; d1 < labeled_->run.num_items(); d1 += 7) {
+    for (int d2 = 0; d2 < labeled_->run.num_items(); d2 += 11) {
+      if (!oracle.ItemVisible(d1) || !oracle.ItemVisible(d2)) continue;
+      ASSERT_EQ(pi.Depends(restored.Label(d1), restored.Label(d2)),
+                oracle.Depends(d1, d2))
+          << "d1=" << d1 << " d2=" << d2;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 50);
+}
+
+TEST_F(IndexTest, CompactnessVsRawStructs) {
+  // The arena holds ~60 bits per item; in-memory DataLabel structs cost two
+  // orders of magnitude more.
+  ProvenanceIndex index = ProvenanceIndexBuilder::FromLabeledRun(
+      scheme_.production_graph(), labeled_->labeler);
+  double bits_per_item =
+      static_cast<double>(index.SizeBits()) / index.num_items();
+  EXPECT_LT(bits_per_item, 120.0);
+  EXPECT_GT(bits_per_item, 10.0);
+}
+
+TEST(IndexEdgeCases, EmptyIndex) {
+  PaperExample ex = MakePaperExample();
+  ProductionGraph pg(&ex.spec.grammar);
+  ProvenanceIndexBuilder builder(pg);
+  ProvenanceIndex index = std::move(builder).Build();
+  EXPECT_EQ(index.num_items(), 0);
+  std::string blob = index.Serialize();
+  LabelCodec codec(pg);
+  std::string error;
+  auto restored = ProvenanceIndex::Deserialize(blob, codec, &error);
+  ASSERT_TRUE(restored.has_value()) << error;
+  EXPECT_EQ(restored->num_items(), 0);
+}
+
+TEST(IndexBioAid, LargeRunRoundTrip) {
+  Workload workload = MakeBioAid(2012);
+  FvlScheme scheme(&workload.spec);
+  RunGeneratorOptions options;
+  options.target_items = 4000;
+  options.seed = 3;
+  FvlScheme::LabeledRun labeled = scheme.GenerateLabeledRun(options);
+  ProvenanceIndex index = ProvenanceIndexBuilder::FromLabeledRun(
+      scheme.production_graph(), labeled.labeler);
+  std::string blob = index.Serialize();
+  LabelCodec codec(scheme.production_graph());
+  std::string error;
+  auto restored = *ProvenanceIndex::Deserialize(blob, codec, &error);
+  for (int item = 0; item < restored.num_items(); item += 13) {
+    ASSERT_EQ(restored.Label(item), labeled.labeler.Label(item));
+  }
+}
+
+}  // namespace
+}  // namespace fvl

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "fvl/core/matrix_power.h"
+#include "fvl/util/random.h"
+#include "test_util.h"
+
+namespace fvl {
+namespace {
+
+using ::fvl::testing::Mat;
+
+BoolMatrix NaivePower(const BoolMatrix& x, int q) {
+  BoolMatrix result = BoolMatrix::Identity(x.rows());
+  for (int i = 0; i < q; ++i) result = result.Multiply(x);
+  return result;
+}
+
+TEST(BoolMatrixPower, MatchesNaive) {
+  BoolMatrix x = Mat({"010", "001", "000"});  // nilpotent shift
+  for (int q = 0; q <= 5; ++q) {
+    EXPECT_EQ(BoolMatrixPower(x, q), NaivePower(x, q)) << "q=" << q;
+  }
+  EXPECT_TRUE(BoolMatrixPower(x, 3).IsZero());
+}
+
+TEST(BoolMatrixPower, IdempotentMatrixStabilizes) {
+  BoolMatrix x = Mat({"11", "01"});
+  EXPECT_EQ(BoolMatrixPower(x, 1), x);
+  EXPECT_EQ(BoolMatrixPower(x, 17), x);
+}
+
+TEST(MatrixPowerOracle, FindsPowerCycle) {
+  // Permutation matrix of order 3: X^1, X^2, X^3 = I, then repeats.
+  BoolMatrix x = Mat({"010", "001", "100"});
+  MatrixPowerOracle oracle(x);
+  EXPECT_EQ(oracle.cycle_start(), 0);
+  EXPECT_EQ(oracle.cycle_period(), 3);
+  for (int q = 0; q <= 20; ++q) {
+    EXPECT_EQ(oracle.Power(q), NaivePower(x, q)) << "q=" << q;
+  }
+}
+
+TEST(MatrixPowerOracle, TransientThenFixpoint) {
+  // Strictly upper-triangular + diagonal: converges to its closure.
+  BoolMatrix x = Mat({"110", "011", "001"});
+  MatrixPowerOracle oracle(x);
+  EXPECT_EQ(oracle.cycle_period(), 1);
+  EXPECT_EQ(oracle.Power(2), oracle.Power(1000000));
+  for (int q = 0; q <= 10; ++q) {
+    EXPECT_EQ(oracle.Power(q), NaivePower(x, q));
+  }
+}
+
+TEST(MatrixPowerOracle, LargeExponentConstantTime) {
+  BoolMatrix x = Mat({"01", "10"});  // swap, period 2
+  MatrixPowerOracle oracle(x);
+  EXPECT_EQ(oracle.Power(1000000000), BoolMatrix::Identity(2));
+  EXPECT_EQ(oracle.Power(1000000001), x);
+}
+
+TEST(MatrixPowerOracle, RandomAgreementSweep) {
+  Rng rng(17);
+  for (int trial = 0; trial < 60; ++trial) {
+    int n = rng.NextInt(1, 6);
+    BoolMatrix x(n, n);
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < n; ++c) {
+        if (rng.NextBool(0.35)) x.Set(r, c);
+      }
+    }
+    MatrixPowerOracle oracle(x);
+    BoolMatrix naive = BoolMatrix::Identity(n);
+    for (int q = 0; q <= 24; ++q) {
+      ASSERT_EQ(oracle.Power(q), naive) << "trial " << trial << " q=" << q;
+      ASSERT_EQ(BoolMatrixPower(x, q), naive);
+      naive = naive.Multiply(x);
+    }
+  }
+}
+
+TEST(MatrixPowerOracle, ZeroSizeMatrix) {
+  MatrixPowerOracle oracle{BoolMatrix(0, 0)};
+  EXPECT_EQ(oracle.Power(5).rows(), 0);
+}
+
+}  // namespace
+}  // namespace fvl

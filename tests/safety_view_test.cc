@@ -1,0 +1,175 @@
+// Safety checker edge cases (Thm. 2) and CompiledView error paths, plus the
+// Lemma-1 fixed-point property verified directly on generated workloads.
+
+#include <gtest/gtest.h>
+
+#include "fvl/workflow/grammar_builder.h"
+#include "fvl/workflow/port_graph.h"
+#include "fvl/workflow/safety.h"
+#include "fvl/workflow/view.h"
+#include "fvl/workload/bioaid.h"
+#include "fvl/workload/paper_example.h"
+#include "fvl/workload/synthetic.h"
+#include "test_util.h"
+
+namespace fvl {
+namespace {
+
+using ::fvl::testing::Mat;
+
+TEST(Safety, MissingDependencyAssignmentReported) {
+  GrammarBuilder b;
+  ModuleId s = b.AddComposite("S", 1, 1);
+  ModuleId x = b.AddAtomic("x", 1, 1);
+  b.SetStart(s);
+  auto p = b.NewProduction(s);
+  int m = p.AddMember(x);
+  p.MapInput(0, m, 0).MapOutput(0, m, 0);
+  p.Build();
+  Grammar g = b.BuildGrammar();
+
+  DependencyAssignment empty(g.num_modules());
+  SafetyResult result = CheckSafety(g, empty);
+  EXPECT_FALSE(result.safe);
+  EXPECT_NE(result.error.find("no dependency assignment"), std::string::npos);
+}
+
+TEST(Safety, UnproductiveModuleReported) {
+  // V -> [V, x] only: V's production never becomes verifiable.
+  GrammarBuilder b;
+  ModuleId s = b.AddComposite("S", 1, 1);
+  ModuleId v = b.AddComposite("V", 1, 1);
+  ModuleId x = b.AddAtomic("x", 1, 2);
+  ModuleId y = b.AddAtomic("y", 2, 1);
+  b.SetStart(s);
+  {
+    auto p = b.NewProduction(s);
+    int m = p.AddMember(v);
+    p.MapInput(0, m, 0).MapOutput(0, m, 0);
+    p.Build();
+  }
+  {
+    auto p = b.NewProduction(v);
+    int mx = p.AddMember(x);
+    int mv = p.AddMember(v);
+    int my = p.AddMember(y);
+    p.MapInput(0, mx, 0);
+    p.Edge(mx, 0, mv, 0).Edge(mx, 1, my, 0).Edge(mv, 0, my, 1);
+    p.MapOutput(0, my, 0);
+    p.Build();
+  }
+  b.SetCompleteDeps(x);
+  b.SetCompleteDeps(y);
+  Specification spec = b.BuildSpecification();
+  SafetyResult result = CheckSafety(spec.grammar, spec.deps);
+  EXPECT_FALSE(result.safe);
+  EXPECT_NE(result.error.find("never became verifiable"), std::string::npos);
+}
+
+TEST(Safety, Lemma1FixedPointHoldsOnWorkloads) {
+  // Lemma 1: for the computed λ*, every production M ->f W satisfies
+  // λ*(M)[x][y] == reach_{W^{λ*}}(f(x), f(y)).
+  for (const Workload& workload :
+       {MakeBioAid(3), MakeSynthetic(SyntheticOptions{.workflow_size = 6,
+                                                      .module_degree = 3,
+                                                      .nesting_depth = 3,
+                                                      .recursion_length = 2,
+                                                      .seed = 5})}) {
+    SafetyResult result = CheckSafety(workload.spec.grammar,
+                                      workload.spec.deps);
+    ASSERT_TRUE(result.safe) << workload.name << ": " << result.error;
+    const Grammar& g = workload.spec.grammar;
+    for (ProductionId k = 0; k < g.num_productions(); ++k) {
+      const Production& p = g.production(k);
+      WorkflowPortGraph graph(g, p.rhs, result.full);
+      ASSERT_EQ(graph.InitialToFinal(), result.full.Get(p.lhs))
+          << workload.name << " production " << k;
+    }
+  }
+}
+
+TEST(Safety, FullAssignmentIsProperDef6) {
+  // Composite full dependencies inherit Def. 6 from the atomic layer.
+  Workload workload = MakeBioAid(4);
+  SafetyResult result = CheckSafety(workload.spec.grammar, workload.spec.deps);
+  ASSERT_TRUE(result.safe);
+  const Grammar& g = workload.spec.grammar;
+  for (ModuleId m : g.CompositeModules()) {
+    ASSERT_TRUE(result.full.IsDefined(m));
+    EXPECT_FALSE(
+        DependencyAssignment::ValidateProper(g.module(m), result.full.Get(m))
+            .has_value())
+        << g.module(m).name;
+  }
+}
+
+TEST(CompiledViewErrors, ExpandableAtomicRejected) {
+  PaperExample ex = MakePaperExample();
+  View view = MakeDefaultView(ex.spec);
+  view.expandable[ex.a] = true;  // atomic module
+  std::string error;
+  EXPECT_FALSE(CompiledView::Compile(ex.spec.grammar, view, &error)
+                   .has_value());
+  EXPECT_NE(error.find("atomic"), std::string::npos);
+}
+
+TEST(CompiledViewErrors, MissingPerceivedDepsRejected) {
+  PaperExample ex = MakePaperExample();
+  View view;
+  view.expandable.assign(ex.spec.grammar.num_modules(), false);
+  view.expandable[ex.S] = true;
+  view.expandable[ex.A] = true;
+  view.expandable[ex.B] = true;
+  view.perceived = ex.spec.deps;  // λ'(C) missing although C is visible
+  std::string error;
+  EXPECT_FALSE(CompiledView::Compile(ex.spec.grammar, view, &error)
+                   .has_value());
+  EXPECT_NE(error.find("no dependency assignment"), std::string::npos);
+}
+
+TEST(CompiledViewErrors, UnsafePerceivedDepsRejected) {
+  PaperExample ex = MakePaperExample();
+  View view = ex.grey_view;
+  // A λ'(C) that contradicts the A<->B recursion's fixed point: identity
+  // deps make p2 and p3 disagree on λ'*(A).
+  view.perceived.Set(ex.C, BoolMatrix::Identity(2));
+  std::string error;
+  EXPECT_FALSE(CompiledView::Compile(ex.spec.grammar, view, &error)
+                   .has_value());
+  EXPECT_NE(error.find("unsafe"), std::string::npos);
+}
+
+TEST(CompiledViewErrors, MismatchedFlagVectorRejected) {
+  PaperExample ex = MakePaperExample();
+  View view = MakeDefaultView(ex.spec);
+  view.expandable.pop_back();
+  std::string error;
+  EXPECT_FALSE(CompiledView::Compile(ex.spec.grammar, view, &error)
+                   .has_value());
+}
+
+TEST(CompiledView, BlackBoxDetection) {
+  Workload workload = MakeBioAid(2012);
+  View view = MakeDefaultView(workload.spec);
+  std::string error;
+  auto compiled = CompiledView::Compile(workload.spec.grammar, view, &error);
+  ASSERT_TRUE(compiled.has_value()) << error;
+  // Random fine-grained deps: not black-box.
+  EXPECT_FALSE(compiled->IsBlackBox());
+
+  // Complete deps on every atomic module: black-box (single-source/sink
+  // workflows propagate completeness upward — Lemma 2).
+  View black = view;
+  for (ModuleId m : workload.spec.grammar.AtomicModules()) {
+    const Module& module = workload.spec.grammar.module(m);
+    black.perceived.Set(
+        m, BoolMatrix::Full(module.num_inputs, module.num_outputs));
+  }
+  auto compiled_black =
+      CompiledView::Compile(workload.spec.grammar, black, &error);
+  ASSERT_TRUE(compiled_black.has_value()) << error;
+  EXPECT_TRUE(compiled_black->IsBlackBox());
+}
+
+}  // namespace
+}  // namespace fvl

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "fvl/core/scheme.h"
+#include "fvl/run/provenance_oracle.h"
+#include "fvl/workload/paper_example.h"
+#include "test_util.h"
+
+namespace fvl {
+namespace {
+
+TEST(FvlScheme, CreateSucceedsOnPaperExample) {
+  PaperExample ex = MakePaperExample();
+  std::string error;
+  std::optional<FvlScheme> scheme = FvlScheme::Create(&ex.spec, &error);
+  ASSERT_TRUE(scheme.has_value()) << error;
+  EXPECT_EQ(&scheme->grammar(), &ex.spec.grammar);
+  EXPECT_TRUE(scheme->true_full().IsDefined(ex.S));
+}
+
+TEST(FvlScheme, CreateRejectsUnsafe) {
+  Specification unsafe = MakeUnsafeExample();
+  std::string error;
+  EXPECT_FALSE(FvlScheme::Create(&unsafe, &error).has_value());
+  EXPECT_NE(error.find("unsafe"), std::string::npos);
+}
+
+TEST(FvlScheme, CreateRejectsNonStrictlyLinear) {
+  Specification fig10 = MakeFig10Example();
+  std::string error;
+  EXPECT_FALSE(FvlScheme::Create(&fig10, &error).has_value());
+  EXPECT_NE(error.find("strictly linear"), std::string::npos);
+}
+
+TEST(FvlScheme, GenerateLabeledRunLabelsEverything) {
+  PaperExample ex = MakePaperExample();
+  FvlScheme scheme(&ex.spec);
+  RunGeneratorOptions options;
+  options.target_items = 300;
+  FvlScheme::LabeledRun labeled = scheme.GenerateLabeledRun(options);
+  EXPECT_TRUE(labeled.run.IsComplete());
+  EXPECT_EQ(labeled.labeler.num_labels(), labeled.run.num_items());
+}
+
+TEST(BasicDynamicLabeling, Theorem8Adapter) {
+  // Thm. 8: the view-adaptive scheme yields a basic dynamic labeling scheme
+  // for the default view: π'(φ'(d1), φ'(d2)) answers white-box reachability.
+  PaperExample ex = MakePaperExample();
+  FvlScheme scheme(&ex.spec);
+  BasicDynamicLabeling basic(&scheme);
+
+  ::fvl::Run run(&ex.spec.grammar);
+  basic.OnStart(run);
+  // Terminate every frontier instance along its cheapest completion.
+  std::vector<int64_t> cost = MinCompletionItems(scheme.grammar());
+  while (!run.IsComplete()) {
+    int inst = run.Frontier().front();
+    ModuleId type = run.instance(inst).type;
+    ProductionId best = -1;
+    int64_t best_cost = -1;
+    for (ProductionId k : scheme.grammar().ProductionsOf(type)) {
+      const Production& p = scheme.grammar().production(k);
+      int64_t total = static_cast<int64_t>(p.rhs.edges.size());
+      for (ModuleId member : p.rhs.members) total += cost[member];
+      if (best == -1 || total < best_cost) {
+        best = k;
+        best_cost = total;
+      }
+    }
+    const DerivationStep& step = run.Apply(inst, best);
+    basic.OnApply(run, step);
+  }
+
+  std::string error;
+  auto default_view =
+      *CompiledView::Compile(ex.spec.grammar, ex.default_view, &error);
+  ProvenanceOracle oracle(run, default_view);
+  for (int d1 = 0; d1 < run.num_items(); ++d1) {
+    for (int d2 = 0; d2 < run.num_items(); ++d2) {
+      ASSERT_EQ(basic.Depends(d1, d2), oracle.Depends(d1, d2))
+          << "d1=" << d1 << " d2=" << d2;
+    }
+  }
+}
+
+TEST(LabelLength, LogarithmicGrowth) {
+  // Thm. 10 part 1: data labels are O(log n) bits. Doubling the run size
+  // must increase the maximum label length by only a constant.
+  PaperExample ex = MakePaperExample();
+  FvlScheme scheme(&ex.spec);
+  std::vector<double> max_bits;
+  for (int target : {1000, 2000, 4000, 8000}) {
+    RunGeneratorOptions options;
+    options.target_items = target;
+    options.seed = 3;
+    FvlScheme::LabeledRun labeled = scheme.GenerateLabeledRun(options);
+    int64_t run_max = 0;
+    for (int item = 0; item < labeled.run.num_items(); ++item) {
+      run_max = std::max(run_max, labeled.labeler.LabelBits(item));
+    }
+    max_bits.push_back(static_cast<double>(run_max));
+  }
+  for (size_t i = 1; i < max_bits.size(); ++i) {
+    EXPECT_LE(max_bits[i] - max_bits[i - 1], 10.0)
+        << "doubling added too many bits at step " << i;
+  }
+  // And the absolute size is far below linear (a 8000-item run would need
+  // thousands of bits if labels were linear).
+  EXPECT_LT(max_bits.back(), 120.0);
+}
+
+TEST(LabelImmutability, LabelsNeverChangeAfterAssignment) {
+  // Def. 10: labels are assigned when items appear and cannot be modified.
+  // Snapshot every label right after its creation step and compare at the
+  // end of the derivation.
+  PaperExample ex = MakePaperExample();
+  FvlScheme scheme(&ex.spec);
+  RunLabeler labeler = scheme.MakeRunLabeler();
+  std::vector<DataLabel> snapshots;
+
+  RunGeneratorOptions options;
+  options.target_items = 400;
+  ::fvl::Run run = GenerateRandomRun(
+      ex.spec.grammar, options,
+      [&](const ::fvl::Run& current, const DerivationStep* step) {
+        if (step == nullptr) {
+          labeler.OnStart(current);
+        } else {
+          labeler.OnApply(current, *step);
+        }
+        for (int item = static_cast<int>(snapshots.size());
+             item < labeler.num_labels(); ++item) {
+          snapshots.push_back(labeler.Label(item));
+        }
+      });
+  ASSERT_EQ(static_cast<int>(snapshots.size()), run.num_items());
+  for (int item = 0; item < run.num_items(); ++item) {
+    ASSERT_EQ(labeler.Label(item), snapshots[item]) << "item " << item;
+  }
+}
+
+}  // namespace
+}  // namespace fvl

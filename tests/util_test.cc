@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "fvl/util/bitstream.h"
+#include "fvl/util/boolean_matrix.h"
+#include "fvl/util/random.h"
+#include "fvl/util/table_printer.h"
+#include "test_util.h"
+
+namespace fvl {
+namespace {
+
+using ::fvl::testing::Mat;
+
+TEST(BoolMatrix, ConstructionAndAccess) {
+  BoolMatrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_TRUE(m.IsZero());
+  m.Set(1, 2);
+  EXPECT_TRUE(m.Get(1, 2));
+  EXPECT_FALSE(m.Get(0, 2));
+  m.Set(1, 2, false);
+  EXPECT_TRUE(m.IsZero());
+}
+
+TEST(BoolMatrix, IdentityAndFull) {
+  BoolMatrix id = BoolMatrix::Identity(3);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) EXPECT_EQ(id.Get(r, c), r == c);
+  }
+  EXPECT_TRUE(BoolMatrix::Full(2, 2).IsFull());
+  EXPECT_FALSE(id.IsFull());
+}
+
+TEST(BoolMatrix, MultiplyBasic) {
+  BoolMatrix a = Mat({"10", "11"});
+  BoolMatrix b = Mat({"01", "10"});
+  BoolMatrix c = a.Multiply(b);
+  EXPECT_EQ(c, Mat({"01", "11"}));
+}
+
+TEST(BoolMatrix, MultiplyIdentityIsNoop) {
+  BoolMatrix a = Mat({"101", "010"});
+  EXPECT_EQ(BoolMatrix::Identity(2).Multiply(a), a);
+  EXPECT_EQ(a.Multiply(BoolMatrix::Identity(3)), a);
+}
+
+TEST(BoolMatrix, MultiplyRectangular) {
+  BoolMatrix a = Mat({"110"});           // 1x3
+  BoolMatrix b = Mat({"01", "10", "11"});  // 3x2
+  EXPECT_EQ(a.Multiply(b), Mat({"11"}));
+}
+
+TEST(BoolMatrix, MultiplyMatchesNaiveOnRandom) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    int n = rng.NextInt(1, 9);
+    int m = rng.NextInt(1, 9);
+    int p = rng.NextInt(1, 9);
+    BoolMatrix a(n, m), b(m, p);
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < m; ++c) {
+        if (rng.NextBool(0.4)) a.Set(r, c);
+      }
+    }
+    for (int r = 0; r < m; ++r) {
+      for (int c = 0; c < p; ++c) {
+        if (rng.NextBool(0.4)) b.Set(r, c);
+      }
+    }
+    BoolMatrix fast = a.Multiply(b);
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < p; ++c) {
+        bool expected = false;
+        for (int k = 0; k < m; ++k) expected |= a.Get(r, k) && b.Get(k, c);
+        EXPECT_EQ(fast.Get(r, c), expected);
+      }
+    }
+  }
+}
+
+TEST(BoolMatrix, Transpose) {
+  BoolMatrix a = Mat({"110", "001"});
+  EXPECT_EQ(a.Transpose(), Mat({"10", "10", "01"}));
+  EXPECT_EQ(a.Transpose().Transpose(), a);
+}
+
+TEST(BoolMatrix, OrAndSubset) {
+  BoolMatrix a = Mat({"10", "00"});
+  BoolMatrix b = Mat({"01", "00"});
+  EXPECT_EQ(a.Or(b), Mat({"11", "00"}));
+  EXPECT_TRUE(a.IsSubsetOf(a.Or(b)));
+  EXPECT_FALSE(a.Or(b).IsSubsetOf(a));
+}
+
+TEST(BoolMatrix, RowColAnyAndCount) {
+  BoolMatrix a = Mat({"010", "000"});
+  EXPECT_TRUE(a.RowAny(0));
+  EXPECT_FALSE(a.RowAny(1));
+  EXPECT_TRUE(a.ColAny(1));
+  EXPECT_FALSE(a.ColAny(0));
+  EXPECT_EQ(a.CountOnes(), 1);
+}
+
+TEST(BoolMatrix, WideMatrixCrossesWordBoundary) {
+  BoolMatrix a(2, 130);
+  a.Set(0, 0);
+  a.Set(0, 64);
+  a.Set(0, 129);
+  a.Set(1, 65);
+  EXPECT_EQ(a.CountOnes(), 4);
+  BoolMatrix b(130, 1);
+  b.Set(129, 0);
+  EXPECT_EQ(a.Multiply(b), Mat({"1", "0"}));
+}
+
+TEST(BoolMatrix, ToString) {
+  EXPECT_EQ(Mat({"10", "01"}).ToString(), "[1 0]\n[0 1]");
+}
+
+TEST(Bitstream, FixedRoundTrip) {
+  BitWriter writer;
+  writer.WriteFixed(0b1011, 4);
+  writer.WriteFixed(0, 0);
+  writer.WriteFixed(1234567, 21);
+  BitReader reader(writer);
+  EXPECT_EQ(reader.ReadFixed(4), 0b1011u);
+  EXPECT_EQ(reader.ReadFixed(0), 0u);
+  EXPECT_EQ(reader.ReadFixed(21), 1234567u);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(Bitstream, GammaRoundTrip) {
+  BitWriter writer;
+  for (uint64_t v = 1; v <= 300; ++v) writer.WriteGamma(v);
+  BitReader reader(writer);
+  for (uint64_t v = 1; v <= 300; ++v) EXPECT_EQ(reader.ReadGamma(), v);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(Bitstream, GammaLengths) {
+  EXPECT_EQ(GammaLength(1), 1);
+  EXPECT_EQ(GammaLength(2), 3);
+  EXPECT_EQ(GammaLength(3), 3);
+  EXPECT_EQ(GammaLength(4), 5);
+  EXPECT_EQ(GammaLength(1000), 19);
+  BitWriter writer;
+  writer.WriteGamma(1000);
+  EXPECT_EQ(writer.size_bits(), 19);
+}
+
+TEST(Bitstream, BitWidthFor) {
+  EXPECT_EQ(BitWidthFor(0), 0);
+  EXPECT_EQ(BitWidthFor(1), 0);
+  EXPECT_EQ(BitWidthFor(2), 1);
+  EXPECT_EQ(BitWidthFor(3), 2);
+  EXPECT_EQ(BitWidthFor(8), 3);
+  EXPECT_EQ(BitWidthFor(9), 4);
+}
+
+TEST(Bitstream, MixedStream) {
+  Rng rng(7);
+  BitWriter writer;
+  std::vector<std::pair<int, uint64_t>> fields;  // width (0 = gamma), value
+  for (int i = 0; i < 500; ++i) {
+    if (rng.NextBool(0.5)) {
+      int width = rng.NextInt(1, 24);
+      uint64_t value = rng.NextBounded(uint64_t{1} << width);
+      writer.WriteFixed(value, width);
+      fields.push_back({width, value});
+    } else {
+      uint64_t value = 1 + rng.NextBounded(100000);
+      writer.WriteGamma(value);
+      fields.push_back({0, value});
+    }
+  }
+  BitReader reader(writer);
+  for (const auto& [width, value] : fields) {
+    if (width > 0) {
+      EXPECT_EQ(reader.ReadFixed(width), value);
+    } else {
+      EXPECT_EQ(reader.ReadGamma(), value);
+    }
+  }
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(Random, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Random, BoundedRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    int v = rng.NextInt(-3, 4);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 4);
+  }
+}
+
+TEST(Random, BoolProbabilityRoughlyCorrect) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.NextBool(0.25) ? 1 : 0;
+  EXPECT_GT(hits, 2000);
+  EXPECT_LT(hits, 3000);
+}
+
+TEST(Random, ShuffleIsPermutation) {
+  Rng rng(11);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(TablePrinter, AlignedOutput) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "22"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("name    value"), std::string::npos);
+  EXPECT_NE(out.find("longer  22"), std::string::npos);
+  EXPECT_EQ(table.ToCsv(), "name,value\nx,1\nlonger,22\n");
+}
+
+TEST(TablePrinter, NumFormatting) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace fvl
