@@ -1,5 +1,5 @@
 // Ablation study for the label-encoding design choices called out in
-// DESIGN.md §7:
+// docs/DESIGN.md §7:
 //  (a) common-prefix factoring (§4.2.2: "the size of φr(d) can be reduced
 //      almost by half by factoring out the common prefix") — labels encoded
 //      with and without sharing the producer/consumer path prefix;

@@ -1,0 +1,42 @@
+# Locates GoogleTest without requiring network access.
+#
+# Resolution order:
+#   1. An installed CMake package (GTestConfig.cmake or FindGTest).
+#   2. The Debian/Ubuntu source package at /usr/src/googletest
+#      (apt install libgtest-dev), built as part of this project.
+#   3. FetchContent download (needs network; last resort).
+#
+# Whatever succeeds provides the GTest::gtest and GTest::gtest_main targets.
+
+if(TARGET GTest::gtest_main)
+  return()
+endif()
+
+find_package(GTest QUIET)
+if(TARGET GTest::gtest_main)
+  message(STATUS "FVL: using installed GoogleTest package")
+  return()
+endif()
+
+if(EXISTS /usr/src/googletest/CMakeLists.txt)
+  message(STATUS "FVL: building GoogleTest from /usr/src/googletest")
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  add_subdirectory(/usr/src/googletest "${CMAKE_BINARY_DIR}/_deps/googletest"
+                   EXCLUDE_FROM_ALL)
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest ALIAS gtest)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+  return()
+endif()
+
+message(STATUS "FVL: GoogleTest not found locally; fetching from GitHub")
+include(FetchContent)
+FetchContent_Declare(
+  googletest
+  URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+)
+set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+FetchContent_MakeAvailable(googletest)

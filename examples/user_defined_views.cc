@@ -37,11 +37,10 @@ int main() {
   base.expandable[example.C] = true;
   base.perceived = example.spec.deps;
 
-  ModuleGroup group;
-  group.production = example.p[4];  // p5: C -> [b, D, E, c]
-  group.member_positions = {1, 2};  // D and E
-  group.name = "F";
-  group.perceived_deps = BoolMatrix::Full(2, 2);
+  ModuleGroup group{/*production=*/example.p[4],  // p5: C -> [b, D, E, c]
+                    /*member_positions=*/{1, 2},  // D and E
+                    /*name=*/"F",
+                    /*perceived_deps=*/BoolMatrix::Full(2, 2)};
 
   std::string error;
   auto view =

@@ -7,7 +7,7 @@
 // *module-level* structure, so DRL labels carry parse-tree paths without
 // port indices, plus the dynamic bracket counters its interval scheme
 // maintains (reconstructed here as per-production sequence numbers; see
-// DESIGN.md §2.4 for the fidelity discussion).
+// docs/DESIGN.md §2.4 for the fidelity discussion).
 //
 // DRL is *not* view-adaptive: labels are computed per view, over the view's
 // restricted grammar, and must be recomputed for every new view (the cost

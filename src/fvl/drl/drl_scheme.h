@@ -1,6 +1,6 @@
 // DRL — reconstruction of the paper's state-of-the-art comparator [5]
 // ("Labeling recursive workflow executions on-the-fly", coarse-grained
-// model). See DESIGN.md §2.4 for what is reconstructed versus published.
+// model). See docs/DESIGN.md §2.4 for what is reconstructed versus published.
 //
 // Cost model (what the paper's §6 comparisons exercise):
 //  * static part per view: DrlViewIndex — the view-restricted grammar, its

@@ -1,6 +1,6 @@
 // Lightweight assertion macros for programmer errors.
 //
-// Library code does not use exceptions (see DESIGN.md); recoverable
+// Library code does not use exceptions (see docs/DESIGN.md); recoverable
 // validation errors are reported through std::optional<std::string> return
 // values, while violated invariants abort with a source location.
 

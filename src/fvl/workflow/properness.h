@@ -33,7 +33,7 @@ PropernessReport AnalyzeProperness(const Grammar& g);
 // Language-preserving properness transformation. Returns std::nullopt if the
 // language is empty (the start module is unproductive) or if a unit cycle
 // with non-identity port bijections is encountered (unsupported; see
-// DESIGN.md §7).
+// docs/DESIGN.md §7).
 std::optional<Grammar> MakeProper(const Grammar& g, std::string* error);
 
 }  // namespace fvl

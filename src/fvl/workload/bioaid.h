@@ -9,7 +9,7 @@
 // The actual BioAID Taverna workflow is not redistributable/available
 // offline; this deterministic generator reproduces its published shape
 // parameters, which are the only properties the experiments depend on
-// (substitution documented in DESIGN.md §5).
+// (substitution documented in docs/DESIGN.md §5).
 
 #ifndef FVL_WORKLOAD_BIOAID_H_
 #define FVL_WORKLOAD_BIOAID_H_

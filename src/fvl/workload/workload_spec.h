@@ -1,5 +1,5 @@
 // A workload bundles a specification with the structural constraints its
-// generator relies on for safety-under-any-assignment (DESIGN.md §3):
+// generator relies on for safety-under-any-assignment (docs/DESIGN.md §3):
 // loop-carry stages must keep identity dependencies, fork split/join stages
 // keep their routing pattern, and fork base chains keep the (0,0) bit that
 // absorbs the side-branch contribution. View generators honor these

@@ -2,7 +2,7 @@
 // Examples 3–19). Where the paper's figures fully determine an artifact
 // (production positions, cycle index, label paths, the I(1,5) matrices of
 // Example 16) we assert it verbatim; where port arities were chosen by us
-// (DESIGN.md §8) we assert the corresponding semantic property instead.
+// (docs/DESIGN.md §8) we assert the corresponding semantic property instead.
 
 #include <gtest/gtest.h>
 
@@ -175,7 +175,7 @@ TEST_F(PaperExampleTest, RecursionAnalysis) {
 TEST_F(PaperExampleTest, FullAssignment) {
   SafetyResult safety = CheckSafety(ex_.spec.grammar, ex_.spec.deps);
   ASSERT_TRUE(safety.safe) << safety.error;
-  // Hand-computed λ* (DESIGN.md §8).
+  // Hand-computed λ* (docs/DESIGN.md §8).
   EXPECT_EQ(safety.full.Get(ex_.D), Mat({"11", "01"}));
   EXPECT_EQ(safety.full.Get(ex_.E), Mat({"11", "01"}));
   EXPECT_EQ(safety.full.Get(ex_.C), Mat({"01", "11"}));
