@@ -63,7 +63,7 @@ int64_t FixedWidthIterationBits(const LabelCodec& codec,
 
 void Main(const BenchConfig& config) {
   Workload workload = MakeBioAid(2012);
-  FvlScheme scheme(&workload.spec);
+  FvlScheme scheme = FvlScheme::Create(&workload.spec).value();
 
   TablePrinter table({"run_size", "factored_avg", "unfactored_avg",
                       "fixed_width_avg", "index_bits_per_item"});

@@ -13,13 +13,12 @@ namespace {
 
 void Main(const BenchConfig& config) {
   Workload workload = MakeBioAid(2012);
-  FvlScheme scheme(&workload.spec);
+  FvlScheme scheme = FvlScheme::Create(&workload.spec).value();
 
   // DRL labels the default view of the run.
   View default_view = MakeDefaultView(workload.spec);
-  std::string error;
   auto compiled =
-      *CompiledView::Compile(workload.spec.grammar, default_view, &error);
+      *CompiledView::Compile(workload.spec.grammar, default_view);
   DrlViewIndex drl_index(&workload.spec.grammar, &compiled);
 
   TablePrinter table({"run_size", "FVL-avg", "FVL-max", "DRL-avg", "DRL-max"});

@@ -13,7 +13,7 @@ namespace {
 void Main(const BenchConfig& config) {
   (void)config;
   Workload workload = MakeBioAid(2012);
-  FvlScheme scheme(&workload.spec);
+  FvlScheme scheme = FvlScheme::Create(&workload.spec).value();
 
   TablePrinter size_table(
       {"view", "expandable", "SpaceEff_KB", "Default_KB", "QueryEff_KB"});

@@ -17,7 +17,7 @@ volatile long benchmark_sink = 0;
 
 void Main(const BenchConfig& config) {
   Workload workload = MakeBioAid(2012);
-  FvlScheme scheme(&workload.spec);
+  FvlScheme scheme = FvlScheme::Create(&workload.spec).value();
 
   // The three views of §6.3, labeled in all three variants.
   std::vector<CompiledView> views;

@@ -16,7 +16,7 @@ namespace {
 
 void Main(const BenchConfig& config) {
   Workload workload = MakeBioAid(2012);
-  FvlScheme scheme(&workload.spec);
+  FvlScheme scheme = FvlScheme::Create(&workload.spec).value();
 
   RunGeneratorOptions run_options;
   run_options.target_items = config.quick ? 2000 : 8000;

@@ -23,7 +23,7 @@ void Main(const BenchConfig& config) {
     options.recursion_length = 2;
     options.seed = 24;
     Workload workload = MakeSynthetic(options);
-    FvlScheme scheme(&workload.spec);
+    FvlScheme scheme = FvlScheme::Create(&workload.spec).value();
 
     double avg = 0, max_bits = 0;
     int samples = config.quick ? 2 : 5;

@@ -23,7 +23,7 @@ void Main(const BenchConfig& config) {
     options.recursion_length = 2;
     options.seed = 25;
     Workload workload = MakeSynthetic(options);
-    FvlScheme scheme(&workload.spec);
+    FvlScheme scheme = FvlScheme::Create(&workload.spec).value();
 
     RunGeneratorOptions run_options;
     run_options.target_items = config.quick ? 2000 : 8000;

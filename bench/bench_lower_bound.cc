@@ -50,12 +50,12 @@ struct BasicPathLabeler {
 void Main(const BenchConfig& config) {
   // Non-strict grammar (Fig. 10): basic-path labels.
   Specification fig10 = MakeFig10Example();
-  std::string error;
-  bool fvl_rejects = !FvlScheme::Create(&fig10, &error).has_value();
+  Result<FvlScheme> fig10_scheme = FvlScheme::Create(&fig10);
+  bool fvl_rejects = !fig10_scheme.has_value();
 
   // Strictly linear workload for the FVL comparison column.
   Workload bioaid = MakeBioAid(2012);
-  FvlScheme scheme(&bioaid.spec);
+  FvlScheme scheme = FvlScheme::Create(&bioaid.spec).value();
 
   TablePrinter table(
       {"run_size", "Fig10_basic_avg_bits", "Fig10_basic_max_bits",
@@ -97,7 +97,8 @@ void Main(const BenchConfig& config) {
       "FVL rejects the Fig-10 grammar: %s (\"%s\")\n"
       "expected shape: Fig-10 basic labels grow linearly with run size; "
       "FVL labels grow logarithmically\n",
-      fvl_rejects ? "yes" : "NO (bug!)", error.c_str());
+      fvl_rejects ? "yes" : "NO (bug!)",
+      fig10_scheme.status().ToString().c_str());
 }
 
 }  // namespace

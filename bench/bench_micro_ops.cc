@@ -5,7 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "fvl/core/decoder.h"
-#include "fvl/core/scheme.h"
+#include "fvl/service/legacy_facade.h"
 #include "fvl/drl/drl_scheme.h"
 #include "fvl/util/random.h"
 #include "fvl/workload/bioaid.h"
@@ -57,7 +57,7 @@ BENCHMARK(BM_BoolMatrixPowerLog);
 struct QueryFixture {
   QueryFixture()
       : workload(MakeBioAid(2012)),
-        scheme(&workload.spec),
+        scheme(FvlScheme::Create(&workload.spec).value()),
         labeled(scheme.GenerateLabeledRun([] {
           RunGeneratorOptions options;
           options.target_items = 8000;

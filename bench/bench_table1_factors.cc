@@ -46,7 +46,7 @@ struct Metrics {
 
 Metrics Measure(const SyntheticOptions& options, const BenchConfig& config) {
   Workload workload = MakeSynthetic(options);
-  FvlScheme scheme(&workload.spec);
+  FvlScheme scheme = FvlScheme::Create(&workload.spec).value();
 
   RunGeneratorOptions run_options;
   run_options.target_items = config.quick ? 2000 : 8000;

@@ -12,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "fvl/core/scheme.h"
+#include "fvl/service/legacy_facade.h"
 #include "fvl/util/stopwatch.h"
 #include "fvl/util/table_printer.h"
 #include "fvl/workload/bioaid.h"

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "fvl/core/decoder.h"
-#include "fvl/core/scheme.h"
+#include "fvl/service/legacy_facade.h"
 #include "fvl/drl/drl_scheme.h"
 #include "fvl/util/stopwatch.h"
 #include "fvl/workload/bioaid.h"
@@ -21,7 +21,7 @@ using namespace fvl;
 
 int main() {
   Workload workload = MakeBioAid(2012);
-  FvlScheme scheme(&workload.spec);
+  FvlScheme scheme = FvlScheme::Create(&workload.spec).value();
 
   // The provenance store: five executions, labeled once each.
   std::vector<FvlScheme::LabeledRun> store;

@@ -1,55 +1,60 @@
-// Quickstart: the paper's running example end to end.
+// Quickstart: the paper's running example end to end, through the
+// ProvenanceService API.
 //
-// Builds the Figure-2 specification, derives a Figure-3-style run while
-// labeling it online, labels two views — the default (white-box) view U1 and
-// the grey-box security view U2 of Example 7 — and asks the Example-8
-// question "does d31 depend on d17?", whose answer differs between views.
+// Builds the Figure-2 specification, starts an online-labeling session,
+// derives a Figure-3-style run step by step, registers two views — the
+// default (white-box) view U1 and the grey-box security view U2 of
+// Example 7 — and asks the Example-8 question "does d31 depend on d17?",
+// whose answer differs between views.
 //
 //   $ ./quickstart
 
 #include <cstdio>
 
-#include "fvl/core/decoder.h"
-#include "fvl/core/scheme.h"
+#include "fvl/service/provenance_service.h"
 #include "fvl/workload/paper_example.h"
 
 using namespace fvl;
 
 int main() {
-  // 1. The specification G^λ (Figure 2) and the FVL scheme for it. The
-  //    constructor verifies the Thm.-8 preconditions: proper grammar,
-  //    strictly linear recursion, safe dependency assignment.
+  // 1. The specification G^λ (Figure 2) and a service hosting it. Create
+  //    verifies the Thm.-8 preconditions — proper grammar, strictly linear
+  //    recursion, safe dependency assignment — and reports a structured
+  //    error code if any fails. The service owns its copy of the spec.
   PaperExample example = MakePaperExample();
-  FvlScheme scheme(&example.spec);
+  Result<std::shared_ptr<ProvenanceService>> created =
+      ProvenanceService::Create(example.spec);
+  if (!created.ok()) {
+    std::printf("rejected: %s\n", created.status().ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<ProvenanceService> service = *created;
   std::printf("specification: %d modules, %d productions, %d cycles\n",
-              example.spec.grammar.num_modules(),
-              example.spec.grammar.num_productions(),
-              scheme.production_graph().num_cycles());
+              service->grammar().num_modules(),
+              service->grammar().num_productions(),
+              service->production_graph().num_cycles());
 
-  // 2. Derive a run while labeling each data item the moment it appears
-  //    (Def. 10's dynamic labeling). Apply p1, expand A via the A->B->A
-  //    recursion twice, close it with p3, then expand C's loop.
-  Run run(&example.spec.grammar);
-  RunLabeler labeler = scheme.MakeRunLabeler();
-  labeler.OnStart(run);
+  // 2. A session derives a run while labeling each data item the moment it
+  //    appears (Def. 10's dynamic labeling). Apply p1, expand A via the
+  //    A->B->A recursion twice, close it with p3, then expand C's loop.
+  std::shared_ptr<ProvenanceSession> session = service->BeginRun();
+  const Run& run = session->run();
   auto apply = [&](int instance, ProductionId production) {
-    const DerivationStep& step = run.Apply(instance, production);
-    labeler.OnApply(run, step);
-    return step;
+    return session->Apply(instance, production).value();
   };
-  const DerivationStep& s1 = apply(run.start_instance(), example.p[0]);
+  DerivationStep s1 = apply(run.start_instance(), example.p[0]);
   int A1 = s1.first_child + 2;
-  const DerivationStep& s2 = apply(A1, example.p[1]);
-  const DerivationStep& s3 = apply(s2.first_child + 1, example.p[3]);
-  const DerivationStep& s6 = apply(s3.first_child + 1, example.p[2]);
+  DerivationStep s2 = apply(A1, example.p[1]);
+  DerivationStep s3 = apply(s2.first_child + 1, example.p[3]);
+  DerivationStep s6 = apply(s3.first_child + 1, example.p[2]);
   int C4 = s6.first_child + 1;
-  const DerivationStep& s7 = apply(C4, example.p[4]);
+  DerivationStep s7 = apply(C4, example.p[4]);
   apply(s7.first_child + 1, example.p[6]);  // D via base case
   apply(s7.first_child + 2, example.p[7]);  // E
-  while (!run.IsComplete()) {
+  while (!session->complete()) {
     int instance = run.Frontier().front();
     ModuleId type = run.instance(instance).type;
-    apply(instance, example.spec.grammar.ProductionsOf(type).back());
+    apply(instance, service->grammar().ProductionsOf(type).back());
   }
   std::printf("run: %d data items in %d derivation steps\n", run.num_items(),
               run.num_steps());
@@ -57,33 +62,43 @@ int main() {
   // 3. Example-15-style data label of the item entering C:4's loop.
   int d21 = s7.first_item;
   std::printf("data label of item %d: %s (%lld bits)\n", d21,
-              labeler.Label(d21).ToString().c_str(),
-              static_cast<long long>(labeler.LabelBits(d21)));
+              session->Label(d21).ToString().c_str(),
+              static_cast<long long>(session->LabelBits(d21)));
 
-  // 4. Label the two views statically. View labels are independent of any
-  //    run; data labels are independent of any view.
-  std::string error;
-  auto u1 = *CompiledView::Compile(example.spec.grammar, example.default_view,
-                                   &error);
-  auto u2 =
-      *CompiledView::Compile(example.spec.grammar, example.grey_view, &error);
-  ViewLabel label_u1 = scheme.LabelView(u1, ViewLabelMode::kQueryEfficient);
-  ViewLabel label_u2 = scheme.LabelView(u2, ViewLabelMode::kQueryEfficient);
-  std::printf("view labels: U1 = %lld bits, U2 = %lld bits\n",
-              static_cast<long long>(label_u1.SizeBits()),
-              static_cast<long long>(label_u2.SizeBits()));
+  // 4. Register the views. The default view came pre-registered; U2 is
+  //    compiled, labeled and cached once — further registrations of the
+  //    same view return the same handle and do no new work. View labels
+  //    are independent of any run; data labels are independent of any view.
+  ViewHandle u1 = service->default_view();
+  ViewHandle u2 = service->RegisterView(example.grey_view).value();
+  std::printf(
+      "view labels: U1 = %lld bits, U2 = %lld bits\n",
+      static_cast<long long>(
+          service->LabelOf(u1, ViewLabelMode::kQueryEfficient)
+              .value()
+              ->SizeBits()),
+      static_cast<long long>(
+          service->LabelOf(u2, ViewLabelMode::kQueryEfficient)
+              .value()
+              ->SizeBits()));
 
   // 5. The Example-8 query: d31 (C:4's first output) vs d17 (C:4's first
   //    input). U2 hides C's internals behind black-box dependencies, so the
   //    answer flips from "no" to "yes".
   int d17 = run.InputItems(C4)[0];
   int d31 = run.OutputItems(C4)[0];
-  Decoder pi_u1(&label_u1);
-  Decoder pi_u2(&label_u2);
-  std::printf("does d31 depend on d17?  U1 (white-box): %s   U2 (grey-box): %s\n",
-              pi_u1.Depends(labeler.Label(d17), labeler.Label(d31)) ? "yes"
-                                                                    : "no",
-              pi_u2.Depends(labeler.Label(d17), labeler.Label(d31)) ? "yes"
-                                                                    : "no");
+  std::printf(
+      "does d31 depend on d17?  U1 (white-box): %s   U2 (grey-box): %s\n",
+      session->Depends(u1, d17, d31).value() ? "yes" : "no",
+      session->Depends(u2, d17, d31).value() ? "yes" : "no");
+
+  // 6. Freeze the session into a self-describing snapshot and answer the
+  //    same question batched, from the snapshot alone.
+  ProvenanceIndex index = session->Snapshot();
+  std::pair<int, int> queries[] = {{d17, d31}, {d31, d17}};
+  std::vector<bool> answers = service->DependsMany(u2, index, queries).value();
+  std::printf(
+      "batched over a %d-item snapshot (U2): d17->d31 %s, d31->d17 %s\n",
+      index.num_items(), answers[0] ? "yes" : "no", answers[1] ? "yes" : "no");
   return 0;
 }

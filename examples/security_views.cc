@@ -13,7 +13,7 @@
 #include <cstdio>
 
 #include "fvl/core/decoder.h"
-#include "fvl/core/scheme.h"
+#include "fvl/service/legacy_facade.h"
 #include "fvl/core/visibility.h"
 #include "fvl/workload/bioaid.h"
 #include "fvl/workload/query_generator.h"
@@ -23,7 +23,7 @@ using namespace fvl;
 
 int main() {
   Workload workload = MakeBioAid(2012);
-  FvlScheme scheme(&workload.spec);
+  FvlScheme scheme = FvlScheme::Create(&workload.spec).value();
 
   // One shared execution of the workflow, labeled online.
   RunGeneratorOptions run_options;

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "fvl/core/decoder.h"
-#include "fvl/core/scheme.h"
+#include "fvl/service/legacy_facade.h"
 #include "fvl/util/random.h"
 #include "fvl/workload/bioaid.h"
 
@@ -18,14 +18,13 @@ using namespace fvl;
 
 int main() {
   Workload workload = MakeBioAid(2012);
-  FvlScheme scheme(&workload.spec);
+  FvlScheme scheme = FvlScheme::Create(&workload.spec).value();
 
   // Static part, done once before the execution even starts: label the
   // abstraction view every user will query through.
   View default_view = MakeDefaultView(workload.spec);
-  std::string error;
   auto view =
-      *CompiledView::Compile(workload.spec.grammar, default_view, &error);
+      *CompiledView::Compile(workload.spec.grammar, default_view);
   ViewLabel view_label = scheme.LabelView(view, ViewLabelMode::kQueryEfficient);
   Decoder pi(&view_label);
 

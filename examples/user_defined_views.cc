@@ -10,7 +10,7 @@
 #include <cstdio>
 
 #include "fvl/core/decoder.h"
-#include "fvl/core/scheme.h"
+#include "fvl/service/legacy_facade.h"
 #include "fvl/core/visibility.h"
 #include "fvl/workload/paper_example.h"
 
@@ -18,7 +18,7 @@ using namespace fvl;
 
 int main() {
   PaperExample example = MakePaperExample();
-  FvlScheme scheme(&example.spec);
+  FvlScheme scheme = FvlScheme::Create(&example.spec).value();
 
   // A run labeled long before anyone defines the view below.
   RunGeneratorOptions run_options;
@@ -42,11 +42,11 @@ int main() {
                     /*name=*/"F",
                     /*perceived_deps=*/BoolMatrix::Full(2, 2)};
 
-  std::string error;
   auto view =
-      GroupedView::Compile(example.spec.grammar, base, {group}, &error);
+      GroupedView::Compile(example.spec.grammar, base, {group});
   if (!view.has_value()) {
-    std::printf("failed to compile grouped view: %s\n", error.c_str());
+    std::printf("failed to compile grouped view: %s\n",
+                view.status().ToString().c_str());
     return 1;
   }
   const GroupBoundary& boundary = view->boundary(0);

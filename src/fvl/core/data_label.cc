@@ -7,12 +7,22 @@
 namespace fvl {
 
 std::string EdgeLabel::ToString() const {
+  // Appends rather than an operator+ chain: GCC 12 flags the rvalue string
+  // operator+ overloads with a bogus -Wrestrict.
+  std::string out = "(";
   if (kind == Kind::kProduction) {
-    return "(" + std::to_string(production + 1) + "," +
-           std::to_string(position + 1) + ")";
+    out += std::to_string(production + 1);
+    out += ",";
+    out += std::to_string(position + 1);
+  } else {
+    out += std::to_string(cycle + 1);
+    out += ",";
+    out += std::to_string(start + 1);
+    out += ",";
+    out += std::to_string(iteration);
   }
-  return "(" + std::to_string(cycle + 1) + "," + std::to_string(start + 1) +
-         "," + std::to_string(iteration) + ")";
+  out += ")";
+  return out;
 }
 
 std::string PortLabel::ToString() const {
@@ -129,18 +139,24 @@ DataLabel LabelCodec::Decode(BitReader* reader) const {
   bool has_producer = reader->ReadFixed(1) == 1;
   bool has_consumer = reader->ReadFixed(1) == 1;
   std::vector<EdgeLabel> prefix;
+  // Every encoded edge is at least one bit, so bounding a length prefix by
+  // the remaining bits caps allocations on corrupt input.
   if (has_producer && has_consumer) {
-    size_t prefix_size = static_cast<size_t>(reader->ReadGamma() - 1);
-    prefix.reserve(prefix_size);
-    for (size_t i = 0; i < prefix_size; ++i) {
+    uint64_t prefix_size = reader->ReadGamma() - 1;
+    if (!reader->CheckRemaining(prefix_size)) return label;
+    prefix.reserve(static_cast<size_t>(std::min<uint64_t>(prefix_size, 1024)));
+    for (uint64_t i = 0; i < prefix_size && !reader->failed(); ++i) {
       prefix.push_back(DecodeEdge(reader));
     }
   }
   auto decode_side = [&]() {
     PortLabel side;
     side.path = prefix;
-    size_t suffix = static_cast<size_t>(reader->ReadGamma() - 1);
-    for (size_t i = 0; i < suffix; ++i) side.path.push_back(DecodeEdge(reader));
+    uint64_t suffix = reader->ReadGamma() - 1;
+    if (!reader->CheckRemaining(suffix)) return side;
+    for (uint64_t i = 0; i < suffix && !reader->failed(); ++i) {
+      side.path.push_back(DecodeEdge(reader));
+    }
     side.port = static_cast<int>(reader->ReadFixed(port_bits));
     return side;
   };

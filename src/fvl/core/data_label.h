@@ -79,12 +79,17 @@ struct DataLabel {
 // the encoder and decoder (spec-level knowledge, not part of the label).
 struct LabelCodec {
   explicit LabelCodec(const ProductionGraph& pg);
+  // All-zero widths; used when the widths are read back from a serialized
+  // header (ProvenanceIndex::Deserialize) instead of derived from a grammar.
+  LabelCodec() = default;
 
   int production_bits = 0;
   int position_bits = 0;
   int cycle_bits = 0;
   int start_bits = 0;
   int port_bits = 0;
+
+  friend bool operator==(const LabelCodec&, const LabelCodec&) = default;
 
   void EncodeEdge(const EdgeLabel& edge, BitWriter* writer) const;
   EdgeLabel DecodeEdge(BitReader* reader) const;

@@ -1,6 +1,7 @@
 #include "fvl/core/index.h"
 
 #include <cstring>
+#include <limits>
 
 #include "fvl/util/check.h"
 
@@ -8,7 +9,9 @@ namespace fvl {
 
 namespace {
 
-constexpr char kMagic[8] = {'F', 'V', 'L', 'I', 'D', 'X', '1', '\0'};
+// Version 2 added the codec field widths to the header, making the blob
+// self-describing (version 1 required the caller to supply the codec).
+constexpr char kMagic[8] = {'F', 'V', 'L', 'I', 'D', 'X', '2', '\0'};
 
 void AppendU64(std::string* out, uint64_t value) {
   for (int i = 0; i < 8; ++i) {
@@ -69,6 +72,12 @@ std::string ProvenanceIndex::Serialize() const {
   AppendU64(&blob, static_cast<uint64_t>(num_items()));
   AppendU64(&blob, static_cast<uint64_t>(arena_bits_));
 
+  // Codec field widths (self-description).
+  for (int width : {codec_.production_bits, codec_.position_bits,
+                    codec_.cycle_bits, codec_.start_bits, codec_.port_bits}) {
+    blob.push_back(static_cast<char>(width));
+  }
+
   // Offsets, bit-packed at the minimal fixed width.
   int offset_width = BitWidthFor(arena_bits_ + 1);
   blob.push_back(static_cast<char>(offset_width));
@@ -85,11 +94,9 @@ std::string ProvenanceIndex::Serialize() const {
   return blob;
 }
 
-std::optional<ProvenanceIndex> ProvenanceIndex::Deserialize(
-    const std::string& blob, const LabelCodec& codec, std::string* error) {
-  auto fail = [&](const std::string& message) -> std::optional<ProvenanceIndex> {
-    if (error != nullptr) *error = message;
-    return std::nullopt;
+Result<ProvenanceIndex> ProvenanceIndex::Deserialize(const std::string& blob) {
+  auto fail = [](const std::string& message) -> Status {
+    return Status::Error(ErrorCode::kMalformedBlob, message);
   };
   if (blob.size() < sizeof(kMagic) ||
       std::memcmp(blob.data(), kMagic, sizeof(kMagic)) != 0) {
@@ -100,6 +107,25 @@ std::optional<ProvenanceIndex> ProvenanceIndex::Deserialize(
   if (!ReadU64(blob, &pos, &num_items) || !ReadU64(blob, &pos, &arena_bits)) {
     return fail("truncated header");
   }
+  // Neither count can describe more bits than the blob itself carries;
+  // checking up front keeps the counts inside int64 range and bounds every
+  // allocation below by the blob size.
+  if (arena_bits / 8 > blob.size()) return fail("arena_bits exceeds blob");
+  if (num_items / 8 > blob.size()) return fail("num_items exceeds blob");
+  // num_items() narrows offsets_.size() - 1 to int.
+  if (num_items >= static_cast<uint64_t>(std::numeric_limits<int>::max())) {
+    return fail("num_items exceeds supported range");
+  }
+
+  LabelCodec codec;
+  if (pos + 5 > blob.size()) return fail("truncated codec widths");
+  int* widths[5] = {&codec.production_bits, &codec.position_bits,
+                    &codec.cycle_bits, &codec.start_bits, &codec.port_bits};
+  for (int* width : widths) {
+    *width = static_cast<unsigned char>(blob[pos++]);
+    if (*width > 64) return fail("codec width out of range");
+  }
+
   if (pos >= blob.size()) return fail("truncated header");
   int offset_width = static_cast<unsigned char>(blob[pos++]);
   if (offset_width != BitWidthFor(static_cast<int64_t>(arena_bits) + 1)) {
@@ -108,6 +134,10 @@ std::optional<ProvenanceIndex> ProvenanceIndex::Deserialize(
 
   uint64_t offset_words = 0;
   if (!ReadU64(blob, &pos, &offset_words)) return fail("truncated offsets");
+  if (offset_width > 0 &&
+      num_items > offset_words * 64 / static_cast<uint64_t>(offset_width)) {
+    return fail("offset table too small");
+  }
   BitWriter packed;
   for (uint64_t w = 0; w < offset_words; ++w) {
     uint64_t word = 0;
@@ -130,6 +160,7 @@ std::optional<ProvenanceIndex> ProvenanceIndex::Deserialize(
   uint64_t arena_words = 0;
   if (!ReadU64(blob, &pos, &arena_words)) return fail("truncated arena");
   if (arena_words < (arena_bits + 63) / 64) return fail("arena too small");
+  if (arena_words > blob.size() / 8) return fail("truncated arena");
   std::vector<uint64_t> words;
   words.reserve(arena_words);
   for (uint64_t w = 0; w < arena_words; ++w) {
@@ -138,8 +169,23 @@ std::optional<ProvenanceIndex> ProvenanceIndex::Deserialize(
     words.push_back(word);
   }
   if (pos != blob.size()) return fail("trailing bytes");
-  return ProvenanceIndex(codec, std::move(offsets), std::move(words),
-                         static_cast<int64_t>(arena_bits));
+
+  // The accessors FVL_CHECK that every span decodes exactly under the
+  // codec; an inconsistent blob (e.g. a flipped codec-width byte) must be
+  // rejected here, recoverably, rather than abort on first Label() call.
+  for (uint64_t item = 0; item < num_items; ++item) {
+    BitReader label_reader(&words, offsets[item], offsets[item + 1]);
+    label_reader.set_permissive();
+    codec.Decode(&label_reader);
+    if (label_reader.failed() || !label_reader.AtEnd()) {
+      std::string message = "label ";
+      message += std::to_string(item);
+      message += " does not decode under the blob's codec";
+      return fail(message);
+    }
+  }
+  return ProvenanceIndex(std::move(codec), std::move(offsets),
+                         std::move(words), static_cast<int64_t>(arena_bits));
 }
 
 }  // namespace fvl

@@ -6,13 +6,16 @@
 // resulting ProvenanceIndex is a position-independent blob that can be
 // serialized, mapped back, and queried without the Run or the labeler:
 //
-//   ProvenanceIndexBuilder builder(scheme.production_graph());
-//   ... builder.Add(item_id, label) for every item (or FromLabeledRun) ...
+//   ProvenanceIndexBuilder builder(service.production_graph());
+//   ... builder.Add(label) for every item (or FromLabeledRun) ...
 //   ProvenanceIndex index = std::move(builder).Build();
 //   std::string blob = index.Serialize();
-//   ProvenanceIndex restored = *ProvenanceIndex::Deserialize(blob, &error);
+//   ProvenanceIndex restored = ProvenanceIndex::Deserialize(blob).value();
 //   Decoder pi(&view_label);
 //   pi.Depends(restored.Label(d1), restored.Label(d2));
+//
+// The blob is self-describing: the codec's field widths travel in the
+// header, so deserialization needs no grammar or external LabelCodec.
 //
 // Labels decode on demand (queries pay one decode per side, a few hundred
 // ns); Label(i) results may be cached by callers that query hot items.
@@ -21,11 +24,11 @@
 #define FVL_CORE_INDEX_H_
 
 #include <cstdint>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "fvl/core/run_labeler.h"
+#include "fvl/util/status.h"
 
 namespace fvl {
 
@@ -52,6 +55,9 @@ class ProvenanceIndexBuilder {
 class ProvenanceIndex {
  public:
   int num_items() const { return static_cast<int>(offsets_.size()) - 1; }
+  // The codec the labels are encoded with; consumers can compare it against
+  // their grammar's codec before decoding (ProvenanceService does).
+  const LabelCodec& codec() const { return codec_; }
   // Total index size in bits (arena + offset table at minimal width).
   int64_t SizeBits() const;
 
@@ -62,11 +68,13 @@ class ProvenanceIndex {
     return offsets_[item + 1] - offsets_[item];
   }
 
-  // Stable little-endian binary format (header, offsets, arena).
+  // Stable little-endian binary format (header incl. codec widths, offsets,
+  // arena). Self-describing: Deserialize needs only the blob.
   std::string Serialize() const;
-  static std::optional<ProvenanceIndex> Deserialize(const std::string& blob,
-                                                    const LabelCodec& codec,
-                                                    std::string* error);
+  // Fails with kMalformedBlob on any parse error, including blobs whose
+  // label spans do not decode exactly under the embedded codec — a
+  // returned index never aborts in its accessors.
+  static Result<ProvenanceIndex> Deserialize(const std::string& blob);
 
  private:
   friend class ProvenanceIndexBuilder;

@@ -1,0 +1,41 @@
+#include "fvl/service/legacy_facade.h"
+
+#include "fvl/util/check.h"
+
+namespace fvl {
+
+Result<FvlScheme> FvlScheme::Create(const Specification* spec) {
+  Result<std::shared_ptr<ProvenanceService>> service =
+      ProvenanceService::CreateUnowned(spec);
+  if (!service.ok()) return service.status();
+  return FvlScheme(std::move(service).value());
+}
+
+ViewLabel FvlScheme::LabelView(const CompiledView& view,
+                               ViewLabelMode mode) const {
+  return ViewLabeler(&spec().grammar, &service_->production_graph())
+      .Label(view, mode);
+}
+
+ViewLabel FvlScheme::LabelView(const GroupedView& view,
+                               ViewLabelMode mode) const {
+  return ViewLabeler(&spec().grammar, &service_->production_graph())
+      .Label(view, mode);
+}
+
+FvlScheme::LabeledRun FvlScheme::GenerateLabeledRun(
+    const RunGeneratorOptions& options) const {
+  return service_->DeriveLabeledRun(options);
+}
+
+BasicDynamicLabeling::BasicDynamicLabeling(const FvlScheme* scheme)
+    : service_(scheme->service()),
+      labeler_(service_->MakeRunLabeler()),
+      decoder_(nullptr) {
+  Result<const Decoder*> decoder = service_->DecoderOf(
+      service_->default_view(), ViewLabelMode::kQueryEfficient);
+  FVL_CHECK(decoder.ok());
+  decoder_ = decoder.value();
+}
+
+}  // namespace fvl

@@ -1,0 +1,98 @@
+// Pre-service entry points, kept as thin wrappers over ProvenanceService so
+// existing callers keep working (see docs/MIGRATION.md for the mapping):
+//
+//   FvlScheme scheme = FvlScheme::Create(&spec).value();
+//   RunLabeler labeler = scheme.MakeRunLabeler();
+//   ... drive labeler.OnStart / OnApply while deriving ...
+//   ViewLabel vl = scheme.LabelView(view, ViewLabelMode::kQueryEfficient);
+//   Decoder pi(&vl);
+//   pi.Depends(labeler.Label(d1), labeler.Label(d2));
+//
+// FvlScheme::LabelView deliberately bypasses the service's view-label cache:
+// the labeling benchmarks (Fig. 19/22) time repeated labeling work through
+// it. New code should register views once and query through the service.
+//
+// BasicDynamicLabeling is the Thm.-1/Thm.-8 adapter: a (non-view-adaptive)
+// dynamic labeling scheme obtained by pairing every data label with the
+// default view's label — φ'(d) = (φr(d), φv(U_default)). Its view label and
+// decoder come from the service's registry cache.
+
+#ifndef FVL_SERVICE_LEGACY_FACADE_H_
+#define FVL_SERVICE_LEGACY_FACADE_H_
+
+#include <memory>
+
+#include "fvl/service/provenance_service.h"
+
+namespace fvl {
+
+class FvlScheme {
+ public:
+  // Checked construction with a structured error code per Thm.-8
+  // precondition. The caller keeps ownership of *spec, which must outlive
+  // the scheme (legacy contract — ProvenanceService::Create owns its spec).
+  static Result<FvlScheme> Create(const Specification* spec);
+
+  const Specification& spec() const { return service_->spec(); }
+  const Grammar& grammar() const { return service_->grammar(); }
+  const ProductionGraph& production_graph() const {
+    return service_->production_graph();
+  }
+  // The true full dependency assignment λ* of the specification.
+  const DependencyAssignment& true_full() const {
+    return service_->true_full();
+  }
+
+  RunLabeler MakeRunLabeler() const { return service_->MakeRunLabeler(); }
+  // Uncached: performs the full view-labeling work on every call.
+  ViewLabel LabelView(const CompiledView& view, ViewLabelMode mode) const;
+  ViewLabel LabelView(const GroupedView& view, ViewLabelMode mode) const;
+
+  // Derives a random run while labeling it online; returns run + labels.
+  using LabeledRun = ProvenanceService::LabeledRun;
+  LabeledRun GenerateLabeledRun(const RunGeneratorOptions& options) const;
+
+  // The service this facade wraps; shared with sessions and cached
+  // decoders.
+  const std::shared_ptr<ProvenanceService>& service() const {
+    return service_;
+  }
+
+ private:
+  explicit FvlScheme(std::shared_ptr<ProvenanceService> service)
+      : service_(std::move(service)) {}
+
+  std::shared_ptr<ProvenanceService> service_;
+};
+
+// Thm. 1 / Thm. 8: the basic (single-view) dynamic labeling scheme derived
+// from the view-adaptive one. Labels runs online for the default view.
+class BasicDynamicLabeling {
+ public:
+  explicit BasicDynamicLabeling(const FvlScheme* scheme);
+
+  void OnStart(const Run& run) { labeler_.OnStart(run); }
+  void OnApply(const Run& run, const DerivationStep& step) {
+    labeler_.OnApply(run, step);
+  }
+
+  // φ'(d) — conceptually (φr(d), φv(U_default)); the shared view label is a
+  // constant-size component (Thm. 10 part 2), so it is stored once (in the
+  // service's registry).
+  const DataLabel& DataPart(int item) const { return labeler_.Label(item); }
+  int64_t LabelBits(int item) const { return labeler_.LabelBits(item); }
+
+  // π'(φ'(d1), φ'(d2)).
+  bool Depends(int item1, int item2) const {
+    return decoder_->Depends(labeler_.Label(item1), labeler_.Label(item2));
+  }
+
+ private:
+  std::shared_ptr<ProvenanceService> service_;  // owns *decoder_
+  RunLabeler labeler_;
+  const Decoder* decoder_;
+};
+
+}  // namespace fvl
+
+#endif  // FVL_SERVICE_LEGACY_FACADE_H_

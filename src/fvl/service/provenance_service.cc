@@ -1,0 +1,379 @@
+#include "fvl/service/provenance_service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "fvl/core/index.h"
+#include "fvl/core/visibility.h"
+#include "fvl/util/check.h"
+#include "fvl/workflow/properness.h"
+
+namespace fvl {
+
+namespace {
+std::atomic<uint64_t> next_service_tag{1};
+}  // namespace
+
+ProvenanceService::ProvenanceService()
+    : tag_(next_service_tag.fetch_add(1, std::memory_order_relaxed)) {}
+
+Result<std::shared_ptr<ProvenanceService>> ProvenanceService::Create(
+    Specification spec) {
+  return Finish(std::make_shared<const Specification>(std::move(spec)));
+}
+
+Result<std::shared_ptr<ProvenanceService>> ProvenanceService::CreateUnowned(
+    const Specification* spec) {
+  // Aliasing shared_ptr with no control block: the caller owns *spec.
+  return Finish(std::shared_ptr<const Specification>(
+      std::shared_ptr<const Specification>(), spec));
+}
+
+Result<std::shared_ptr<ProvenanceService>> ProvenanceService::Finish(
+    std::shared_ptr<const Specification> spec) {
+  // Thm.-8 preconditions, each with its own error code.
+  if (auto validation = spec->Validate()) {
+    return Status::Error(ErrorCode::kInvalidSpecification, *validation);
+  }
+  PropernessReport properness = AnalyzeProperness(spec->grammar);
+  if (!properness.IsProper(spec->grammar)) {
+    return Status::Error(
+        ErrorCode::kImproperGrammar,
+        "grammar is not proper:\n" + properness.Describe(spec->grammar));
+  }
+  auto pg = std::make_unique<ProductionGraph>(&spec->grammar);
+  if (!pg->strictly_linear()) {
+    return Status::Error(
+        ErrorCode::kNotStrictlyLinearRecursive,
+        "grammar is not strictly linear-recursive (Thm. 8 precondition)");
+  }
+  Result<DependencyAssignment> safety =
+      CheckSafety(spec->grammar, spec->deps);
+  if (!safety.ok()) return safety.status();
+
+  std::shared_ptr<ProvenanceService> service(new ProvenanceService());
+  service->spec_ = std::move(spec);
+  service->pg_ = std::move(pg);
+  service->true_full_ = std::move(safety).value();
+  for (const Module& m : service->spec_->grammar.modules()) {
+    service->max_ports_ =
+        std::max({service->max_ports_, m.num_inputs, m.num_outputs});
+  }
+
+  Result<ViewHandle> default_view =
+      service->RegisterView(MakeDefaultView(service->spec()));
+  if (!default_view.ok()) return default_view.status();
+  service->default_view_ = default_view.value();
+  return service;
+}
+
+Result<ViewHandle> ProvenanceService::RegisterView(View view) {
+  // Registry hit: structurally equal views share one entry, so compilation
+  // and labeling happen once.
+  for (int id = 0; id < num_views(); ++id) {
+    if (views_[id]->regular.has_value() &&
+        views_[id]->regular->view() == view) {
+      return ViewHandle(id, tag_);
+    }
+  }
+  Result<CompiledView> compiled =
+      CompiledView::Compile(spec_->grammar, std::move(view));
+  if (!compiled.ok()) return compiled.status();
+
+  auto entry = std::make_unique<ViewEntry>();
+  entry->regular = std::move(compiled).value();
+  views_.push_back(std::move(entry));
+  return ViewHandle(num_views() - 1, tag_);
+}
+
+Result<ViewHandle> ProvenanceService::RegisterGroupedView(
+    View base, std::vector<ModuleGroup> groups) {
+  Result<GroupedView> compiled =
+      GroupedView::Compile(spec_->grammar, std::move(base), std::move(groups));
+  if (!compiled.ok()) return compiled.status();
+
+  auto entry = std::make_unique<ViewEntry>();
+  entry->grouped = std::move(compiled).value();
+  views_.push_back(std::move(entry));
+  return ViewHandle(num_views() - 1, tag_);
+}
+
+Result<const ProvenanceService::ViewEntry*> ProvenanceService::EntryOf(
+    ViewHandle handle) const {
+  if (!handle.valid() || handle.service_tag_ != tag_ ||
+      handle.id() >= num_views()) {
+    return Status::Error(ErrorCode::kNotFound,
+                         "view handle " + std::to_string(handle.id()) +
+                             " was not issued by this service");
+  }
+  return views_[handle.id()].get();
+}
+
+Result<ProvenanceService::ViewEntry*> ProvenanceService::EntryOf(
+    ViewHandle handle) {
+  Result<const ViewEntry*> entry = std::as_const(*this).EntryOf(handle);
+  if (!entry.ok()) return entry.status();
+  return const_cast<ViewEntry*>(*entry);
+}
+
+const ViewLabel& ProvenanceService::BuildLabel(ViewEntry& entry,
+                                               ViewLabelMode mode) {
+  auto& slot = entry.labels[static_cast<int>(mode)];
+  if (slot == nullptr) {
+    ViewLabeler labeler(&spec_->grammar, pg_.get());
+    slot = std::make_unique<ViewLabel>(
+        entry.regular.has_value() ? labeler.Label(*entry.regular, mode)
+                                  : labeler.Label(*entry.grouped, mode));
+    ++view_labelings_performed_;
+  }
+  return *slot;
+}
+
+Result<const ViewLabel*> ProvenanceService::LabelOf(ViewHandle handle,
+                                                    ViewLabelMode mode) {
+  Result<ViewEntry*> entry = EntryOf(handle);
+  if (!entry.ok()) return entry.status();
+  return &BuildLabel(**entry, mode);
+}
+
+Result<const Decoder*> ProvenanceService::DecoderOf(ViewHandle handle,
+                                                    ViewLabelMode mode) {
+  Result<ViewEntry*> entry = EntryOf(handle);
+  if (!entry.ok()) return entry.status();
+  auto& slot = (*entry)->decoders[static_cast<int>(mode)];
+  if (slot == nullptr) {
+    slot = std::make_unique<Decoder>(&BuildLabel(**entry, mode));
+  }
+  return slot.get();
+}
+
+Result<const CompiledView*> ProvenanceService::CompiledRegularView(
+    ViewHandle handle) const {
+  Result<const ViewEntry*> entry = EntryOf(handle);
+  if (!entry.ok()) return entry.status();
+  if (!(*entry)->regular.has_value()) {
+    return Status::Error(ErrorCode::kInvalidArgument,
+                         "handle refers to a §5 grouped view");
+  }
+  return &*(*entry)->regular;
+}
+
+std::shared_ptr<ProvenanceSession> ProvenanceService::BeginRun() {
+  return std::shared_ptr<ProvenanceSession>(
+      new ProvenanceSession(shared_from_this()));
+}
+
+std::shared_ptr<ProvenanceSession> ProvenanceService::GenerateLabeledRun(
+    const RunGeneratorOptions& options) {
+  LabeledRun labeled = DeriveLabeledRun(options);
+  return std::shared_ptr<ProvenanceSession>(
+      new ProvenanceSession(shared_from_this(), std::move(labeled.run),
+                            std::move(labeled.labeler)));
+}
+
+ProvenanceService::LabeledRun ProvenanceService::DeriveLabeledRun(
+    const RunGeneratorOptions& options) const {
+  RunLabeler labeler = MakeRunLabeler();
+  Run run = GenerateRandomRun(
+      spec_->grammar, options,
+      [&labeler](const Run& current, const DerivationStep* step) {
+        if (step == nullptr) {
+          labeler.OnStart(current);
+        } else {
+          labeler.OnApply(current, *step);
+        }
+      });
+  return {std::move(run), std::move(labeler)};
+}
+
+Result<bool> ProvenanceService::Depends(ViewHandle handle, const DataLabel& d1,
+                                        const DataLabel& d2,
+                                        ViewLabelMode mode) {
+  Result<const Decoder*> decoder = DecoderOf(handle, mode);
+  if (!decoder.ok()) return decoder.status();
+  return (*decoder)->Depends(d1, d2);
+}
+
+Result<std::vector<bool>> ProvenanceService::DependsMany(
+    ViewHandle handle, const ProvenanceIndex& index,
+    std::span<const std::pair<int, int>> queries, ViewLabelMode mode) {
+  if (Status status = CheckIndexCompatible(index); !status.ok()) {
+    return status;
+  }
+  Result<const Decoder*> decoder = DecoderOf(handle, mode);
+  if (!decoder.ok()) return decoder.status();
+
+  // Decode each distinct item once for the whole batch. Scratch is sized by
+  // the batch (hash map, node-stable references) unless the batch covers a
+  // good fraction of the snapshot, where the flat table's O(1) lookups win.
+  const bool dense = queries.size() * 4 >= static_cast<size_t>(index.num_items());
+  std::vector<DataLabel> decoded(dense ? index.num_items() : 0);
+  std::vector<char> have(dense ? index.num_items() : 0, 0);
+  std::unordered_map<int, DataLabel> sparse;
+  bool in_bounds = true;
+  auto label_of = [&](int item) -> const DataLabel& {
+    if (dense) {
+      if (!have[item]) {
+        decoded[item] = index.Label(item);
+        in_bounds = in_bounds && LabelInBounds(decoded[item]);
+        have[item] = 1;
+      }
+      return decoded[item];
+    }
+    auto [it, inserted] = sparse.try_emplace(item);
+    if (inserted) {
+      it->second = index.Label(item);
+      in_bounds = in_bounds && LabelInBounds(it->second);
+    }
+    return it->second;
+  };
+
+  std::vector<bool> answers;
+  answers.reserve(queries.size());
+  for (const auto& [d1, d2] : queries) {
+    if (d1 < 0 || d1 >= index.num_items() || d2 < 0 ||
+        d2 >= index.num_items()) {
+      return Status::Error(ErrorCode::kInvalidArgument,
+                           "query item (" + std::to_string(d1) + ", " +
+                               std::to_string(d2) + ") out of range [0, " +
+                               std::to_string(index.num_items()) + ")");
+    }
+    const DataLabel& l1 = label_of(d1);
+    const DataLabel& l2 = label_of(d2);
+    if (!in_bounds) {
+      return Status::Error(ErrorCode::kInvalidArgument,
+                           "index label fields are out of range for this "
+                           "service's grammar");
+    }
+    answers.push_back((*decoder)->Depends(l1, l2));
+  }
+  return answers;
+}
+
+bool ProvenanceService::LabelInBounds(const DataLabel& label) const {
+  auto edge_ok = [&](const EdgeLabel& e) {
+    if (e.kind == EdgeLabel::Kind::kProduction) {
+      if (e.production < 0 ||
+          e.production >= spec_->grammar.num_productions()) {
+        return false;
+      }
+      const Production& p = spec_->grammar.production(e.production);
+      return e.position >= 0 &&
+             e.position < static_cast<int>(p.rhs.members.size());
+    }
+    if (e.cycle < 0 || e.cycle >= pg_->num_cycles()) return false;
+    return e.start >= 0 && e.start < pg_->cycle(e.cycle).length() &&
+           e.iteration >= 1;
+  };
+  auto side_ok = [&](const std::optional<PortLabel>& side) {
+    if (!side.has_value()) return true;
+    for (const EdgeLabel& e : side->path) {
+      if (!edge_ok(e)) return false;
+    }
+    return side->port >= 0 && side->port < max_ports_;
+  };
+  return side_ok(label.producer) && side_ok(label.consumer);
+}
+
+Status ProvenanceService::CheckIndexCompatible(
+    const ProvenanceIndex& index) const {
+  // Labels from an index built for another specification would feed
+  // out-of-range production/cycle ids into the decoder's matrices. The
+  // codec widths are derived from the production graph, so a mismatch
+  // catches any index whose grammar differs structurally.
+  if (!(index.codec() == LabelCodec(*pg_))) {
+    return Status::Error(
+        ErrorCode::kInvalidArgument,
+        "index was not built for this service's specification");
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<bool>> ProvenanceService::VisibilitySweep(
+    ViewHandle handle, const ProvenanceIndex& index, ViewLabelMode mode) {
+  if (Status status = CheckIndexCompatible(index); !status.ok()) {
+    return status;
+  }
+  Result<const ViewLabel*> label = LabelOf(handle, mode);
+  if (!label.ok()) return label.status();
+  std::vector<bool> visible(index.num_items());
+  for (int item = 0; item < index.num_items(); ++item) {
+    DataLabel item_label = index.Label(item);
+    if (!LabelInBounds(item_label)) {
+      return Status::Error(ErrorCode::kInvalidArgument,
+                           "index label fields are out of range for this "
+                           "service's grammar");
+    }
+    visible[item] = IsItemVisible(item_label, **label);
+  }
+  return visible;
+}
+
+// --- ProvenanceSession -----------------------------------------------------
+
+ProvenanceSession::ProvenanceSession(
+    std::shared_ptr<ProvenanceService> service)
+    : service_(std::move(service)),
+      run_(&service_->grammar()),
+      labeler_(service_->MakeRunLabeler()) {
+  labeler_.OnStart(run_);
+}
+
+ProvenanceSession::ProvenanceSession(
+    std::shared_ptr<ProvenanceService> service, Run run, RunLabeler labeler)
+    : service_(std::move(service)),
+      run_(std::move(run)),
+      labeler_(std::move(labeler)) {}
+
+Result<DerivationStep> ProvenanceSession::Apply(int instance,
+                                                ProductionId production) {
+  if (instance < 0 || instance >= run_.num_instances()) {
+    return Status::Error(
+        ErrorCode::kInvalidArgument,
+        "instance " + std::to_string(instance) + " out of range");
+  }
+  if (run_.IsExpanded(instance)) {
+    return Status::Error(
+        ErrorCode::kInvalidArgument,
+        "instance " + std::to_string(instance) + " is already expanded");
+  }
+  if (production < 0 || production >= service_->grammar().num_productions()) {
+    return Status::Error(
+        ErrorCode::kInvalidArgument,
+        "production " + std::to_string(production) + " out of range");
+  }
+  ModuleId type = run_.instance(instance).type;
+  if (service_->grammar().production(production).lhs != type) {
+    return Status::Error(
+        ErrorCode::kInvalidArgument,
+        "production " + std::to_string(production) +
+            " does not expand module '" +
+            service_->grammar().module(type).name + "'");
+  }
+  const DerivationStep& step = run_.Apply(instance, production);
+  labeler_.OnApply(run_, step);
+  return step;
+}
+
+Result<bool> ProvenanceSession::Depends(ViewHandle view, int item1, int item2,
+                                        ViewLabelMode mode) {
+  if (item1 < 0 || item1 >= num_items() || item2 < 0 ||
+      item2 >= num_items()) {
+    return Status::Error(ErrorCode::kInvalidArgument,
+                         "item (" + std::to_string(item1) + ", " +
+                             std::to_string(item2) + ") out of range [0, " +
+                             std::to_string(num_items()) + ")");
+  }
+  return service_->Depends(view, labeler_.Label(item1), labeler_.Label(item2),
+                           mode);
+}
+
+ProvenanceIndex ProvenanceSession::Snapshot() const {
+  return ProvenanceIndexBuilder::FromLabeledRun(service_->production_graph(),
+                                                labeler_);
+}
+
+}  // namespace fvl

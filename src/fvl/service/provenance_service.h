@@ -1,0 +1,262 @@
+// fvl::ProvenanceService — the session-oriented public API of the library.
+//
+// The paper's pitch (Thm. 10) is reachability over provenance views as an
+// *online service*: data labels are computed while the workflow executes and
+// queries are answered in constant time from labels alone. The service layer
+// packages the machinery accordingly:
+//
+//   auto service = ProvenanceService::Create(std::move(spec)).value();
+//
+//   // Views are registered once; compilation, labeling (per ViewLabelMode)
+//   // and decoders are cached behind cheap handles.
+//   ViewHandle view = service->RegisterView(my_view).value();
+//
+//   // A session labels one run online while it derives.
+//   auto session = service->BeginRun();
+//   session->Apply(session->run().start_instance(), p1);
+//   ...
+//   bool dep = session->Depends(view, d1, d2).value();
+//
+//   // Sessions freeze into position-independent snapshots.
+//   ProvenanceIndex index = session->Snapshot();
+//   std::vector<bool> answers =
+//       service->DependsMany(view, index, queries).value();
+//
+// Ownership: the service owns its Specification, ProductionGraph and every
+// compiled/labeled view artifact; sessions share ownership of the service,
+// so no raw-pointer lifetime contracts leak into user code. The service is
+// not yet thread-safe: queries lazily populate the per-mode label/decoder
+// caches, so all access — registration, sessions, and queries — requires
+// external synchronization. ROADMAP.md tracks the locked registry and
+// server front-end that will lift this.
+
+#ifndef FVL_SERVICE_PROVENANCE_SERVICE_H_
+#define FVL_SERVICE_PROVENANCE_SERVICE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "fvl/core/decoder.h"
+#include "fvl/core/index.h"
+#include "fvl/core/run_labeler.h"
+#include "fvl/core/view_label.h"
+#include "fvl/run/run_generator.h"
+#include "fvl/util/status.h"
+
+namespace fvl {
+
+class ProvenanceService;
+class ProvenanceSession;
+
+// Cheap copyable handle to a view registered with a ProvenanceService.
+// Handles carry the issuing service's tag, so using one on a different
+// service is kNotFound rather than a silent lookup of an unrelated view.
+class ViewHandle {
+ public:
+  ViewHandle() = default;
+
+  bool valid() const { return id_ >= 0; }
+  int id() const { return id_; }
+
+  friend bool operator==(ViewHandle, ViewHandle) = default;
+
+ private:
+  friend class ProvenanceService;
+  ViewHandle(int id, uint64_t service_tag)
+      : id_(id), service_tag_(service_tag) {}
+
+  int id_ = -1;
+  uint64_t service_tag_ = 0;
+};
+
+class ProvenanceService
+    : public std::enable_shared_from_this<ProvenanceService> {
+ public:
+  // Checks the Thm.-8 preconditions and takes ownership of the
+  // specification. Error codes: kInvalidSpecification, kImproperGrammar,
+  // kNotStrictlyLinearRecursive, kUnsafeSpecification,
+  // kIncompleteAssignment — one per rejected-specification class.
+  static Result<std::shared_ptr<ProvenanceService>> Create(Specification spec);
+
+  // Legacy adapter for callers that keep the specification elsewhere:
+  // *spec must outlive the service. Prefer Create.
+  static Result<std::shared_ptr<ProvenanceService>> CreateUnowned(
+      const Specification* spec);
+
+  ProvenanceService(const ProvenanceService&) = delete;
+  ProvenanceService& operator=(const ProvenanceService&) = delete;
+
+  const Specification& spec() const { return *spec_; }
+  const Grammar& grammar() const { return spec_->grammar; }
+  const ProductionGraph& production_graph() const { return *pg_; }
+  // The true full dependency assignment λ* of the specification.
+  const DependencyAssignment& true_full() const { return true_full_; }
+
+  // --- View registry ------------------------------------------------------
+
+  // Compiles and registers a view. Registering a structurally equal view
+  // again returns the existing handle — compilation, view labeling and
+  // decoder construction happen once per registered view (per mode).
+  Result<ViewHandle> RegisterView(View view);
+
+  // §5 user-defined (grouped) views. Not deduplicated.
+  Result<ViewHandle> RegisterGroupedView(View base,
+                                         std::vector<ModuleGroup> groups);
+
+  // The default view (Δ, λ), registered at construction.
+  ViewHandle default_view() const { return default_view_; }
+  int num_views() const { return static_cast<int>(views_.size()); }
+
+  // The cached φv(U) for a handle; computed on first request per mode. The
+  // pointer is stable for the service's lifetime.
+  Result<const ViewLabel*> LabelOf(ViewHandle handle, ViewLabelMode mode);
+  // The cached decoding predicate π for a handle.
+  Result<const Decoder*> DecoderOf(ViewHandle handle, ViewLabelMode mode);
+  // The compiled form of a registered regular view (kInvalidArgument for
+  // grouped handles); used by oracles and projections.
+  Result<const CompiledView*> CompiledRegularView(ViewHandle handle) const;
+
+  // Number of ViewLabeler::Label executions performed so far — observable
+  // cache-effectiveness metric (asserted by tests/service_test.cc).
+  int64_t view_labelings_performed() const {
+    return view_labelings_performed_;
+  }
+
+  // --- Sessions -----------------------------------------------------------
+
+  // Starts labeling a new run online (Def. 10). Sessions are independent:
+  // any number of concurrent runs may be labeled against one service.
+  std::shared_ptr<ProvenanceSession> BeginRun();
+
+  // Derives a random run to completion while labeling it online.
+  std::shared_ptr<ProvenanceSession> GenerateLabeledRun(
+      const RunGeneratorOptions& options);
+
+  // The run/labeler pair behind GenerateLabeledRun, without the session
+  // (the legacy facade hands the pair straight to callers).
+  struct LabeledRun {
+    Run run;
+    RunLabeler labeler;
+  };
+  LabeledRun DeriveLabeledRun(const RunGeneratorOptions& options) const;
+
+  // A fresh labeler bound to this service's grammar (building block for the
+  // legacy facade; sessions are the primary interface).
+  RunLabeler MakeRunLabeler() const {
+    return RunLabeler(&spec_->grammar, pg_.get());
+  }
+
+  // --- Queries ------------------------------------------------------------
+
+  // π(φr(d1), φr(d2), φv(U)) through the cached decoder.
+  Result<bool> Depends(ViewHandle handle, const DataLabel& d1,
+                       const DataLabel& d2,
+                       ViewLabelMode mode = ViewLabelMode::kQueryEfficient);
+
+  // Batch entry point: answers queries[i] = {d1, d2} (item ids into
+  // `index`) against one view. Each distinct item is decoded once per call,
+  // amortizing decode cost across the batch (see
+  // bench/bench_service_throughput.cc). Fails with kInvalidArgument if any
+  // item id is out of range or the index was built for a different
+  // specification (its codec disagrees with this service's grammar).
+  Result<std::vector<bool>> DependsMany(
+      ViewHandle handle, const ProvenanceIndex& index,
+      std::span<const std::pair<int, int>> queries,
+      ViewLabelMode mode = ViewLabelMode::kQueryEfficient);
+
+  // Visibility sweep (§5): per item of `index`, whether it is visible in
+  // the view's projection of the run.
+  Result<std::vector<bool>> VisibilitySweep(
+      ViewHandle handle, const ProvenanceIndex& index,
+      ViewLabelMode mode = ViewLabelMode::kQueryEfficient);
+
+ private:
+  struct ViewEntry {
+    // Exactly one of regular/grouped is set; the registry dedups regular
+    // views against CompiledView::view().
+    std::optional<CompiledView> regular;
+    std::optional<GroupedView> grouped;
+    // Lazily built, one slot per ViewLabelMode; unique_ptr for address
+    // stability (decoders point at their label).
+    std::array<std::unique_ptr<ViewLabel>, 3> labels;
+    std::array<std::unique_ptr<Decoder>, 3> decoders;
+  };
+
+  ProvenanceService();
+
+  // Shared Thm.-8 validation + default-view registration.
+  static Result<std::shared_ptr<ProvenanceService>> Finish(
+      std::shared_ptr<const Specification> spec);
+
+  Result<const ViewEntry*> EntryOf(ViewHandle handle) const;
+  Result<ViewEntry*> EntryOf(ViewHandle handle);
+  Status CheckIndexCompatible(const ProvenanceIndex& index) const;
+  // Whether every decoded field indexes inside this grammar's tables; the
+  // decoder reads matrices unchecked, so untrusted labels are vetted here.
+  bool LabelInBounds(const DataLabel& label) const;
+  const ViewLabel& BuildLabel(ViewEntry& entry, ViewLabelMode mode);
+
+  std::shared_ptr<const Specification> spec_;
+  std::unique_ptr<ProductionGraph> pg_;  // refers into *spec_
+  DependencyAssignment true_full_;
+
+  std::vector<std::unique_ptr<ViewEntry>> views_;
+  ViewHandle default_view_;
+  int64_t view_labelings_performed_ = 0;
+  uint64_t tag_;  // process-unique issuer tag stamped into handles
+  int max_ports_ = 0;  // max input/output arity across modules
+};
+
+// One run labeled online (Def. 10). Obtained from
+// ProvenanceService::BeginRun; keeps its service alive.
+class ProvenanceSession {
+ public:
+  const Run& run() const { return run_; }
+  const RunLabeler& labeler() const { return labeler_; }
+  const std::shared_ptr<ProvenanceService>& service() const {
+    return service_;
+  }
+
+  int num_items() const { return run_.num_items(); }
+  bool complete() const { return run_.IsComplete(); }
+
+  // φr(d) — assigned the moment the item appeared; immutable afterwards.
+  const DataLabel& Label(int item) const { return labeler_.Label(item); }
+  int64_t LabelBits(int item) const { return labeler_.LabelBits(item); }
+
+  // Applies one derivation step and labels the items it creates. Fails with
+  // kInvalidArgument (instead of aborting like Run::Apply) when the
+  // instance/production pair is not applicable. Returns the recorded step
+  // by value — references into the growing run do not survive later steps.
+  Result<DerivationStep> Apply(int instance, ProductionId production);
+
+  // Constant-time query from labels alone, against a registered view.
+  Result<bool> Depends(ViewHandle view, int item1, int item2,
+                       ViewLabelMode mode = ViewLabelMode::kQueryEfficient);
+
+  // Freezes the labels assigned so far into a position-independent,
+  // serializable snapshot. The session may keep deriving afterwards.
+  ProvenanceIndex Snapshot() const;
+
+ private:
+  friend class ProvenanceService;
+
+  // Fresh run.
+  explicit ProvenanceSession(std::shared_ptr<ProvenanceService> service);
+  // Adopts an already-derived, already-labeled run.
+  ProvenanceSession(std::shared_ptr<ProvenanceService> service, Run run,
+                    RunLabeler labeler);
+
+  std::shared_ptr<ProvenanceService> service_;
+  Run run_;
+  RunLabeler labeler_;
+};
+
+}  // namespace fvl
+
+#endif  // FVL_SERVICE_PROVENANCE_SERVICE_H_

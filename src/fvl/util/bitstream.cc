@@ -30,10 +30,21 @@ void BitWriter::WriteGamma(uint64_t value) {
 }
 
 bool BitReader::ReadBit() {
-  FVL_CHECK(position_ < size_bits_);
+  if (position_ >= size_bits_) {
+    FVL_CHECK(permissive_);
+    failed_ = true;
+    return true;  // terminates gamma zero-scans
+  }
   bool bit = ((*words_)[position_ / 64] >> (position_ % 64)) & 1;
   ++position_;
   return bit;
+}
+
+bool BitReader::CheckRemaining(uint64_t bits) {
+  if (bits <= static_cast<uint64_t>(size_bits_ - position_)) return true;
+  FVL_CHECK(permissive_);
+  failed_ = true;
+  return false;
 }
 
 uint64_t BitReader::ReadFixed(int width) {

@@ -49,12 +49,26 @@ class BitReader {
   int64_t position() const { return position_; }
   bool AtEnd() const { return position_ == size_bits_; }
 
+  // Non-aborting mode for untrusted input: reads past the end return
+  // one-bits (so gamma scans terminate) and set failed() instead of
+  // FVL_CHECK-aborting. Used by ProvenanceIndex::Deserialize to validate
+  // blobs at the door.
+  void set_permissive() { permissive_ = true; }
+  bool failed() const { return failed_; }
+
+  // True if at least `bits` bits remain. A shortfall sets failed() in
+  // permissive mode and aborts otherwise; call before trusting a
+  // length-prefixed count read from the stream.
+  bool CheckRemaining(uint64_t bits);
+
  private:
   bool ReadBit();
 
   const std::vector<uint64_t>* words_;
   int64_t size_bits_;
   int64_t position_ = 0;
+  bool permissive_ = false;
+  bool failed_ = false;
 };
 
 // Number of bits needed to store values in [0, n-1] as a fixed-width field;

@@ -1,0 +1,48 @@
+#include "fvl/util/status.h"
+
+namespace fvl {
+
+const char* ToString(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kInvalidArgument:
+      return "invalid-argument";
+    case ErrorCode::kNotFound:
+      return "not-found";
+    case ErrorCode::kInvalidSpecification:
+      return "invalid-specification";
+    case ErrorCode::kImproperGrammar:
+      return "improper-grammar";
+    case ErrorCode::kNotStrictlyLinearRecursive:
+      return "not-strictly-linear-recursive";
+    case ErrorCode::kUnsafeSpecification:
+      return "unsafe-specification";
+    case ErrorCode::kIncompleteAssignment:
+      return "incomplete-assignment";
+    case ErrorCode::kInvalidView:
+      return "invalid-view";
+    case ErrorCode::kImproperView:
+      return "improper-view";
+    case ErrorCode::kUnsafeView:
+      return "unsafe-view";
+    case ErrorCode::kInvalidGroup:
+      return "invalid-group";
+    case ErrorCode::kMalformedBlob:
+      return "malformed-blob";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  // Appends rather than an operator+ chain: GCC 12 flags the rvalue
+  // operator+(const char*, string&&) overload with a bogus -Wrestrict.
+  std::string out = "[";
+  out += fvl::ToString(code_);
+  out += "] ";
+  out += message_;
+  return out;
+}
+
+}  // namespace fvl

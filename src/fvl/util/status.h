@@ -1,0 +1,141 @@
+// Recoverable-error reporting for all fallible construction and loading.
+//
+// Library code does not use exceptions (docs/DESIGN.md); invalid *input*
+// (specifications, views, serialized blobs, query arguments) is reported
+// through Status / Result<T> values with a structured error code, while
+// violated internal invariants still abort via FVL_CHECK. Every rejected
+// Thm.-8 precondition has its own code, so callers (and tests) can
+// distinguish *which* requirement failed without parsing messages:
+//
+//   Result<CompiledView> view = CompiledView::Compile(grammar, v);
+//   if (!view.ok()) {
+//     switch (view.code()) { case ErrorCode::kUnsafeView: ... }
+//   }
+//   Decoder pi(&view.value()); ...
+//
+// Result<T>::value() on an error aborts (programmer error, like
+// std::optional::value without a check); use ok()/status() first on
+// untrusted input.
+
+#ifndef FVL_UTIL_STATUS_H_
+#define FVL_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "fvl/util/check.h"
+
+namespace fvl {
+
+enum class ErrorCode : unsigned char {
+  kOk = 0,
+  // Generic bad arguments: out-of-range items, wrong session state, ...
+  kInvalidArgument,
+  // Unknown handle (view/session was never registered here).
+  kNotFound,
+  // Structural specification errors (Grammar/Specification::Validate).
+  kInvalidSpecification,
+  // Thm.-8 precondition 1: the grammar is not proper (Def. 5).
+  kImproperGrammar,
+  // Thm.-8 precondition 2: cycles of P(G) are not vertex-disjoint (Def. 16).
+  kNotStrictlyLinearRecursive,
+  // Thm.-8 precondition 3: the specification is unsafe (Def. 13).
+  kUnsafeSpecification,
+  // A required dependency assignment (λ or λ') is missing or ill-formed.
+  kIncompleteAssignment,
+  // Structural view errors (flag vector shape, expandable atomic, ...).
+  kInvalidView,
+  // The restricted grammar G_Δ' is not proper.
+  kImproperView,
+  // The view's perceived assignment is unsafe (Def. 13 applied to G_U).
+  kUnsafeView,
+  // Structural §5 grouping errors (bad positions, severed recursion, ...).
+  kInvalidGroup,
+  // A serialized blob fails to parse.
+  kMalformedBlob,
+};
+
+// Short stable identifier, e.g. "unsafe-view".
+const char* ToString(ErrorCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+
+  static Status Ok() { return Status(); }
+  static Status Error(ErrorCode code, std::string message) {
+    FVL_DCHECK(code != ErrorCode::kOk);
+    Status status;
+    status.code_ = code;
+    status.message_ = std::move(message);
+    return status;
+  }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  // "[unsafe-view] view is unsafe: ..." (or "OK").
+  std::string ToString() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+// Either a T or an error Status; modeled after absl::StatusOr but
+// self-contained. Implicitly constructible from both, so fallible factories
+// can `return Status::Error(...)` or `return std::move(object)` directly.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(const T& value) : value_(value) {}
+  Result(T&& value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    FVL_CHECK(!status_.ok());  // use the value constructor for success
+  }
+
+  bool ok() const { return value_.has_value(); }
+  bool has_value() const { return ok(); }
+
+  // OK for successful results.
+  const Status& status() const { return status_; }
+  ErrorCode code() const { return status_.code(); }
+
+  // Abort on error (the FVL_CHECK carries the status message via logging
+  // below); check ok() first when the input is untrusted.
+  const T& value() const& {
+    EnsureOk();
+    return *value_;
+  }
+  T& value() & {
+    EnsureOk();
+    return *value_;
+  }
+  T&& value() && {
+    EnsureOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value on error: %s\n",
+                   status_.ToString().c_str());
+      FVL_CHECK(false && "Result::value called on an error Result");
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace fvl
+
+#endif  // FVL_UTIL_STATUS_H_

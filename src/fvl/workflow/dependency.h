@@ -41,6 +41,10 @@ class DependencyAssignment {
       const std::vector<Module>& modules,
       const std::vector<ModuleId>& required) const;
 
+  // Structural equality (same defined set, same matrices) — lets views be
+  // deduplicated by the service's view registry.
+  bool operator==(const DependencyAssignment&) const = default;
+
  private:
   std::vector<std::optional<BoolMatrix>> deps_;
 };

@@ -156,7 +156,7 @@ PropernessReport AnalyzeProperness(const Grammar& g) {
   return report;
 }
 
-std::optional<Grammar> MakeProper(const Grammar& g, std::string* error) {
+Result<Grammar> MakeProper(const Grammar& g) {
   // Step 1: eliminate unit cycles. Modules on a common unit cycle derive
   // exactly each other's workflows; we merge their production sets onto each
   // member and drop the intra-cycle unit productions.
@@ -206,11 +206,10 @@ std::optional<Grammar> MakeProper(const Grammar& g, std::string* error) {
                               same_class(p.lhs, p.rhs.members[0]);
       if (intra_class_unit) {
         if (!UnitBijectionIsIdentity(p)) {
-          if (error != nullptr) {
-            *error = "unit cycle with non-identity port bijection through '" +
-                     working.module(p.lhs).name + "' is not supported";
-          }
-          return std::nullopt;
+          return Status::Error(
+              ErrorCode::kImproperGrammar,
+              "unit cycle with non-identity port bijection through '" +
+                  working.module(p.lhs).name + "' is not supported");
         }
         continue;  // drop
       }
@@ -243,8 +242,8 @@ std::optional<Grammar> MakeProper(const Grammar& g, std::string* error) {
   // Step 2: drop productions that mention unproductive modules.
   std::vector<bool> productive = ComputeProductive(working);
   if (!productive[working.start()]) {
-    if (error != nullptr) *error = "language is empty (start is unproductive)";
-    return std::nullopt;
+    return Status::Error(ErrorCode::kImproperGrammar,
+                         "language is empty (start is unproductive)");
   }
   std::vector<Production> surviving;
   for (ProductionId k = 0; k < working.num_productions(); ++k) {

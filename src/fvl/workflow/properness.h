@@ -10,10 +10,10 @@
 #ifndef FVL_WORKFLOW_PROPERNESS_H_
 #define FVL_WORKFLOW_PROPERNESS_H_
 
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "fvl/util/status.h"
 #include "fvl/workflow/grammar.h"
 
 namespace fvl {
@@ -30,11 +30,11 @@ struct PropernessReport {
 
 PropernessReport AnalyzeProperness(const Grammar& g);
 
-// Language-preserving properness transformation. Returns std::nullopt if the
-// language is empty (the start module is unproductive) or if a unit cycle
-// with non-identity port bijections is encountered (unsupported; see
-// docs/DESIGN.md §7).
-std::optional<Grammar> MakeProper(const Grammar& g, std::string* error);
+// Language-preserving properness transformation. Fails with
+// kImproperGrammar if the language is empty (the start module is
+// unproductive) or if a unit cycle with non-identity port bijections is
+// encountered (unsupported; see docs/DESIGN.md §7).
+Result<Grammar> MakeProper(const Grammar& g);
 
 }  // namespace fvl
 

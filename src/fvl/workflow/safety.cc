@@ -7,10 +7,9 @@
 
 namespace fvl {
 
-SafetyResult CheckSafety(const Grammar& grammar,
-                         const DependencyAssignment& base_deps,
-                         const std::vector<bool>* composite) {
-  SafetyResult result;
+Result<DependencyAssignment> CheckSafety(const Grammar& grammar,
+                                         const DependencyAssignment& base_deps,
+                                         const std::vector<bool>* composite) {
   auto is_composite = [&](ModuleId m) {
     return composite != nullptr ? (*composite)[m] : grammar.is_composite(m);
   };
@@ -41,10 +40,11 @@ SafetyResult CheckSafety(const Grammar& grammar,
       if (counted[member]) continue;
       counted[member] = true;
       if (!is_composite(member) && !full.IsDefined(member)) {
-        result.error = "module '" + grammar.module(member).name +
-                       "' is used by production " + std::to_string(k + 1) +
-                       " but has no dependency assignment";
-        return result;
+        return Status::Error(
+            ErrorCode::kIncompleteAssignment,
+            "module '" + grammar.module(member).name +
+                "' is used by production " + std::to_string(k + 1) +
+                " but has no dependency assignment");
       }
       if (!full.IsDefined(member)) {
         ++undefined_members[k];
@@ -64,12 +64,12 @@ SafetyResult CheckSafety(const Grammar& grammar,
     BoolMatrix reach = port_graph.InitialToFinal();
     if (full.IsDefined(p.lhs)) {
       if (full.Get(p.lhs) != reach) {
-        result.error = "production " + std::to_string(k + 1) +
-                       " is inconsistent with the full assignment of '" +
-                       grammar.module(p.lhs).name + "':\nexpected\n" +
-                       full.Get(p.lhs).ToString() + "\ngot\n" +
-                       reach.ToString();
-        return result;
+        return Status::Error(
+            ErrorCode::kUnsafeSpecification,
+            "production " + std::to_string(k + 1) +
+                " is inconsistent with the full assignment of '" +
+                grammar.module(p.lhs).name + "':\nexpected\n" +
+                full.Get(p.lhs).ToString() + "\ngot\n" + reach.ToString());
       }
     } else {
       full.Set(p.lhs, reach);
@@ -80,15 +80,13 @@ SafetyResult CheckSafety(const Grammar& grammar,
   }
 
   if (processed != static_cast<int>(active.size())) {
-    result.error =
+    return Status::Error(
+        ErrorCode::kImproperGrammar,
         "some productions never became verifiable (grammar or view is not "
-        "proper: unproductive composite modules)";
-    return result;
+        "proper: unproductive composite modules)");
   }
 
-  result.safe = true;
-  result.full = std::move(full);
-  return result;
+  return full;
 }
 
 }  // namespace fvl

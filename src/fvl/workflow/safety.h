@@ -10,6 +10,10 @@
 // CheckSafety implements the paper's worklist algorithm: productions become
 // verifiable once λ* is defined for all their members; the first production
 // of a module defines λ*(M), later ones must agree. Runs in O(|G|^2).
+// On success the result holds λ*; failures carry a structured code:
+// kIncompleteAssignment (a member has no λ), kUnsafeSpecification (two
+// productions disagree), kImproperGrammar (a production never became
+// verifiable).
 //
 // The same routine checks safety of views: pass the per-module
 // "composite in this view" flags and the view's perceived assignment λ'.
@@ -17,26 +21,20 @@
 #ifndef FVL_WORKFLOW_SAFETY_H_
 #define FVL_WORKFLOW_SAFETY_H_
 
-#include <string>
 #include <vector>
 
+#include "fvl/util/status.h"
 #include "fvl/workflow/grammar.h"
 
 namespace fvl {
-
-struct SafetyResult {
-  bool safe = false;
-  std::string error;           // set when !safe
-  DependencyAssignment full;   // λ*; meaningful only when safe
-};
 
 // `composite` selects which modules are treated as composite (their
 // productions are active); modules not in `composite` must have `base_deps`
 // defined if they occur in an active production. Pass nullptr to use the
 // grammar's own composite set (= safety of the specification itself).
-SafetyResult CheckSafety(const Grammar& grammar,
-                         const DependencyAssignment& base_deps,
-                         const std::vector<bool>* composite = nullptr);
+Result<DependencyAssignment> CheckSafety(
+    const Grammar& grammar, const DependencyAssignment& base_deps,
+    const std::vector<bool>* composite = nullptr);
 
 }  // namespace fvl
 

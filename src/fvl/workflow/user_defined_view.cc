@@ -64,7 +64,7 @@ Grammar BuildVirtualGrammar(const Grammar& grammar,
                             const std::vector<ModuleGroup>& groups,
                             const std::vector<GroupBoundary>& boundaries,
                             std::vector<ModuleId>* group_module_ids,
-                            std::string* error) {
+                            Status* error) {
   std::vector<Module> modules = grammar.modules();
   std::vector<bool> composite(grammar.num_modules());
   for (ModuleId m = 0; m < grammar.num_modules(); ++m) {
@@ -159,9 +159,9 @@ Grammar BuildVirtualGrammar(const Grammar& grammar,
       }
       std::vector<int> order = TopologicalOrder(member_dag);
       if (order.empty()) {
-        if (error != nullptr) {
-          *error = "grouping creates a cycle through '" + groups[gi].name + "'";
-        }
+        *error = Status::Error(
+            ErrorCode::kInvalidGroup,
+            "grouping creates a cycle through '" + groups[gi].name + "'");
         return Grammar();
       }
       std::vector<int> rank(w9.num_members());
@@ -209,7 +209,8 @@ Grammar BuildVirtualGrammar(const Grammar& grammar,
   Grammar result(std::move(modules), std::move(composite), grammar.start(),
                  std::move(productions));
   if (auto validation = result.Validate()) {
-    if (error != nullptr) *error = "virtual grammar invalid: " + *validation;
+    *error = Status::Error(ErrorCode::kInvalidGroup,
+                           "virtual grammar invalid: " + *validation);
     return Grammar();
   }
   return result;
@@ -217,13 +218,10 @@ Grammar BuildVirtualGrammar(const Grammar& grammar,
 
 }  // namespace
 
-std::optional<GroupedView> GroupedView::Compile(const Grammar& grammar,
-                                                View base,
-                                                std::vector<ModuleGroup> groups,
-                                                std::string* error) {
-  auto fail = [&](const std::string& message) -> std::optional<GroupedView> {
-    if (error != nullptr) *error = message;
-    return std::nullopt;
+Result<GroupedView> GroupedView::Compile(const Grammar& grammar, View base,
+                                         std::vector<ModuleGroup> groups) {
+  auto fail = [](const std::string& message) -> Status {
+    return Status::Error(ErrorCode::kInvalidGroup, message);
   };
 
   GroupedView result;
@@ -282,10 +280,11 @@ std::optional<GroupedView> GroupedView::Compile(const Grammar& grammar,
   result.groups_ = std::move(groups);
 
   // Virtual grammar + safety of the projected view.
+  Status virtual_error;
   Grammar virtual_grammar =
       BuildVirtualGrammar(grammar, result.groups_, result.boundaries_,
-                          &result.virtual_group_module_, error);
-  if (virtual_grammar.num_modules() == 0) return std::nullopt;
+                          &result.virtual_group_module_, &virtual_error);
+  if (virtual_grammar.num_modules() == 0) return virtual_error;
   result.virtual_grammar_ =
       std::make_shared<const Grammar>(std::move(virtual_grammar));
 
@@ -297,11 +296,10 @@ std::optional<GroupedView> GroupedView::Compile(const Grammar& grammar,
     virtual_view.perceived.Set(result.virtual_group_module_[gi],
                                result.groups_[gi].perceived_deps);
   }
-  std::string compile_error;
-  auto compiled = CompiledView::Compile(*result.virtual_grammar_, virtual_view,
-                                        &compile_error);
-  if (!compiled.has_value()) return fail(compile_error);
-  result.base_ = std::move(*compiled);
+  Result<CompiledView> compiled =
+      CompiledView::Compile(*result.virtual_grammar_, std::move(virtual_view));
+  if (!compiled.ok()) return compiled.status();
+  result.base_ = std::move(compiled).value();
 
   // Overlays for labeling against the original grammar.
   for (size_t gi = 0; gi < result.groups_.size(); ++gi) {

@@ -15,10 +15,10 @@
 #define FVL_WORKFLOW_USER_DEFINED_VIEW_H_
 
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "fvl/util/status.h"
 #include "fvl/workflow/port_graph.h"
 #include "fvl/workflow/view.h"
 
@@ -52,9 +52,10 @@ class GroupedView {
   // `base` is the regular (Δ', λ') part. Grouped members must not be
   // expandable in `base`, and at most one group per production (a pragmatic
   // restriction; multiple disjoint groups would compose the same way).
-  static std::optional<GroupedView> Compile(const Grammar& grammar, View base,
-                                            std::vector<ModuleGroup> groups,
-                                            std::string* error);
+  // Structural grouping errors report kInvalidGroup; errors of the projected
+  // regular view keep their CompiledView::Compile codes.
+  static Result<GroupedView> Compile(const Grammar& grammar, View base,
+                                     std::vector<ModuleGroup> groups);
 
   const Grammar& grammar() const { return *grammar_; }
   const CompiledView& base() const { return base_; }

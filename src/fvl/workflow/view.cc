@@ -16,25 +16,23 @@ View MakeDefaultView(const Specification& spec) {
   return view;
 }
 
-std::optional<CompiledView> CompiledView::Compile(const Grammar& grammar,
-                                                  View view,
-                                                  std::string* error) {
-  auto fail = [&](const std::string& message) -> std::optional<CompiledView> {
-    if (error != nullptr) *error = message;
-    return std::nullopt;
-  };
-
+Result<CompiledView> CompiledView::Compile(const Grammar& grammar,
+                                           View view) {
   if (static_cast<int>(view.expandable.size()) != grammar.num_modules()) {
-    return fail("expandable flags do not match the module table");
+    return Status::Error(ErrorCode::kInvalidView,
+                         "expandable flags do not match the module table");
   }
   for (ModuleId m = 0; m < grammar.num_modules(); ++m) {
     if (view.expandable[m] && !grammar.is_composite(m)) {
-      return fail("module '" + grammar.module(m).name +
-                  "' is atomic and cannot be expandable");
+      return Status::Error(ErrorCode::kInvalidView,
+                           "module '" + grammar.module(m).name +
+                               "' is atomic and cannot be expandable");
     }
   }
   if (!view.expandable[grammar.start()]) {
-    return fail("the start module must be expandable in a proper view");
+    return Status::Error(
+        ErrorCode::kInvalidView,
+        "the start module must be expandable in a proper view");
   }
 
   // Derivability in G_Δ'.
@@ -78,12 +76,14 @@ std::optional<CompiledView> CompiledView::Compile(const Grammar& grammar,
   for (ModuleId m = 0; m < grammar.num_modules(); ++m) {
     if (!view.expandable[m]) continue;
     if (!derivable[m]) {
-      return fail("view is not proper: expandable module '" +
-                  grammar.module(m).name + "' is underivable");
+      return Status::Error(ErrorCode::kImproperView,
+                           "view is not proper: expandable module '" +
+                               grammar.module(m).name + "' is underivable");
     }
     if (!productive[m]) {
-      return fail("view is not proper: expandable module '" +
-                  grammar.module(m).name + "' is unproductive");
+      return Status::Error(ErrorCode::kImproperView,
+                           "view is not proper: expandable module '" +
+                               grammar.module(m).name + "' is unproductive");
     }
   }
 
@@ -94,19 +94,33 @@ std::optional<CompiledView> CompiledView::Compile(const Grammar& grammar,
   }
   if (auto coverage_error =
           view.perceived.ValidateCoverage(grammar.modules(), needs_deps)) {
-    return fail(*coverage_error);
+    return Status::Error(ErrorCode::kIncompleteAssignment, *coverage_error);
   }
 
-  // Safety of the view (Def. 13 applied to G_U).
-  SafetyResult safety =
+  // Safety of the view (Def. 13 applied to G_U). Specification-level codes
+  // from the shared checker are re-reported as their view-level siblings.
+  Result<DependencyAssignment> safety =
       CheckSafety(grammar, view.perceived, &view.expandable);
-  if (!safety.safe) return fail("view is unsafe: " + safety.error);
+  if (!safety.ok()) {
+    switch (safety.code()) {
+      case ErrorCode::kUnsafeSpecification:
+        return Status::Error(
+            ErrorCode::kUnsafeView,
+            "view is unsafe: " + safety.status().message());
+      case ErrorCode::kImproperGrammar:
+        return Status::Error(
+            ErrorCode::kImproperView,
+            "view is not proper: " + safety.status().message());
+      default:
+        return Status::Error(safety.code(), safety.status().message());
+    }
+  }
 
   CompiledView compiled;
   compiled.grammar_ = &grammar;
   compiled.view_ = std::move(view);
   compiled.derivable_ = std::move(derivable);
-  compiled.full_ = std::move(safety.full);
+  compiled.full_ = std::move(safety).value();
   return compiled;
 }
 

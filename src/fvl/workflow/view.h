@@ -10,10 +10,9 @@
 #ifndef FVL_WORKFLOW_VIEW_H_
 #define FVL_WORKFLOW_VIEW_H_
 
-#include <optional>
-#include <string>
 #include <vector>
 
+#include "fvl/util/status.h"
 #include "fvl/workflow/grammar.h"
 #include "fvl/workflow/safety.h"
 
@@ -24,6 +23,10 @@ struct View {
   std::vector<bool> expandable;
   // λ': must cover every view-derivable module outside Δ'.
   DependencyAssignment perceived;
+
+  // Structural equality — two equal views compile to the same label, which
+  // is what the service's view registry deduplicates on.
+  bool operator==(const View&) const = default;
 };
 
 // The default view (Δ, λ) over a specification.
@@ -31,10 +34,9 @@ View MakeDefaultView(const Specification& spec);
 
 class CompiledView {
  public:
-  // Returns std::nullopt and sets *error if the view is invalid, improper,
-  // or unsafe.
-  static std::optional<CompiledView> Compile(const Grammar& grammar, View view,
-                                             std::string* error);
+  // Fails with kInvalidView (structural errors), kImproperView,
+  // kIncompleteAssignment (λ' coverage) or kUnsafeView.
+  static Result<CompiledView> Compile(const Grammar& grammar, View view);
 
   const Grammar& grammar() const { return *grammar_; }
   const View& view() const { return view_; }

@@ -235,8 +235,9 @@ Workload MakeBioAid(uint64_t seed) {
   FVL_CHECK(workload.spec.grammar.num_productions() == 23);
 
   // Safety by construction — verified.
-  SafetyResult safety = CheckSafety(workload.spec.grammar, workload.spec.deps);
-  FVL_CHECK(safety.safe);
+  Result<DependencyAssignment> safety =
+      CheckSafety(workload.spec.grammar, workload.spec.deps);
+  FVL_CHECK(safety.ok());
   return workload;
 }
 

@@ -120,8 +120,9 @@ Workload MakeSynthetic(const SyntheticOptions& options) {
   }
 
   workload.spec = builder.BuildSpecification();
-  SafetyResult safety = CheckSafety(workload.spec.grammar, workload.spec.deps);
-  FVL_CHECK(safety.safe);
+  Result<DependencyAssignment> safety =
+      CheckSafety(workload.spec.grammar, workload.spec.deps);
+  FVL_CHECK(safety.ok());
   return workload;
 }
 

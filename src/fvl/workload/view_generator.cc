@@ -105,8 +105,9 @@ CompiledView GenerateSafeView(const Workload& workload,
   FVL_CHECK(pg.strictly_linear());
 
   // True full assignment λ* — the white-box baseline for perceived deps.
-  SafetyResult true_safety = CheckSafety(grammar, workload.spec.deps);
-  FVL_CHECK(true_safety.safe);
+  Result<DependencyAssignment> true_safety =
+      CheckSafety(grammar, workload.spec.deps);
+  FVL_CHECK(true_safety.ok());
 
   Rng rng(options.seed);
   for (int attempt = 0; attempt < options.max_attempts + 1; ++attempt) {
@@ -120,9 +121,9 @@ CompiledView GenerateSafeView(const Workload& workload,
     view.perceived = DependencyAssignment(grammar.num_modules());
     for (ModuleId m = 0; m < grammar.num_modules(); ++m) {
       if (view.expandable[m]) continue;
-      if (!true_safety.full.IsDefined(m)) continue;
+      if (!true_safety->IsDefined(m)) continue;
       const Module& module = grammar.module(m);
-      BoolMatrix deps = true_safety.full.Get(m);
+      BoolMatrix deps = true_safety->Get(m);
       switch (kind) {
         case PerceivedDeps::kWhiteBox:
           break;
@@ -144,10 +145,9 @@ CompiledView GenerateSafeView(const Workload& workload,
       view.perceived.Set(m, std::move(deps));
     }
 
-    std::string error;
-    std::optional<CompiledView> compiled =
-        CompiledView::Compile(grammar, std::move(view), &error);
-    if (compiled.has_value()) return std::move(*compiled);
+    Result<CompiledView> compiled =
+        CompiledView::Compile(grammar, std::move(view));
+    if (compiled.ok()) return std::move(compiled).value();
   }
   FVL_CHECK(false && "view sampling failed even with white-box dependencies");
 }

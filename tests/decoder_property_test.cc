@@ -10,7 +10,7 @@
 #include <tuple>
 
 #include "fvl/core/decoder.h"
-#include "fvl/core/scheme.h"
+#include "fvl/service/legacy_facade.h"
 #include "fvl/core/visibility.h"
 #include "fvl/run/provenance_oracle.h"
 #include "fvl/workload/bioaid.h"
@@ -78,7 +78,7 @@ class DecoderSweep : public ::testing::TestWithParam<SweepParam> {};
 TEST_P(DecoderSweep, PiAgreesWithOracle) {
   const SweepParam& param = GetParam();
   Workload workload = MakeWorkloadByName(param.workload);
-  FvlScheme scheme(&workload.spec);
+  FvlScheme scheme = FvlScheme::Create(&workload.spec).value();
 
   RunGeneratorOptions run_options;
   run_options.target_items = 600;

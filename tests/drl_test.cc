@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "fvl/core/scheme.h"
+#include "fvl/service/legacy_facade.h"
 #include "fvl/util/random.h"
 #include "fvl/drl/drl_scheme.h"
 #include "fvl/run/provenance_oracle.h"
@@ -14,7 +14,7 @@ namespace {
 
 class DrlTest : public ::testing::Test {
  protected:
-  DrlTest() : workload_(MakeBioAid(2012)), scheme_(&workload_.spec) {}
+  DrlTest() : workload_(MakeBioAid(2012)), scheme_(FvlScheme::Create(&workload_.spec).value()) {}
 
   CompiledView BlackBoxView(int num_expandable, uint64_t seed) {
     ViewGeneratorOptions options;

@@ -2,7 +2,7 @@
 
 #include "fvl/core/decoder.h"
 #include "fvl/core/index.h"
-#include "fvl/core/scheme.h"
+#include "fvl/service/legacy_facade.h"
 #include "fvl/run/provenance_oracle.h"
 #include "fvl/workload/bioaid.h"
 #include "fvl/workload/paper_example.h"
@@ -14,7 +14,7 @@ namespace {
 
 class IndexTest : public ::testing::Test {
  protected:
-  IndexTest() : ex_(MakePaperExample()), scheme_(&ex_.spec) {
+  IndexTest() : ex_(MakePaperExample()), scheme_(FvlScheme::Create(&ex_.spec).value()) {
     RunGeneratorOptions options;
     options.target_items = 400;
     options.seed = 8;
@@ -42,10 +42,8 @@ TEST_F(IndexTest, SerializeDeserializeRoundTrip) {
   ProvenanceIndex index = ProvenanceIndexBuilder::FromLabeledRun(
       scheme_.production_graph(), labeled_->labeler);
   std::string blob = index.Serialize();
-  std::string error;
-  LabelCodec codec(scheme_.production_graph());
-  auto restored = ProvenanceIndex::Deserialize(blob, codec, &error);
-  ASSERT_TRUE(restored.has_value()) << error;
+  Result<ProvenanceIndex> restored = ProvenanceIndex::Deserialize(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   ASSERT_EQ(restored->num_items(), index.num_items());
   for (int item = 0; item < index.num_items(); ++item) {
     ASSERT_EQ(restored->Label(item), index.Label(item));
@@ -57,34 +55,77 @@ TEST_F(IndexTest, DeserializeRejectsCorruption) {
   ProvenanceIndex index = ProvenanceIndexBuilder::FromLabeledRun(
       scheme_.production_graph(), labeled_->labeler);
   std::string blob = index.Serialize();
-  LabelCodec codec(scheme_.production_graph());
-  std::string error;
 
   // Bad magic.
   std::string bad = blob;
   bad[0] = 'X';
-  EXPECT_FALSE(ProvenanceIndex::Deserialize(bad, codec, &error).has_value());
-  EXPECT_EQ(error, "bad magic");
+  Result<ProvenanceIndex> rejected = ProvenanceIndex::Deserialize(bad);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.code(), ErrorCode::kMalformedBlob);
+  EXPECT_EQ(rejected.status().message(), "bad magic");
   // Truncation at every prefix length must fail cleanly, never crash.
   for (size_t cut : {size_t{4}, size_t{10}, size_t{30}, blob.size() - 3}) {
-    EXPECT_FALSE(ProvenanceIndex::Deserialize(blob.substr(0, cut), codec,
-                                              &error)
-                     .has_value());
+    EXPECT_EQ(ProvenanceIndex::Deserialize(blob.substr(0, cut)).code(),
+              ErrorCode::kMalformedBlob);
   }
   // Trailing garbage.
   EXPECT_FALSE(
-      ProvenanceIndex::Deserialize(blob + "zz", codec, &error).has_value());
+      ProvenanceIndex::Deserialize(blob + "zz").has_value());
+}
+
+// A blob that parses structurally but whose labels do not decode under its
+// own codec must be rejected at Deserialize time, recoverably — never by an
+// abort (or a silently wrong label) on first use of the returned index.
+TEST_F(IndexTest, DeserializeRejectsInconsistentBlobs) {
+  ProvenanceIndex index = ProvenanceIndexBuilder::FromLabeledRun(
+      scheme_.production_graph(), labeled_->labeler);
+  std::string blob = index.Serialize();
+
+  // Flip the embedded production_bits codec width (header byte 24): every
+  // label span now misaligns against the arena.
+  std::string bad_codec = blob;
+  bad_codec[24] = static_cast<char>(bad_codec[24] + 1);
+  EXPECT_EQ(ProvenanceIndex::Deserialize(bad_codec).code(),
+            ErrorCode::kMalformedBlob);
+
+  // arena_bits with the top bit set (header byte 23) must not abort inside
+  // width computations.
+  std::string bad_arena = blob;
+  bad_arena[23] = static_cast<char>(0x80);
+  EXPECT_EQ(ProvenanceIndex::Deserialize(bad_arena).code(),
+            ErrorCode::kMalformedBlob);
+
+  auto u64 = [](std::string* out, uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      out->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+    }
+  };
+  // Hand-crafted empty-arena blob claiming items: num_items is not backed
+  // by any offset/arena content, so the (zero-bit) labels cannot decode.
+  auto crafted = [&](uint64_t num_items) {
+    std::string b("FVLIDX2", 8);  // includes the terminating NUL
+    u64(&b, num_items);
+    u64(&b, 0);                       // arena_bits
+    b.append(5, '\0');                // codec widths
+    b.push_back('\0');                // offset width
+    u64(&b, 0);                       // offset words
+    u64(&b, 0);                       // arena words
+    return b;
+  };
+  EXPECT_EQ(ProvenanceIndex::Deserialize(crafted(10)).code(),
+            ErrorCode::kMalformedBlob);
+  // A huge claimed item count must fail fast, not allocate terabytes.
+  EXPECT_EQ(ProvenanceIndex::Deserialize(crafted(uint64_t{1} << 40)).code(),
+            ErrorCode::kMalformedBlob);
 }
 
 TEST_F(IndexTest, QueriesWorkFromDeserializedIndex) {
   ProvenanceIndex index = ProvenanceIndexBuilder::FromLabeledRun(
       scheme_.production_graph(), labeled_->labeler);
   std::string blob = index.Serialize();
-  LabelCodec codec(scheme_.production_graph());
-  std::string error;
-  auto restored = *ProvenanceIndex::Deserialize(blob, codec, &error);
+  ProvenanceIndex restored = ProvenanceIndex::Deserialize(blob).value();
 
-  auto view = *CompiledView::Compile(ex_.spec.grammar, ex_.grey_view, &error);
+  auto view = *CompiledView::Compile(ex_.spec.grammar, ex_.grey_view);
   ViewLabel label = scheme_.LabelView(view, ViewLabelMode::kQueryEfficient);
   Decoder pi(&label);
   ProvenanceOracle oracle(labeled_->run, view);
@@ -119,16 +160,14 @@ TEST(IndexEdgeCases, EmptyIndex) {
   ProvenanceIndex index = std::move(builder).Build();
   EXPECT_EQ(index.num_items(), 0);
   std::string blob = index.Serialize();
-  LabelCodec codec(pg);
-  std::string error;
-  auto restored = ProvenanceIndex::Deserialize(blob, codec, &error);
-  ASSERT_TRUE(restored.has_value()) << error;
+  auto restored = ProvenanceIndex::Deserialize(blob);
+  ASSERT_TRUE(restored.has_value()) << restored.status().ToString();
   EXPECT_EQ(restored->num_items(), 0);
 }
 
 TEST(IndexBioAid, LargeRunRoundTrip) {
   Workload workload = MakeBioAid(2012);
-  FvlScheme scheme(&workload.spec);
+  FvlScheme scheme = FvlScheme::Create(&workload.spec).value();
   RunGeneratorOptions options;
   options.target_items = 4000;
   options.seed = 3;
@@ -136,9 +175,7 @@ TEST(IndexBioAid, LargeRunRoundTrip) {
   ProvenanceIndex index = ProvenanceIndexBuilder::FromLabeledRun(
       scheme.production_graph(), labeled.labeler);
   std::string blob = index.Serialize();
-  LabelCodec codec(scheme.production_graph());
-  std::string error;
-  auto restored = *ProvenanceIndex::Deserialize(blob, codec, &error);
+  auto restored = *ProvenanceIndex::Deserialize(blob);
   for (int item = 0; item < restored.num_items(); item += 13) {
     ASSERT_EQ(restored.Label(item), labeled.labeler.Label(item));
   }

@@ -7,7 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "fvl/core/decoder.h"
-#include "fvl/core/scheme.h"
+#include "fvl/service/legacy_facade.h"
 #include "fvl/core/visibility.h"
 #include "fvl/util/random.h"
 #include "fvl/run/provenance_oracle.h"
@@ -21,7 +21,7 @@ namespace {
 
 TEST(Integration, OneRunManyViewsNoRelabeling) {
   Workload workload = MakeBioAid(2012);
-  FvlScheme scheme(&workload.spec);
+  FvlScheme scheme = FvlScheme::Create(&workload.spec).value();
 
   RunGeneratorOptions run_options;
   run_options.target_items = 700;
@@ -79,11 +79,9 @@ TEST(Integration, StreamingPartialRunQueries) {
   // Scientific workflows run for a long time; users query partial
   // executions (§1). Labels must be usable the moment items appear.
   Workload workload = MakeBioAid(2012);
-  FvlScheme scheme(&workload.spec);
+  FvlScheme scheme = FvlScheme::Create(&workload.spec).value();
   View default_view = MakeDefaultView(workload.spec);
-  std::string error;
-  auto view = *CompiledView::Compile(workload.spec.grammar, default_view,
-                                     &error);
+  auto view = *CompiledView::Compile(workload.spec.grammar, default_view);
   ViewLabel label = scheme.LabelView(view, ViewLabelMode::kQueryEfficient);
   Decoder pi(&label);
 
@@ -127,7 +125,7 @@ TEST(Integration, RecursionSeveringViewStillCorrect) {
   // everything else is.
   Workload workload = MakeBioAid(2012);
   const Grammar& g = workload.spec.grammar;
-  FvlScheme scheme(&workload.spec);
+  FvlScheme scheme = FvlScheme::Create(&workload.spec).value();
 
   View view;
   view.expandable.assign(g.num_modules(), false);
@@ -138,9 +136,8 @@ TEST(Integration, RecursionSeveringViewStillCorrect) {
   view.perceived = workload.spec.deps;
   view.perceived.Set(f1, scheme.true_full().Get(f1));
 
-  std::string error;
-  auto compiled = CompiledView::Compile(g, view, &error);
-  ASSERT_TRUE(compiled.has_value()) << error;
+  auto compiled = CompiledView::Compile(g, view);
+  ASSERT_TRUE(compiled.has_value()) << compiled.status().ToString();
 
   RunGeneratorOptions options;
   options.target_items = 500;
@@ -170,7 +167,7 @@ TEST(Integration, PartiallySeveredTwoCycleView) {
   // invisible, and queries into iteration 2 must still decode correctly.
   Workload workload = MakeBioAid(2012);
   const Grammar& g = workload.spec.grammar;
-  FvlScheme scheme(&workload.spec);
+  FvlScheme scheme = FvlScheme::Create(&workload.spec).value();
 
   View view;
   view.expandable.assign(g.num_modules(), false);
@@ -183,9 +180,8 @@ TEST(Integration, PartiallySeveredTwoCycleView) {
   // the cycle's fixed point; white-box works.
   view.perceived.Set(l1b, scheme.true_full().Get(l1b));
 
-  std::string error;
-  auto compiled = CompiledView::Compile(g, view, &error);
-  ASSERT_TRUE(compiled.has_value()) << error;
+  auto compiled = CompiledView::Compile(g, view);
+  ASSERT_TRUE(compiled.has_value()) << compiled.status().ToString();
 
   RunGeneratorOptions options;
   options.target_items = 2000;

@@ -8,7 +8,7 @@
 
 #include "fvl/core/decoder.h"
 #include "fvl/core/run_labeler.h"
-#include "fvl/core/scheme.h"
+#include "fvl/service/legacy_facade.h"
 #include "fvl/core/view_label.h"
 #include "fvl/core/visibility.h"
 #include "fvl/run/provenance_oracle.h"
@@ -26,7 +26,7 @@ using ::fvl::testing::Mat;
 
 class PaperExampleTest : public ::testing::Test {
  protected:
-  PaperExampleTest() : ex_(MakePaperExample()), scheme_(&ex_.spec) {}
+  PaperExampleTest() : ex_(MakePaperExample()), scheme_(FvlScheme::Create(&ex_.spec).value()) {}
 
   // Derives the Figure-3 run prefix: p1, p2, p4, p2, p4, p3, then expands
   // C:4 (p5), its D-loop (p6, p6, p7) and E (p8); finally completes the
@@ -173,25 +173,25 @@ TEST_F(PaperExampleTest, RecursionAnalysis) {
 // ----- Safety and the full assignment (Thm. 2, Example 10). -----
 
 TEST_F(PaperExampleTest, FullAssignment) {
-  SafetyResult safety = CheckSafety(ex_.spec.grammar, ex_.spec.deps);
-  ASSERT_TRUE(safety.safe) << safety.error;
+  Result<DependencyAssignment> safety =
+      CheckSafety(ex_.spec.grammar, ex_.spec.deps);
+  ASSERT_TRUE(safety.ok()) << safety.status().ToString();
   // Hand-computed λ* (docs/DESIGN.md §8).
-  EXPECT_EQ(safety.full.Get(ex_.D), Mat({"11", "01"}));
-  EXPECT_EQ(safety.full.Get(ex_.E), Mat({"11", "01"}));
-  EXPECT_EQ(safety.full.Get(ex_.C), Mat({"01", "11"}));
-  EXPECT_EQ(safety.full.Get(ex_.A), Mat({"11", "01"}));
-  EXPECT_EQ(safety.full.Get(ex_.B), Mat({"01", "11"}));
-  EXPECT_EQ(safety.full.Get(ex_.S), Mat({"111", "001"}));
+  EXPECT_EQ(safety->Get(ex_.D), Mat({"11", "01"}));
+  EXPECT_EQ(safety->Get(ex_.E), Mat({"11", "01"}));
+  EXPECT_EQ(safety->Get(ex_.C), Mat({"01", "11"}));
+  EXPECT_EQ(safety->Get(ex_.A), Mat({"11", "01"}));
+  EXPECT_EQ(safety->Get(ex_.B), Mat({"01", "11"}));
+  EXPECT_EQ(safety->Get(ex_.S), Mat({"111", "001"}));
 }
 
 // ----- Views (Examples 7, 10). -----
 
 TEST_F(PaperExampleTest, GreyViewCompilesAndDiffers) {
-  std::string error;
-  auto u1 = CompiledView::Compile(ex_.spec.grammar, ex_.default_view, &error);
-  ASSERT_TRUE(u1.has_value()) << error;
-  auto u2 = CompiledView::Compile(ex_.spec.grammar, ex_.grey_view, &error);
-  ASSERT_TRUE(u2.has_value()) << error;
+  auto u1 = CompiledView::Compile(ex_.spec.grammar, ex_.default_view);
+  ASSERT_TRUE(u1.has_value()) << u1.status().ToString();
+  auto u2 = CompiledView::Compile(ex_.spec.grammar, ex_.grey_view);
+  ASSERT_TRUE(u2.has_value()) << u2.status().ToString();
 
   EXPECT_TRUE(u1->IsWhiteBox(scheme_.true_full()));
   EXPECT_FALSE(u2->IsWhiteBox(scheme_.true_full()));
@@ -218,9 +218,10 @@ TEST_F(PaperExampleTest, ImproperViewRejected) {
   bad.expandable.assign(ex_.spec.grammar.num_modules(), false);
   bad.expandable[ex_.A] = true;
   bad.perceived = ex_.spec.deps;
-  std::string error;
-  EXPECT_FALSE(CompiledView::Compile(ex_.spec.grammar, bad, &error).has_value());
-  EXPECT_NE(error.find("start"), std::string::npos);
+  Result<CompiledView> compiled = CompiledView::Compile(ex_.spec.grammar, bad);
+  EXPECT_FALSE(compiled.has_value());
+  EXPECT_EQ(compiled.code(), ErrorCode::kInvalidView);
+  EXPECT_NE(compiled.status().message().find("start"), std::string::npos);
 }
 
 // ----- Compressed parse tree and data labels (Figures 13/14, Example 15).
@@ -296,9 +297,8 @@ TEST_F(PaperExampleTest, Example15DataLabel) {
 // ----- View labels (Example 16). -----
 
 TEST_F(PaperExampleTest, Example16ViewLabelMatrices) {
-  std::string error;
-  auto u1 = *CompiledView::Compile(ex_.spec.grammar, ex_.default_view, &error);
-  auto u2 = *CompiledView::Compile(ex_.spec.grammar, ex_.grey_view, &error);
+  auto u1 = *CompiledView::Compile(ex_.spec.grammar, ex_.default_view);
+  auto u2 = *CompiledView::Compile(ex_.spec.grammar, ex_.grey_view);
   ViewLabel v1 = scheme_.LabelView(u1, ViewLabelMode::kDefault);
   ViewLabel v2 = scheme_.LabelView(u2, ViewLabelMode::kDefault);
 
@@ -328,9 +328,8 @@ TEST_F(PaperExampleTest, Example8QueryDivergesAcrossViews) {
   int d17 = fig3.run.InputItems(fig3.C4)[0];
   int d31 = fig3.run.OutputItems(fig3.C4)[0];
 
-  std::string error;
-  auto u1 = *CompiledView::Compile(ex_.spec.grammar, ex_.default_view, &error);
-  auto u2 = *CompiledView::Compile(ex_.spec.grammar, ex_.grey_view, &error);
+  auto u1 = *CompiledView::Compile(ex_.spec.grammar, ex_.default_view);
+  auto u2 = *CompiledView::Compile(ex_.spec.grammar, ex_.grey_view);
   ViewLabel v1 = scheme_.LabelView(u1, ViewLabelMode::kQueryEfficient);
   ViewLabel v2 = scheme_.LabelView(u2, ViewLabelMode::kQueryEfficient);
   Decoder pi1(&v1);
@@ -354,9 +353,8 @@ TEST_F(PaperExampleTest, Example8QueryDivergesAcrossViews) {
 
 TEST_F(PaperExampleTest, DecoderMatchesOracleExhaustively) {
   Fig3Run fig3 = DeriveFig3();
-  std::string error;
-  auto u1 = *CompiledView::Compile(ex_.spec.grammar, ex_.default_view, &error);
-  auto u2 = *CompiledView::Compile(ex_.spec.grammar, ex_.grey_view, &error);
+  auto u1 = *CompiledView::Compile(ex_.spec.grammar, ex_.default_view);
+  auto u2 = *CompiledView::Compile(ex_.spec.grammar, ex_.grey_view);
 
   for (const auto* view : {&u1, &u2}) {
     ProvenanceOracle oracle(fig3.run, *view);
@@ -389,8 +387,7 @@ TEST_F(PaperExampleTest, DecoderMatchesOracleExhaustively) {
 
 TEST_F(PaperExampleTest, VisibilityMatchesProjection) {
   Fig3Run fig3 = DeriveFig3();
-  std::string error;
-  auto u2 = *CompiledView::Compile(ex_.spec.grammar, ex_.grey_view, &error);
+  auto u2 = *CompiledView::Compile(ex_.spec.grammar, ex_.grey_view);
   ViewLabel vl = scheme_.LabelView(u2, ViewLabelMode::kDefault);
   ProvenanceOracle oracle(fig3.run, u2);
   for (int item = 0; item < fig3.run.num_items(); ++item) {
@@ -404,11 +401,13 @@ TEST_F(PaperExampleTest, VisibilityMatchesProjection) {
 
 TEST(PaperCounterExamples, UnsafeExampleRejected) {
   Specification unsafe = MakeUnsafeExample();
-  SafetyResult safety = CheckSafety(unsafe.grammar, unsafe.deps);
-  EXPECT_FALSE(safety.safe);
-  EXPECT_NE(safety.error.find("inconsistent"), std::string::npos);
-  std::string error;
-  EXPECT_FALSE(FvlScheme::Create(&unsafe, &error).has_value());
+  Result<DependencyAssignment> safety =
+      CheckSafety(unsafe.grammar, unsafe.deps);
+  EXPECT_FALSE(safety.ok());
+  EXPECT_EQ(safety.code(), ErrorCode::kUnsafeSpecification);
+  EXPECT_NE(safety.status().message().find("inconsistent"), std::string::npos);
+  EXPECT_EQ(FvlScheme::Create(&unsafe).code(),
+            ErrorCode::kUnsafeSpecification);
 }
 
 TEST(PaperCounterExamples, Fig10IsLinearButNotStrict) {
@@ -419,11 +418,13 @@ TEST(PaperCounterExamples, Fig10IsLinearButNotStrict) {
   EXPECT_FALSE(IsStrictlyLinearRecursivePaperAlgorithm(pg));
   // The Fig-10 assignment is safe; only compactness fails (Thm. 6), which
   // manifests as FvlScheme rejecting the grammar.
-  SafetyResult safety = CheckSafety(fig10.grammar, fig10.deps);
-  EXPECT_TRUE(safety.safe) << safety.error;
-  std::string error;
-  EXPECT_FALSE(FvlScheme::Create(&fig10, &error).has_value());
-  EXPECT_NE(error.find("strictly linear"), std::string::npos);
+  Result<DependencyAssignment> safety =
+      CheckSafety(fig10.grammar, fig10.deps);
+  EXPECT_TRUE(safety.ok()) << safety.status().ToString();
+  Result<FvlScheme> scheme = FvlScheme::Create(&fig10);
+  EXPECT_EQ(scheme.code(), ErrorCode::kNotStrictlyLinearRecursive);
+  EXPECT_NE(scheme.status().message().find("strictly linear"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -61,9 +61,8 @@ TEST(Properness, DetectsAllThreeViolations) {
 
 TEST(Properness, MakeProperFixesGrammar) {
   Grammar g = MessyGrammar();
-  std::string error;
-  std::optional<Grammar> proper = MakeProper(g, &error);
-  ASSERT_TRUE(proper.has_value()) << error;
+  Result<Grammar> proper = MakeProper(g);
+  ASSERT_TRUE(proper.has_value()) << proper.status().ToString();
   PropernessReport report = AnalyzeProperness(*proper);
   EXPECT_TRUE(report.IsProper(*proper)) << report.Describe(*proper);
   // Only S -> [x] survives.
@@ -96,9 +95,8 @@ TEST(Properness, UnitCycleBetweenTwoModules) {
   EXPECT_TRUE(report.has_unit_cycle);
   ASSERT_EQ(report.unit_cycle_witness.size(), 2u);
 
-  std::string error;
-  std::optional<Grammar> proper = MakeProper(g, &error);
-  ASSERT_TRUE(proper.has_value()) << error;
+  Result<Grammar> proper = MakeProper(g);
+  ASSERT_TRUE(proper.has_value()) << proper.status().ToString();
   EXPECT_FALSE(AnalyzeProperness(*proper).has_unit_cycle);
   // S must have received T's terminating production.
   bool s_terminates = false;
@@ -121,9 +119,10 @@ TEST(Properness, EmptyLanguageReported) {
     p.Build();
   }
   Grammar g = b.BuildGrammar();
-  std::string error;
-  EXPECT_FALSE(MakeProper(g, &error).has_value());
-  EXPECT_NE(error.find("empty"), std::string::npos);
+  Result<Grammar> proper = MakeProper(g);
+  EXPECT_FALSE(proper.has_value());
+  EXPECT_EQ(proper.code(), ErrorCode::kImproperGrammar);
+  EXPECT_NE(proper.status().message().find("empty"), std::string::npos);
 }
 
 TEST(Properness, ProperGrammarUntouched) {
@@ -136,7 +135,7 @@ TEST(Properness, ProperGrammarUntouched) {
   p.MapInput(0, m, 0).MapOutput(0, m, 0);
   p.Build();
   Grammar g = b.BuildGrammar();
-  std::optional<Grammar> proper = MakeProper(g, nullptr);
+  Result<Grammar> proper = MakeProper(g);
   ASSERT_TRUE(proper.has_value());
   EXPECT_EQ(proper->num_productions(), g.num_productions());
 }

@@ -133,8 +133,7 @@ TEST(ViewProjection, DefaultViewSeesEverything) {
   PaperExample ex = MakePaperExample();
   ::fvl::Run run(&ex.spec.grammar);
   CompleteRun(run);
-  std::string error;
-  auto view = *CompiledView::Compile(ex.spec.grammar, ex.default_view, &error);
+  auto view = *CompiledView::Compile(ex.spec.grammar, ex.default_view);
   RunProjection projection = ProjectRun(run, view);
   EXPECT_EQ(projection.num_visible_items, run.num_items());
   for (int s = 0; s < run.num_steps(); ++s) {
@@ -150,8 +149,7 @@ TEST(ViewProjection, GreyViewHidesCExpansions) {
   PaperExample ex = MakePaperExample();
   ::fvl::Run run(&ex.spec.grammar);
   CompleteRun(run);
-  std::string error;
-  auto view = *CompiledView::Compile(ex.spec.grammar, ex.grey_view, &error);
+  auto view = *CompiledView::Compile(ex.spec.grammar, ex.grey_view);
   RunProjection projection = ProjectRun(run, view);
   EXPECT_LT(projection.num_visible_items, run.num_items());
   for (int inst = 0; inst < run.num_instances(); ++inst) {
@@ -172,8 +170,7 @@ TEST(ViewProjection, PartialRunLeavesIncludeUnexpandedComposites) {
   PaperExample ex = MakePaperExample();
   ::fvl::Run run(&ex.spec.grammar);
   run.Apply(0, ex.p[0]);  // only S expanded: A and C unexpanded leaves
-  std::string error;
-  auto view = *CompiledView::Compile(ex.spec.grammar, ex.default_view, &error);
+  auto view = *CompiledView::Compile(ex.spec.grammar, ex.default_view);
   RunProjection projection = ProjectRun(run, view);
   int composite_leaves = 0;
   for (int leaf : projection.leaves) {
@@ -188,8 +185,7 @@ TEST(ProvenanceOracle, SimpleChainGroundTruth) {
   PaperExample ex = MakePaperExample();
   ::fvl::Run run(&ex.spec.grammar);
   const DerivationStep& step = run.Apply(0, ex.p[0]);
-  std::string error;
-  auto view = *CompiledView::Compile(ex.spec.grammar, ex.default_view, &error);
+  auto view = *CompiledView::Compile(ex.spec.grammar, ex.default_view);
   ProvenanceOracle oracle(run, view);
 
   // a.out0 -> A.in0 is item first_item; A.out0 -> C.in1 is item

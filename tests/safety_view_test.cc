@@ -29,9 +29,11 @@ TEST(Safety, MissingDependencyAssignmentReported) {
   Grammar g = b.BuildGrammar();
 
   DependencyAssignment empty(g.num_modules());
-  SafetyResult result = CheckSafety(g, empty);
-  EXPECT_FALSE(result.safe);
-  EXPECT_NE(result.error.find("no dependency assignment"), std::string::npos);
+  Result<DependencyAssignment> result = CheckSafety(g, empty);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), ErrorCode::kIncompleteAssignment);
+  EXPECT_NE(result.status().message().find("no dependency assignment"),
+            std::string::npos);
 }
 
 TEST(Safety, UnproductiveModuleReported) {
@@ -61,9 +63,11 @@ TEST(Safety, UnproductiveModuleReported) {
   b.SetCompleteDeps(x);
   b.SetCompleteDeps(y);
   Specification spec = b.BuildSpecification();
-  SafetyResult result = CheckSafety(spec.grammar, spec.deps);
-  EXPECT_FALSE(result.safe);
-  EXPECT_NE(result.error.find("never became verifiable"), std::string::npos);
+  Result<DependencyAssignment> result = CheckSafety(spec.grammar, spec.deps);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), ErrorCode::kImproperGrammar);
+  EXPECT_NE(result.status().message().find("never became verifiable"),
+            std::string::npos);
 }
 
 TEST(Safety, Lemma1FixedPointHoldsOnWorkloads) {
@@ -75,14 +79,15 @@ TEST(Safety, Lemma1FixedPointHoldsOnWorkloads) {
                                                       .nesting_depth = 3,
                                                       .recursion_length = 2,
                                                       .seed = 5})}) {
-    SafetyResult result = CheckSafety(workload.spec.grammar,
-                                      workload.spec.deps);
-    ASSERT_TRUE(result.safe) << workload.name << ": " << result.error;
+    Result<DependencyAssignment> result =
+        CheckSafety(workload.spec.grammar, workload.spec.deps);
+    ASSERT_TRUE(result.ok()) << workload.name << ": "
+                             << result.status().message();
     const Grammar& g = workload.spec.grammar;
     for (ProductionId k = 0; k < g.num_productions(); ++k) {
       const Production& p = g.production(k);
-      WorkflowPortGraph graph(g, p.rhs, result.full);
-      ASSERT_EQ(graph.InitialToFinal(), result.full.Get(p.lhs))
+      WorkflowPortGraph graph(g, p.rhs, *result);
+      ASSERT_EQ(graph.InitialToFinal(), result->Get(p.lhs))
           << workload.name << " production " << k;
     }
   }
@@ -91,13 +96,14 @@ TEST(Safety, Lemma1FixedPointHoldsOnWorkloads) {
 TEST(Safety, FullAssignmentIsProperDef6) {
   // Composite full dependencies inherit Def. 6 from the atomic layer.
   Workload workload = MakeBioAid(4);
-  SafetyResult result = CheckSafety(workload.spec.grammar, workload.spec.deps);
-  ASSERT_TRUE(result.safe);
+  Result<DependencyAssignment> result =
+      CheckSafety(workload.spec.grammar, workload.spec.deps);
+  ASSERT_TRUE(result.ok());
   const Grammar& g = workload.spec.grammar;
   for (ModuleId m : g.CompositeModules()) {
-    ASSERT_TRUE(result.full.IsDefined(m));
+    ASSERT_TRUE(result->IsDefined(m));
     EXPECT_FALSE(
-        DependencyAssignment::ValidateProper(g.module(m), result.full.Get(m))
+        DependencyAssignment::ValidateProper(g.module(m), result->Get(m))
             .has_value())
         << g.module(m).name;
   }
@@ -107,10 +113,10 @@ TEST(CompiledViewErrors, ExpandableAtomicRejected) {
   PaperExample ex = MakePaperExample();
   View view = MakeDefaultView(ex.spec);
   view.expandable[ex.a] = true;  // atomic module
-  std::string error;
-  EXPECT_FALSE(CompiledView::Compile(ex.spec.grammar, view, &error)
-                   .has_value());
-  EXPECT_NE(error.find("atomic"), std::string::npos);
+  Result<CompiledView> compiled = CompiledView::Compile(ex.spec.grammar, view);
+  EXPECT_FALSE(compiled.has_value());
+  EXPECT_EQ(compiled.code(), ErrorCode::kInvalidView);
+  EXPECT_NE(compiled.status().message().find("atomic"), std::string::npos);
 }
 
 TEST(CompiledViewErrors, MissingPerceivedDepsRejected) {
@@ -121,10 +127,11 @@ TEST(CompiledViewErrors, MissingPerceivedDepsRejected) {
   view.expandable[ex.A] = true;
   view.expandable[ex.B] = true;
   view.perceived = ex.spec.deps;  // λ'(C) missing although C is visible
-  std::string error;
-  EXPECT_FALSE(CompiledView::Compile(ex.spec.grammar, view, &error)
-                   .has_value());
-  EXPECT_NE(error.find("no dependency assignment"), std::string::npos);
+  Result<CompiledView> compiled = CompiledView::Compile(ex.spec.grammar, view);
+  EXPECT_FALSE(compiled.has_value());
+  EXPECT_EQ(compiled.code(), ErrorCode::kIncompleteAssignment);
+  EXPECT_NE(compiled.status().message().find("no dependency assignment"),
+            std::string::npos);
 }
 
 TEST(CompiledViewErrors, UnsafePerceivedDepsRejected) {
@@ -133,27 +140,25 @@ TEST(CompiledViewErrors, UnsafePerceivedDepsRejected) {
   // A λ'(C) that contradicts the A<->B recursion's fixed point: identity
   // deps make p2 and p3 disagree on λ'*(A).
   view.perceived.Set(ex.C, BoolMatrix::Identity(2));
-  std::string error;
-  EXPECT_FALSE(CompiledView::Compile(ex.spec.grammar, view, &error)
-                   .has_value());
-  EXPECT_NE(error.find("unsafe"), std::string::npos);
+  Result<CompiledView> compiled = CompiledView::Compile(ex.spec.grammar, view);
+  EXPECT_FALSE(compiled.has_value());
+  EXPECT_EQ(compiled.code(), ErrorCode::kUnsafeView);
+  EXPECT_NE(compiled.status().message().find("unsafe"), std::string::npos);
 }
 
 TEST(CompiledViewErrors, MismatchedFlagVectorRejected) {
   PaperExample ex = MakePaperExample();
   View view = MakeDefaultView(ex.spec);
   view.expandable.pop_back();
-  std::string error;
-  EXPECT_FALSE(CompiledView::Compile(ex.spec.grammar, view, &error)
+  EXPECT_FALSE(CompiledView::Compile(ex.spec.grammar, view)
                    .has_value());
 }
 
 TEST(CompiledView, BlackBoxDetection) {
   Workload workload = MakeBioAid(2012);
   View view = MakeDefaultView(workload.spec);
-  std::string error;
-  auto compiled = CompiledView::Compile(workload.spec.grammar, view, &error);
-  ASSERT_TRUE(compiled.has_value()) << error;
+  auto compiled = CompiledView::Compile(workload.spec.grammar, view);
+  ASSERT_TRUE(compiled.has_value()) << compiled.status().ToString();
   // Random fine-grained deps: not black-box.
   EXPECT_FALSE(compiled->IsBlackBox());
 
@@ -166,8 +171,8 @@ TEST(CompiledView, BlackBoxDetection) {
         m, BoolMatrix::Full(module.num_inputs, module.num_outputs));
   }
   auto compiled_black =
-      CompiledView::Compile(workload.spec.grammar, black, &error);
-  ASSERT_TRUE(compiled_black.has_value()) << error;
+      CompiledView::Compile(workload.spec.grammar, black);
+  ASSERT_TRUE(compiled_black.has_value()) << compiled_black.status().ToString();
   EXPECT_TRUE(compiled_black->IsBlackBox());
 }
 

@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "fvl/core/scheme.h"
+#include "fvl/service/legacy_facade.h"
 #include "fvl/run/provenance_oracle.h"
 #include "fvl/workload/paper_example.h"
 #include "test_util.h"
@@ -10,30 +10,31 @@ namespace {
 
 TEST(FvlScheme, CreateSucceedsOnPaperExample) {
   PaperExample ex = MakePaperExample();
-  std::string error;
-  std::optional<FvlScheme> scheme = FvlScheme::Create(&ex.spec, &error);
-  ASSERT_TRUE(scheme.has_value()) << error;
+  Result<FvlScheme> scheme = FvlScheme::Create(&ex.spec);
+  ASSERT_TRUE(scheme.has_value()) << scheme.status().ToString();
   EXPECT_EQ(&scheme->grammar(), &ex.spec.grammar);
   EXPECT_TRUE(scheme->true_full().IsDefined(ex.S));
 }
 
 TEST(FvlScheme, CreateRejectsUnsafe) {
   Specification unsafe = MakeUnsafeExample();
-  std::string error;
-  EXPECT_FALSE(FvlScheme::Create(&unsafe, &error).has_value());
-  EXPECT_NE(error.find("unsafe"), std::string::npos);
+  Result<FvlScheme> scheme = FvlScheme::Create(&unsafe);
+  EXPECT_FALSE(scheme.has_value());
+  EXPECT_EQ(scheme.code(), ErrorCode::kUnsafeSpecification);
 }
 
 TEST(FvlScheme, CreateRejectsNonStrictlyLinear) {
   Specification fig10 = MakeFig10Example();
-  std::string error;
-  EXPECT_FALSE(FvlScheme::Create(&fig10, &error).has_value());
-  EXPECT_NE(error.find("strictly linear"), std::string::npos);
+  Result<FvlScheme> scheme = FvlScheme::Create(&fig10);
+  EXPECT_FALSE(scheme.has_value());
+  EXPECT_EQ(scheme.code(), ErrorCode::kNotStrictlyLinearRecursive);
+  EXPECT_NE(scheme.status().message().find("strictly linear"),
+            std::string::npos);
 }
 
 TEST(FvlScheme, GenerateLabeledRunLabelsEverything) {
   PaperExample ex = MakePaperExample();
-  FvlScheme scheme(&ex.spec);
+  FvlScheme scheme = FvlScheme::Create(&ex.spec).value();
   RunGeneratorOptions options;
   options.target_items = 300;
   FvlScheme::LabeledRun labeled = scheme.GenerateLabeledRun(options);
@@ -45,7 +46,7 @@ TEST(BasicDynamicLabeling, Theorem8Adapter) {
   // Thm. 8: the view-adaptive scheme yields a basic dynamic labeling scheme
   // for the default view: π'(φ'(d1), φ'(d2)) answers white-box reachability.
   PaperExample ex = MakePaperExample();
-  FvlScheme scheme(&ex.spec);
+  FvlScheme scheme = FvlScheme::Create(&ex.spec).value();
   BasicDynamicLabeling basic(&scheme);
 
   ::fvl::Run run(&ex.spec.grammar);
@@ -70,9 +71,8 @@ TEST(BasicDynamicLabeling, Theorem8Adapter) {
     basic.OnApply(run, step);
   }
 
-  std::string error;
   auto default_view =
-      *CompiledView::Compile(ex.spec.grammar, ex.default_view, &error);
+      *CompiledView::Compile(ex.spec.grammar, ex.default_view);
   ProvenanceOracle oracle(run, default_view);
   for (int d1 = 0; d1 < run.num_items(); ++d1) {
     for (int d2 = 0; d2 < run.num_items(); ++d2) {
@@ -86,7 +86,7 @@ TEST(LabelLength, LogarithmicGrowth) {
   // Thm. 10 part 1: data labels are O(log n) bits. Doubling the run size
   // must increase the maximum label length by only a constant.
   PaperExample ex = MakePaperExample();
-  FvlScheme scheme(&ex.spec);
+  FvlScheme scheme = FvlScheme::Create(&ex.spec).value();
   std::vector<double> max_bits;
   for (int target : {1000, 2000, 4000, 8000}) {
     RunGeneratorOptions options;
@@ -113,7 +113,7 @@ TEST(LabelImmutability, LabelsNeverChangeAfterAssignment) {
   // Snapshot every label right after its creation step and compare at the
   // end of the derivation.
   PaperExample ex = MakePaperExample();
-  FvlScheme scheme(&ex.spec);
+  FvlScheme scheme = FvlScheme::Create(&ex.spec).value();
   RunLabeler labeler = scheme.MakeRunLabeler();
   std::vector<DataLabel> snapshots;
 

@@ -1,0 +1,370 @@
+// fvl::ProvenanceService: error taxonomy (one code per rejected-
+// specification class), view-registry caching semantics, session-oriented
+// online labeling of concurrent runs, and the batch query entry points —
+// all checked against the ground-truth ProvenanceOracle.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "fvl/run/provenance_oracle.h"
+#include "fvl/service/provenance_service.h"
+#include "fvl/util/random.h"
+#include "fvl/workflow/grammar_builder.h"
+#include "fvl/workload/bioaid.h"
+#include "fvl/workload/paper_example.h"
+
+namespace fvl {
+namespace {
+
+std::shared_ptr<ProvenanceService> MakePaperService() {
+  return ProvenanceService::Create(MakePaperExample().spec).value();
+}
+
+// ----- Error taxonomy: every Thm.-8 precondition has its own code. -----
+
+TEST(ServiceErrors, InvalidSpecificationRejected) {
+  Specification empty;  // no modules, no start
+  Result<std::shared_ptr<ProvenanceService>> service =
+      ProvenanceService::Create(std::move(empty));
+  ASSERT_FALSE(service.ok());
+  EXPECT_EQ(service.code(), ErrorCode::kInvalidSpecification);
+}
+
+TEST(ServiceErrors, ImproperGrammarRejected) {
+  // S -> [S] only: S is unproductive, so the grammar is not proper.
+  GrammarBuilder b;
+  ModuleId s = b.AddComposite("S", 1, 1);
+  b.SetStart(s);
+  auto p = b.NewProduction(s);
+  int m = p.AddMember(s);
+  p.MapInput(0, m, 0).MapOutput(0, m, 0);
+  p.Build();
+  Specification spec = b.BuildSpecification();
+  Result<std::shared_ptr<ProvenanceService>> service =
+      ProvenanceService::Create(std::move(spec));
+  ASSERT_FALSE(service.ok());
+  EXPECT_EQ(service.code(), ErrorCode::kImproperGrammar);
+}
+
+TEST(ServiceErrors, NotStrictlyLinearRecursiveRejected) {
+  Result<std::shared_ptr<ProvenanceService>> service =
+      ProvenanceService::Create(MakeFig10Example());
+  ASSERT_FALSE(service.ok());
+  EXPECT_EQ(service.code(), ErrorCode::kNotStrictlyLinearRecursive);
+}
+
+TEST(ServiceErrors, UnsafeSpecificationRejected) {
+  Result<std::shared_ptr<ProvenanceService>> service =
+      ProvenanceService::Create(MakeUnsafeExample());
+  ASSERT_FALSE(service.ok());
+  EXPECT_EQ(service.code(), ErrorCode::kUnsafeSpecification);
+}
+
+TEST(ServiceErrors, ViewErrorsKeepTheirCodes) {
+  PaperExample ex = MakePaperExample();
+  auto service = ProvenanceService::Create(ex.spec).value();
+
+  // λ'(C) missing although C is visible in the grey view's Δ'.
+  View incomplete;
+  incomplete.expandable.assign(ex.spec.grammar.num_modules(), false);
+  incomplete.expandable[ex.S] = true;
+  incomplete.expandable[ex.A] = true;
+  incomplete.expandable[ex.B] = true;
+  incomplete.perceived = ex.spec.deps;
+  EXPECT_EQ(service->RegisterView(incomplete).code(),
+            ErrorCode::kIncompleteAssignment);
+
+  // Perceived deps contradicting the A<->B recursion fixed point.
+  View unsafe = ex.grey_view;
+  unsafe.perceived.Set(ex.C, BoolMatrix::Identity(2));
+  EXPECT_EQ(service->RegisterView(unsafe).code(), ErrorCode::kUnsafeView);
+
+  // The start module must stay expandable.
+  View improper = ex.grey_view;
+  improper.expandable[ex.S] = false;
+  improper.perceived = ex.spec.deps;
+  improper.perceived.Set(ex.C, BoolMatrix::Full(2, 2));
+  EXPECT_EQ(service->RegisterView(improper).code(), ErrorCode::kInvalidView);
+
+  // Structural grouping error: grouping an expandable member.
+  View base = MakeDefaultView(ex.spec);
+  ModuleGroup group;
+  group.production = ex.p[0];
+  group.member_positions = {2};  // A, expandable in the default view
+  group.name = "G";
+  group.perceived_deps = BoolMatrix::Full(2, 2);
+  EXPECT_EQ(service->RegisterGroupedView(base, {group}).code(),
+            ErrorCode::kInvalidGroup);
+}
+
+TEST(ServiceErrors, UnknownHandleReported) {
+  auto service = MakePaperService();
+  EXPECT_EQ(
+      service->LabelOf(ViewHandle(), ViewLabelMode::kDefault).code(),
+      ErrorCode::kNotFound);
+  auto other = MakePaperService();
+  ViewHandle foreign = other->RegisterView(MakePaperExample().grey_view)
+                           .value();  // id beyond service's registry
+  EXPECT_EQ(service->DecoderOf(foreign, ViewLabelMode::kDefault).code(),
+            ErrorCode::kNotFound);
+  // A foreign handle whose id is in range on this service must still be
+  // rejected, not silently resolve to an unrelated view.
+  ViewHandle foreign_default = other->default_view();
+  ASSERT_LT(foreign_default.id(), service->num_views());
+  EXPECT_EQ(service->LabelOf(foreign_default, ViewLabelMode::kDefault).code(),
+            ErrorCode::kNotFound);
+}
+
+// ----- Registry caching. -----
+
+TEST(ServiceRegistry, SameViewRegistersOnce) {
+  PaperExample ex = MakePaperExample();
+  auto service = ProvenanceService::Create(ex.spec).value();
+
+  ViewHandle grey1 = service->RegisterView(ex.grey_view).value();
+  ViewHandle grey2 = service->RegisterView(ex.grey_view).value();
+  EXPECT_EQ(grey1, grey2);
+  EXPECT_EQ(service->num_views(), 2);  // default + grey
+
+  // Re-registering the default view returns the pre-registered handle.
+  EXPECT_EQ(service->RegisterView(MakeDefaultView(ex.spec)).value(),
+            service->default_view());
+}
+
+TEST(ServiceRegistry, ViewLabelingWorkHappensOncePerMode) {
+  PaperExample ex = MakePaperExample();
+  auto service = ProvenanceService::Create(ex.spec).value();
+  ViewHandle grey = service->RegisterView(ex.grey_view).value();
+
+  EXPECT_EQ(service->view_labelings_performed(), 0);
+  const ViewLabel* label =
+      service->LabelOf(grey, ViewLabelMode::kQueryEfficient).value();
+  EXPECT_EQ(service->view_labelings_performed(), 1);
+
+  // Same handle, same mode => the same ViewLabel object, no new work — even
+  // through a fresh registration of the same view.
+  ViewHandle again = service->RegisterView(ex.grey_view).value();
+  EXPECT_EQ(
+      service->LabelOf(again, ViewLabelMode::kQueryEfficient).value(),
+      label);
+  EXPECT_EQ(service->view_labelings_performed(), 1);
+
+  // A different mode is labeled separately (once).
+  service->LabelOf(grey, ViewLabelMode::kSpaceEfficient).value();
+  service->LabelOf(grey, ViewLabelMode::kSpaceEfficient).value();
+  EXPECT_EQ(service->view_labelings_performed(), 2);
+
+  // Decoders are cached too and reuse the cached label.
+  const Decoder* pi =
+      service->DecoderOf(grey, ViewLabelMode::kQueryEfficient).value();
+  EXPECT_EQ(service->DecoderOf(grey, ViewLabelMode::kQueryEfficient).value(),
+            pi);
+  EXPECT_EQ(service->view_labelings_performed(), 2);
+}
+
+// ----- Ownership. -----
+
+TEST(ServiceOwnership, ServiceOutlivesTheInputSpecification) {
+  std::shared_ptr<ProvenanceService> service;
+  ViewHandle grey;
+  {
+    PaperExample ex = MakePaperExample();
+    service = ProvenanceService::Create(std::move(ex.spec)).value();
+    grey = service->RegisterView(ex.grey_view).value();
+  }  // `ex` (and the moved-from spec) are gone; the service owns its copy.
+
+  auto session = service->GenerateLabeledRun(RunGeneratorOptions{
+      .target_items = 200, .seed = 11});
+  ASSERT_TRUE(session->complete());
+  EXPECT_GT(session->num_items(), 0);
+  EXPECT_TRUE(session->Depends(grey, 0, 0).ok());
+}
+
+TEST(ServiceOwnership, SessionKeepsServiceAlive) {
+  std::shared_ptr<ProvenanceSession> session;
+  ViewHandle view;
+  {
+    auto service = MakePaperService();
+    view = service->default_view();
+    session = service->GenerateLabeledRun(RunGeneratorOptions{
+        .target_items = 150, .seed = 3});
+  }  // last external reference to the service dropped
+  EXPECT_TRUE(session->Depends(view, 0, session->num_items() - 1).ok());
+}
+
+// ----- Sessions. -----
+
+TEST(ServiceSession, ApplyValidatesInput) {
+  PaperExample ex = MakePaperExample();
+  auto service = ProvenanceService::Create(ex.spec).value();
+  auto session = service->BeginRun();
+
+  EXPECT_EQ(session->Apply(-1, ex.p[0]).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(session->Apply(99, ex.p[0]).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(session->Apply(0, 999).code(), ErrorCode::kInvalidArgument);
+  // p2 expands A, not the start instance S.
+  EXPECT_EQ(session->Apply(0, ex.p[1]).code(), ErrorCode::kInvalidArgument);
+
+  ASSERT_TRUE(session->Apply(0, ex.p[0]).ok());
+  // Already expanded.
+  EXPECT_EQ(session->Apply(0, ex.p[0]).code(), ErrorCode::kInvalidArgument);
+
+  // Items created so far carry labels already.
+  EXPECT_EQ(session->labeler().num_labels(), session->num_items());
+}
+
+// Expands the first frontier instance; for the first `grow` calls the
+// production index cycles (keeping recursions unfolding), afterwards the
+// last production of each module terminates the run (see quickstart.cc).
+void Step(ProvenanceSession& session, int step_index, int grow) {
+  const Run& run = session.run();
+  const Grammar& g = run.grammar();
+  int instance = run.Frontier().front();
+  const std::vector<ProductionId>& options =
+      g.ProductionsOf(run.instance(instance).type);
+  ProductionId pick =
+      step_index < grow
+          ? options[step_index % options.size()]
+          : options.back();
+  ASSERT_TRUE(session.Apply(instance, pick).ok());
+}
+
+TEST(ServiceSession, TwoConcurrentSessionsMatchTheirOracles) {
+  PaperExample ex = MakePaperExample();
+  auto service = ProvenanceService::Create(ex.spec).value();
+  ViewHandle grey = service->RegisterView(ex.grey_view).value();
+
+  // Interleave two independent derivations through one service: the labels
+  // of one run must be completely unaffected by the other.
+  auto a = service->BeginRun();
+  auto b = service->BeginRun();
+  int step = 0;
+  while (!a->complete() || !b->complete()) {
+    if (!a->complete()) Step(*a, step, /*grow=*/14);
+    if (!b->complete()) Step(*b, step + 1, /*grow=*/7);
+    ++step;
+    ASSERT_LT(step, 1000);
+  }
+  // The two derivations must genuinely differ.
+  bool same_derivation = a->run().num_steps() == b->run().num_steps();
+  for (int i = 0; same_derivation && i < a->run().num_steps(); ++i) {
+    same_derivation = a->run().step(i).production == b->run().step(i).production;
+  }
+  EXPECT_FALSE(same_derivation);
+
+  for (ViewHandle view : {service->default_view(), grey}) {
+    const CompiledView& compiled =
+        *service->CompiledRegularView(view).value();
+    for (const auto& session : {a, b}) {
+      ProvenanceOracle oracle(session->run(), compiled);
+      for (int d1 = 0; d1 < session->num_items(); ++d1) {
+        if (!oracle.ItemVisible(d1)) continue;
+        for (int d2 = 0; d2 < session->num_items(); ++d2) {
+          if (!oracle.ItemVisible(d2)) continue;
+          ASSERT_EQ(session->Depends(view, d1, d2).value(),
+                    oracle.Depends(d1, d2))
+              << "view=" << view.id() << " d1=" << d1 << " d2=" << d2;
+        }
+      }
+    }
+  }
+}
+
+// ----- Snapshots and batch queries. -----
+
+TEST(ServiceBatch, DependsManyMatchesSingleQueries) {
+  PaperExample ex = MakePaperExample();
+  auto service = ProvenanceService::Create(ex.spec).value();
+  ViewHandle grey = service->RegisterView(ex.grey_view).value();
+
+  auto session = service->GenerateLabeledRun(RunGeneratorOptions{
+      .target_items = 300, .seed = 21});
+  ProvenanceIndex index = session->Snapshot();
+  ASSERT_EQ(index.num_items(), session->num_items());
+
+  Rng rng(99);
+  std::vector<std::pair<int, int>> queries;
+  for (int q = 0; q < 500; ++q) {
+    queries.push_back({rng.NextInt(0, index.num_items() - 1),
+                       rng.NextInt(0, index.num_items() - 1)});
+  }
+  std::vector<bool> batched =
+      service->DependsMany(grey, index, queries).value();
+  ASSERT_EQ(batched.size(), queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_EQ(batched[q],
+              session->Depends(grey, queries[q].first, queries[q].second)
+                  .value())
+        << "query " << q;
+  }
+
+  // Out-of-range items are rejected, not aborted on.
+  std::vector<std::pair<int, int>> bad = {{0, index.num_items()}};
+  EXPECT_EQ(service->DependsMany(grey, index, bad).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(ServiceBatch, VisibilitySweepMatchesOracle) {
+  PaperExample ex = MakePaperExample();
+  auto service = ProvenanceService::Create(ex.spec).value();
+  ViewHandle grey = service->RegisterView(ex.grey_view).value();
+
+  auto session = service->GenerateLabeledRun(RunGeneratorOptions{
+      .target_items = 250, .seed = 5});
+  ProvenanceIndex index = session->Snapshot();
+
+  ProvenanceOracle oracle(
+      session->run(), *service->CompiledRegularView(grey).value());
+  std::vector<bool> visible =
+      service->VisibilitySweep(grey, index).value();
+  ASSERT_EQ(static_cast<int>(visible.size()), index.num_items());
+  for (int item = 0; item < index.num_items(); ++item) {
+    EXPECT_EQ(visible[item], oracle.ItemVisible(item)) << "item " << item;
+  }
+}
+
+TEST(ServiceBatch, SnapshotRoundTripsWithoutACodec) {
+  // The serialized snapshot is self-describing: queries run against the
+  // deserialized index with no grammar or codec at hand.
+  auto service = MakePaperService();
+  auto session = service->GenerateLabeledRun(RunGeneratorOptions{
+      .target_items = 200, .seed = 13});
+  ProvenanceIndex index = session->Snapshot();
+
+  ProvenanceIndex restored =
+      ProvenanceIndex::Deserialize(index.Serialize()).value();
+  ASSERT_EQ(restored.num_items(), index.num_items());
+
+  Rng rng(7);
+  std::vector<std::pair<int, int>> queries;
+  for (int q = 0; q < 200; ++q) {
+    queries.push_back({rng.NextInt(0, index.num_items() - 1),
+                       rng.NextInt(0, index.num_items() - 1)});
+  }
+  ViewHandle view = service->default_view();
+  EXPECT_EQ(service->DependsMany(view, restored, queries).value(),
+            service->DependsMany(view, index, queries).value());
+}
+
+TEST(ServiceBatch, ForeignIndexRejected) {
+  // A snapshot from a service with a different specification must be turned
+  // away (its labels would index out of this service's decoder matrices).
+  auto service = MakePaperService();
+  auto other = ProvenanceService::Create(MakeBioAid(2012).spec).value();
+  ProvenanceIndex foreign =
+      other->GenerateLabeledRun(RunGeneratorOptions{.target_items = 50,
+                                                    .seed = 5})
+          ->Snapshot();
+  std::vector<std::pair<int, int>> queries = {{0, 1}};
+  EXPECT_EQ(
+      service->DependsMany(service->default_view(), foreign, queries).code(),
+      ErrorCode::kInvalidArgument);
+  EXPECT_EQ(service->VisibilitySweep(service->default_view(), foreign).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace fvl

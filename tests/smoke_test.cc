@@ -7,7 +7,7 @@
 
 #include <string>
 
-#include "fvl/core/scheme.h"
+#include "fvl/service/legacy_facade.h"
 #include "fvl/run/provenance_oracle.h"
 #include "fvl/workload/paper_example.h"
 
@@ -18,9 +18,8 @@ TEST(Smoke, SchemeFacadeEndToEnd) {
   PaperExample ex = MakePaperExample();
 
   // Checked construction succeeds on the paper grammar.
-  std::string error;
-  std::optional<FvlScheme> scheme = FvlScheme::Create(&ex.spec, &error);
-  ASSERT_TRUE(scheme.has_value()) << error;
+  Result<FvlScheme> scheme = FvlScheme::Create(&ex.spec);
+  ASSERT_TRUE(scheme.has_value()) << scheme.status().ToString();
 
   // Label a run online while it derives.
   RunGeneratorOptions options;
@@ -32,9 +31,9 @@ TEST(Smoke, SchemeFacadeEndToEnd) {
 
   // Every view x mode combination must agree with the white-box oracle.
   for (const View* view : {&ex.default_view, &ex.grey_view}) {
-    std::optional<CompiledView> compiled =
-        CompiledView::Compile(ex.spec.grammar, *view, &error);
-    ASSERT_TRUE(compiled.has_value()) << error;
+    Result<CompiledView> compiled =
+        CompiledView::Compile(ex.spec.grammar, *view);
+    ASSERT_TRUE(compiled.has_value()) << compiled.status().ToString();
     ProvenanceOracle oracle(labeled.run, *compiled);
     for (ViewLabelMode mode :
          {ViewLabelMode::kSpaceEfficient, ViewLabelMode::kDefault,

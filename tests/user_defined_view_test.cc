@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "fvl/core/decoder.h"
-#include "fvl/core/scheme.h"
+#include "fvl/service/legacy_facade.h"
 #include "fvl/core/visibility.h"
 #include "fvl/run/provenance_oracle.h"
 #include "fvl/util/random.h"
@@ -21,7 +21,7 @@ using ::fvl::testing::Mat;
 
 class GroupedViewTest : public ::testing::Test {
  protected:
-  GroupedViewTest() : ex_(MakePaperExample()), scheme_(&ex_.spec) {}
+  GroupedViewTest() : ex_(MakePaperExample()), scheme_(FvlScheme::Create(&ex_.spec).value()) {}
 
   // Example 18: over the default Δ (all composite modules expandable except
   // that grouped members must not be expandable, so we take
@@ -41,9 +41,8 @@ class GroupedViewTest : public ::testing::Test {
     group.name = "F";
     group.perceived_deps = std::move(f_deps);
 
-    std::string error;
-    auto view = GroupedView::Compile(ex_.spec.grammar, base, {group}, &error);
-    EXPECT_TRUE(view.has_value()) << error;
+    auto view = GroupedView::Compile(ex_.spec.grammar, base, {group});
+    EXPECT_TRUE(view.has_value()) << view.status().ToString();
     return std::move(*view);
   }
 
@@ -196,7 +195,7 @@ TEST(GroupedViewBioAid, GroupingAStageDiamond) {
   // the oracle.
   Workload workload = MakeBioAid(2012);
   const Grammar& g = workload.spec.grammar;
-  FvlScheme scheme(&workload.spec);
+  FvlScheme scheme = FvlScheme::Create(&workload.spec).value();
 
   // Find P3's production and the member positions of its diamond.
   ModuleId p3 = g.FindModule("P3");
@@ -223,9 +222,8 @@ TEST(GroupedViewBioAid, GroupingAStageDiamond) {
   group.perceived_deps =
       BoolMatrix::Full(static_cast<int>(boundary.inputs.size()),
                        static_cast<int>(boundary.outputs.size()));
-  std::string error;
-  auto view = GroupedView::Compile(g, base, {group}, &error);
-  ASSERT_TRUE(view.has_value()) << error;
+  auto view = GroupedView::Compile(g, base, {group});
+  ASSERT_TRUE(view.has_value()) << view.status().ToString();
 
   RunGeneratorOptions options;
   options.target_items = 1500;
@@ -266,7 +264,6 @@ TEST_F(GroupedViewTest, InvalidGroupsRejected) {
   base.expandable[ex_.C] = true;
   base.perceived = ex_.spec.deps;
 
-  std::string error;
   // Grouping an expandable member is rejected.
   {
     ModuleGroup group;
@@ -274,10 +271,11 @@ TEST_F(GroupedViewTest, InvalidGroupsRejected) {
     group.member_positions = {2};
     group.name = "G";
     group.perceived_deps = BoolMatrix::Full(2, 2);
-    EXPECT_FALSE(
-        GroupedView::Compile(ex_.spec.grammar, base, {group}, &error)
-            .has_value());
-    EXPECT_NE(error.find("expandable"), std::string::npos);
+    Result<GroupedView> view =
+        GroupedView::Compile(ex_.spec.grammar, base, {group});
+    EXPECT_FALSE(view.has_value());
+    EXPECT_EQ(view.code(), ErrorCode::kInvalidGroup);
+    EXPECT_NE(view.status().message().find("expandable"), std::string::npos);
   }
   // Grouping the recursion successor is rejected.
   {
@@ -291,8 +289,7 @@ TEST_F(GroupedViewTest, InvalidGroupsRejected) {
     group.member_positions = {1};
     group.name = "G";
     group.perceived_deps = BoolMatrix::Full(2, 2);
-    EXPECT_FALSE(GroupedView::Compile(ex_.spec.grammar, loop_base, {group},
-                                      &error)
+    EXPECT_FALSE(GroupedView::Compile(ex_.spec.grammar, loop_base, {group})
                      .has_value());
   }
   // Wrong perceived-deps shape is rejected.
@@ -302,10 +299,11 @@ TEST_F(GroupedViewTest, InvalidGroupsRejected) {
     group.member_positions = {1, 2};
     group.name = "F";
     group.perceived_deps = BoolMatrix::Full(3, 2);
-    EXPECT_FALSE(
-        GroupedView::Compile(ex_.spec.grammar, base, {group}, &error)
-            .has_value());
-    EXPECT_NE(error.find("shape"), std::string::npos);
+    Result<GroupedView> view =
+        GroupedView::Compile(ex_.spec.grammar, base, {group});
+    EXPECT_FALSE(view.has_value());
+    EXPECT_EQ(view.code(), ErrorCode::kInvalidGroup);
+    EXPECT_NE(view.status().message().find("shape"), std::string::npos);
   }
 }
 

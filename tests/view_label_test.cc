@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "fvl/core/scheme.h"
+#include "fvl/service/legacy_facade.h"
 #include "fvl/core/view_label.h"
 #include "fvl/workload/bioaid.h"
 #include "fvl/workload/paper_example.h"
@@ -12,19 +12,20 @@ namespace {
 
 class ViewLabelTest : public ::testing::Test {
  protected:
-  ViewLabelTest() : ex_(MakePaperExample()), scheme_(&ex_.spec) {
-    std::string error;
-    u1_ = CompiledView::Compile(ex_.spec.grammar, ex_.default_view, &error);
-    u2_ = CompiledView::Compile(ex_.spec.grammar, ex_.grey_view, &error);
-  }
+  ViewLabelTest()
+      : ex_(MakePaperExample()),
+        scheme_(FvlScheme::Create(&ex_.spec).value()),
+        u1_(CompiledView::Compile(ex_.spec.grammar, ex_.default_view)
+                .value()),
+        u2_(CompiledView::Compile(ex_.spec.grammar, ex_.grey_view).value()) {}
 
   PaperExample ex_;
   FvlScheme scheme_;
-  std::optional<CompiledView> u1_, u2_;
+  CompiledView u1_, u2_;
 };
 
 TEST_F(ViewLabelTest, VariantsAgreeOnAllFunctions) {
-  for (const auto* view : {&*u1_, &*u2_}) {
+  for (const auto* view : {&u1_, &u2_}) {
     ViewLabel se = scheme_.LabelView(*view, ViewLabelMode::kSpaceEfficient);
     ViewLabel def = scheme_.LabelView(*view, ViewLabelMode::kDefault);
     ViewLabel qe = scheme_.LabelView(*view, ViewLabelMode::kQueryEfficient);
@@ -57,9 +58,9 @@ TEST_F(ViewLabelTest, VariantsAgreeOnAllFunctions) {
 }
 
 TEST_F(ViewLabelTest, WalksAgreeAcrossVariantsAndIterations) {
-  ViewLabel se = scheme_.LabelView(*u1_, ViewLabelMode::kSpaceEfficient);
-  ViewLabel def = scheme_.LabelView(*u1_, ViewLabelMode::kDefault);
-  ViewLabel qe = scheme_.LabelView(*u1_, ViewLabelMode::kQueryEfficient);
+  ViewLabel se = scheme_.LabelView(u1_, ViewLabelMode::kSpaceEfficient);
+  ViewLabel def = scheme_.LabelView(u1_, ViewLabelMode::kDefault);
+  ViewLabel qe = scheme_.LabelView(u1_, ViewLabelMode::kQueryEfficient);
   const ProductionGraph& pg = scheme_.production_graph();
   for (int s = 0; s < pg.num_cycles(); ++s) {
     for (int t = 0; t < pg.cycle(s).length(); ++t) {
@@ -81,15 +82,15 @@ TEST_F(ViewLabelTest, WalksAgreeAcrossVariantsAndIterations) {
 }
 
 TEST_F(ViewLabelTest, SizeOrderingAcrossVariants) {
-  ViewLabel se = scheme_.LabelView(*u1_, ViewLabelMode::kSpaceEfficient);
-  ViewLabel def = scheme_.LabelView(*u1_, ViewLabelMode::kDefault);
-  ViewLabel qe = scheme_.LabelView(*u1_, ViewLabelMode::kQueryEfficient);
+  ViewLabel se = scheme_.LabelView(u1_, ViewLabelMode::kSpaceEfficient);
+  ViewLabel def = scheme_.LabelView(u1_, ViewLabelMode::kDefault);
+  ViewLabel qe = scheme_.LabelView(u1_, ViewLabelMode::kQueryEfficient);
   EXPECT_LT(se.SizeBits(), def.SizeBits());
   EXPECT_LT(def.SizeBits(), qe.SizeBits());
 }
 
 TEST_F(ViewLabelTest, InactiveProductionsUndefined) {
-  ViewLabel label = scheme_.LabelView(*u2_, ViewLabelMode::kDefault);
+  ViewLabel label = scheme_.LabelView(u2_, ViewLabelMode::kDefault);
   // p5..p8 are inactive in U2.
   for (int k = 4; k < 8; ++k) {
     EXPECT_FALSE(label.ProductionActive(ex_.p[k]));
@@ -105,7 +106,7 @@ TEST_F(ViewLabelTest, InactiveProductionsUndefined) {
 }
 
 TEST_F(ViewLabelTest, ZIsEmptyForNonAscendingPairs) {
-  ViewLabel label = scheme_.LabelView(*u1_, ViewLabelMode::kDefault);
+  ViewLabel label = scheme_.LabelView(u1_, ViewLabelMode::kDefault);
   auto z = label.Z(ex_.p[0], 3, 1);  // C before b? no: i=3 >= j=1
   ASSERT_TRUE(z.has_value());
   EXPECT_TRUE(z->IsZero());
@@ -118,7 +119,7 @@ TEST(ViewLabelSizes, PaperFig19ShapeOnBioAid) {
   // Fig. 19's qualitative shape: SE ≪ Default ≤ QE, and label size grows
   // with the view size.
   Workload workload = MakeBioAid(2012);
-  FvlScheme scheme(&workload.spec);
+  FvlScheme scheme = FvlScheme::Create(&workload.spec).value();
   int64_t previous_default = 0;
   for (int size : {2, 8, 16}) {
     ViewGeneratorOptions options;

@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "fvl/core/scheme.h"
+#include "fvl/service/legacy_facade.h"
 #include "fvl/workflow/recursion_analysis.h"
 #include "fvl/workflow/safety.h"
 #include "fvl/workload/bioaid.h"
@@ -53,17 +53,17 @@ TEST(BioAid, StrictlyLinearAndSafe) {
   EXPECT_TRUE(pg.IsRecursiveGrammar());
   // Cycles: one 2-ring and five self-loops... (L1-L1b plus L2, F1..F4).
   EXPECT_EQ(pg.num_cycles(), 6);
-  std::string error;
-  EXPECT_TRUE(FvlScheme::Create(&workload.spec, &error).has_value()) << error;
+  EXPECT_TRUE(FvlScheme::Create(&workload.spec).has_value());
 }
 
 TEST(BioAid, SafeForAnyUnconstrainedAssignmentSample) {
   // Different seeds give different random dependencies — all must be safe.
   for (uint64_t seed : {1u, 17u, 400u}) {
     Workload workload = MakeBioAid(seed);
-    SafetyResult safety =
+    Result<DependencyAssignment> safety =
         CheckSafety(workload.spec.grammar, workload.spec.deps);
-    EXPECT_TRUE(safety.safe) << "seed " << seed << ": " << safety.error;
+    EXPECT_TRUE(safety.ok()) << "seed " << seed << ": "
+                             << safety.status().message();
   }
 }
 
@@ -90,8 +90,7 @@ TEST(Synthetic, DefaultsBuildSafely) {
   ProductionGraph pg(&workload.spec.grammar);
   EXPECT_TRUE(IsStrictlyLinearRecursive(pg));
   EXPECT_EQ(pg.num_cycles(), 4);  // one ring per nesting level
-  std::string error;
-  EXPECT_TRUE(FvlScheme::Create(&workload.spec, &error).has_value()) << error;
+  EXPECT_TRUE(FvlScheme::Create(&workload.spec).has_value());
 }
 
 TEST(Synthetic, ParametersShapeTheGrammar) {
@@ -132,9 +131,8 @@ TEST(Synthetic, SweepIsSafeAndStrictlyLinear) {
           options.recursion_length = r;
           options.seed = 11;
           Workload workload = MakeSynthetic(options);
-          std::string error;
-          EXPECT_TRUE(FvlScheme::Create(&workload.spec, &error).has_value())
-              << workload.name << ": " << error;
+          EXPECT_TRUE(FvlScheme::Create(&workload.spec).has_value())
+              << workload.name;
         }
       }
     }
@@ -161,15 +159,17 @@ TEST(ViewGenerator, ProducesRequestedSize) {
 
 TEST(ViewGenerator, KindsBehaveAsAdvertised) {
   Workload workload = MakeBioAid(2012);
-  SafetyResult truth = CheckSafety(workload.spec.grammar, workload.spec.deps);
-  ASSERT_TRUE(truth.safe);
+  Result<DependencyAssignment> safety =
+      CheckSafety(workload.spec.grammar, workload.spec.deps);
+  ASSERT_TRUE(safety.ok());
+  const DependencyAssignment& truth = *safety;
 
   ViewGeneratorOptions options;
   options.num_expandable = 8;
   options.seed = 5;
 
   options.deps = PerceivedDeps::kWhiteBox;
-  EXPECT_TRUE(GenerateSafeView(workload, options).IsWhiteBox(truth.full));
+  EXPECT_TRUE(GenerateSafeView(workload, options).IsWhiteBox(truth));
 
   options.deps = PerceivedDeps::kBlackBox;
   CompiledView black = GenerateSafeView(workload, options);
@@ -179,12 +179,12 @@ TEST(ViewGenerator, KindsBehaveAsAdvertised) {
   options.add_probability = 0.5;
   CompiledView grey = GenerateSafeView(workload, options);
   // Grey-box adds dependencies somewhere (overwhelmingly likely at p=0.5).
-  EXPECT_FALSE(grey.IsWhiteBox(truth.full));
+  EXPECT_FALSE(grey.IsWhiteBox(truth));
   // ...but never removes any: λ'^* is a superset of λ* per module.
   for (ModuleId m = 0; m < workload.spec.grammar.num_modules(); ++m) {
     if (!grey.view().expandable[m] && grey.view().perceived.IsDefined(m) &&
-        truth.full.IsDefined(m)) {
-      EXPECT_TRUE(truth.full.Get(m).IsSubsetOf(grey.view().perceived.Get(m)));
+        truth.IsDefined(m)) {
+      EXPECT_TRUE(truth.Get(m).IsSubsetOf(grey.view().perceived.Get(m)));
     }
   }
 }
@@ -207,7 +207,7 @@ TEST(ViewGenerator, DeterministicPerSeed) {
 
 TEST(QueryGenerator, BoundsAndDeterminism) {
   PaperExample ex = MakePaperExample();
-  FvlScheme scheme(&ex.spec);
+  FvlScheme scheme = FvlScheme::Create(&ex.spec).value();
   RunGeneratorOptions run_options;
   run_options.target_items = 200;
   FvlScheme::LabeledRun labeled = scheme.GenerateLabeledRun(run_options);
@@ -221,8 +221,7 @@ TEST(QueryGenerator, BoundsAndDeterminism) {
   }
   EXPECT_EQ(GenerateQueries(labeled.run, 500, 13), queries);
 
-  std::string error;
-  auto view = *CompiledView::Compile(ex.spec.grammar, ex.grey_view, &error);
+  auto view = *CompiledView::Compile(ex.spec.grammar, ex.grey_view);
   ViewLabel label = scheme.LabelView(view, ViewLabelMode::kDefault);
   auto visible = GenerateVisibleQueries(labeled.run, labeled.labeler, label,
                                         300, 13);
