@@ -1,7 +1,9 @@
 #include "fvl/core/index.h"
 
+#include <algorithm>
 #include <cstring>
 #include <limits>
+#include <utility>
 
 #include "fvl/util/check.h"
 
@@ -12,6 +14,9 @@ namespace {
 // Version 2 added the codec field widths to the header, making the blob
 // self-describing (version 1 required the caller to supply the codec).
 constexpr char kMagic[8] = {'F', 'V', 'L', 'I', 'D', 'X', '2', '\0'};
+// Multi-run variant (ProvenanceIndex::Merge): adds a per-run item-count
+// table between the scalar header and the shared codec/offsets/arena tail.
+constexpr char kMergedMagic[8] = {'F', 'V', 'L', 'M', 'R', 'G', '1', '\0'};
 
 void AppendU64(std::string* out, uint64_t value) {
   for (int i = 0; i < 8; ++i) {
@@ -30,6 +35,126 @@ bool ReadU64(const std::string& blob, size_t* pos, uint64_t* value) {
   return true;
 }
 
+// Appends the relocated bit range [start_bit, end_bit) of `words` to `out`.
+void CopyBits(const std::vector<uint64_t>& words, int64_t start_bit,
+              int64_t end_bit, BitWriter* out) {
+  BitReader reader(&words, start_bit, end_bit);
+  for (int64_t remaining = end_bit - start_bit; remaining > 0;) {
+    int chunk = remaining < 64 ? static_cast<int>(remaining) : 64;
+    out->WriteFixed(reader.ReadFixed(chunk), chunk);
+    remaining -= chunk;
+  }
+}
+
+// The tail shared by the single-run and merged formats: codec field widths,
+// the bit-packed offset table, and the label arena.
+void AppendCodecAndArena(const LabelCodec& codec,
+                         const std::vector<int64_t>& offsets,
+                         const std::vector<uint64_t>& words,
+                         int64_t arena_bits, std::string* blob) {
+  // Codec field widths (self-description).
+  for (int width : {codec.production_bits, codec.position_bits,
+                    codec.cycle_bits, codec.start_bits, codec.port_bits}) {
+    blob->push_back(static_cast<char>(width));
+  }
+
+  // Offsets, bit-packed at the minimal fixed width.
+  int offset_width = BitWidthFor(arena_bits + 1);
+  blob->push_back(static_cast<char>(offset_width));
+  BitWriter packed;
+  for (size_t item = 0; item + 1 < offsets.size(); ++item) {
+    packed.WriteFixed(static_cast<uint64_t>(offsets[item + 1]), offset_width);
+  }
+  AppendU64(blob, static_cast<uint64_t>(packed.words().size()));
+  for (uint64_t word : packed.words()) AppendU64(blob, word);
+
+  AppendU64(blob, static_cast<uint64_t>(words.size()));
+  for (uint64_t word : words) AppendU64(blob, word);
+}
+
+// Parses and validates the shared tail starting at *pos; on success the
+// blob is fully consumed and every label span is known to decode exactly
+// under the embedded codec, so accessors of the resulting index never
+// abort. `num_items` and `arena_bits` come from the caller's header and
+// must already be bounded by the blob size.
+Status ParseCodecAndArena(const std::string& blob, size_t* pos,
+                          uint64_t num_items, uint64_t arena_bits,
+                          LabelCodec* codec, std::vector<int64_t>* offsets,
+                          std::vector<uint64_t>* words) {
+  auto fail = [](const std::string& message) -> Status {
+    return Status::Error(ErrorCode::kMalformedBlob, message);
+  };
+  if (*pos + 5 > blob.size()) return fail("truncated codec widths");
+  int* widths[5] = {&codec->production_bits, &codec->position_bits,
+                    &codec->cycle_bits, &codec->start_bits,
+                    &codec->port_bits};
+  for (int* width : widths) {
+    *width = static_cast<unsigned char>(blob[(*pos)++]);
+    if (*width > 64) return fail("codec width out of range");
+  }
+
+  if (*pos >= blob.size()) return fail("truncated header");
+  int offset_width = static_cast<unsigned char>(blob[(*pos)++]);
+  if (offset_width != BitWidthFor(static_cast<int64_t>(arena_bits) + 1)) {
+    return fail("inconsistent offset width");
+  }
+
+  uint64_t offset_words = 0;
+  if (!ReadU64(blob, pos, &offset_words)) return fail("truncated offsets");
+  if (offset_width > 0 &&
+      num_items > offset_words * 64 / static_cast<uint64_t>(offset_width)) {
+    return fail("offset table too small");
+  }
+  BitWriter packed;
+  for (uint64_t w = 0; w < offset_words; ++w) {
+    uint64_t word = 0;
+    if (!ReadU64(blob, pos, &word)) return fail("truncated offsets");
+    packed.WriteFixed(word, 64);
+  }
+  BitReader reader(packed);
+  *offsets = {0};
+  for (uint64_t item = 0; item < num_items; ++item) {
+    int64_t offset = static_cast<int64_t>(reader.ReadFixed(offset_width));
+    if (offset < offsets->back() ||
+        offset > static_cast<int64_t>(arena_bits)) {
+      return fail("non-monotone offsets");
+    }
+    offsets->push_back(offset);
+  }
+  if (num_items > 0 && offsets->back() != static_cast<int64_t>(arena_bits)) {
+    return fail("offsets do not cover the arena");
+  }
+
+  uint64_t arena_words = 0;
+  if (!ReadU64(blob, pos, &arena_words)) return fail("truncated arena");
+  if (arena_words < (arena_bits + 63) / 64) return fail("arena too small");
+  if (arena_words > blob.size() / 8) return fail("truncated arena");
+  words->clear();
+  words->reserve(arena_words);
+  for (uint64_t w = 0; w < arena_words; ++w) {
+    uint64_t word = 0;
+    if (!ReadU64(blob, pos, &word)) return fail("truncated arena");
+    words->push_back(word);
+  }
+  if (*pos != blob.size()) return fail("trailing bytes");
+
+  // The accessors FVL_CHECK that every span decodes exactly under the
+  // codec; an inconsistent blob (e.g. a flipped codec-width byte) must be
+  // rejected here, recoverably, rather than abort on first Label() call.
+  for (uint64_t item = 0; item < num_items; ++item) {
+    BitReader label_reader(words, (*offsets)[item], (*offsets)[item + 1]);
+    label_reader.set_permissive();
+    codec->Decode(&label_reader);
+    if (label_reader.failed() || !label_reader.AtEnd()) {
+      std::string message = "label ";
+      message += std::to_string(item);
+      message += " does not decode under the blob's codec";
+      return fail(message);
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 void ProvenanceIndexBuilder::Add(const DataLabel& label) {
@@ -40,8 +165,9 @@ void ProvenanceIndexBuilder::Add(const DataLabel& label) {
 
 ProvenanceIndex ProvenanceIndexBuilder::Build() && {
   if (offsets_.empty()) offsets_.push_back(0);
+  int64_t arena_bits = arena_.size_bits();  // before TakeWords resets it
   return ProvenanceIndex(std::move(codec_), std::move(offsets_),
-                         arena_.words(), arena_.size_bits());
+                         arena_.TakeWords(), arena_bits);
 }
 
 ProvenanceIndex ProvenanceIndexBuilder::FromLabeledRun(
@@ -71,26 +197,7 @@ std::string ProvenanceIndex::Serialize() const {
   std::string blob(kMagic, sizeof(kMagic));
   AppendU64(&blob, static_cast<uint64_t>(num_items()));
   AppendU64(&blob, static_cast<uint64_t>(arena_bits_));
-
-  // Codec field widths (self-description).
-  for (int width : {codec_.production_bits, codec_.position_bits,
-                    codec_.cycle_bits, codec_.start_bits, codec_.port_bits}) {
-    blob.push_back(static_cast<char>(width));
-  }
-
-  // Offsets, bit-packed at the minimal fixed width.
-  int offset_width = BitWidthFor(arena_bits_ + 1);
-  blob.push_back(static_cast<char>(offset_width));
-  BitWriter offsets;
-  for (int item = 0; item < num_items(); ++item) {
-    offsets.WriteFixed(static_cast<uint64_t>(offsets_[item + 1]),
-                       offset_width);
-  }
-  AppendU64(&blob, static_cast<uint64_t>(offsets.words().size()));
-  for (uint64_t word : offsets.words()) AppendU64(&blob, word);
-
-  AppendU64(&blob, static_cast<uint64_t>(words_.size()));
-  for (uint64_t word : words_) AppendU64(&blob, word);
+  AppendCodecAndArena(codec_, offsets_, words_, arena_bits_, &blob);
   return blob;
 }
 
@@ -118,74 +225,162 @@ Result<ProvenanceIndex> ProvenanceIndex::Deserialize(const std::string& blob) {
   }
 
   LabelCodec codec;
-  if (pos + 5 > blob.size()) return fail("truncated codec widths");
-  int* widths[5] = {&codec.production_bits, &codec.position_bits,
-                    &codec.cycle_bits, &codec.start_bits, &codec.port_bits};
-  for (int* width : widths) {
-    *width = static_cast<unsigned char>(blob[pos++]);
-    if (*width > 64) return fail("codec width out of range");
-  }
-
-  if (pos >= blob.size()) return fail("truncated header");
-  int offset_width = static_cast<unsigned char>(blob[pos++]);
-  if (offset_width != BitWidthFor(static_cast<int64_t>(arena_bits) + 1)) {
-    return fail("inconsistent offset width");
-  }
-
-  uint64_t offset_words = 0;
-  if (!ReadU64(blob, &pos, &offset_words)) return fail("truncated offsets");
-  if (offset_width > 0 &&
-      num_items > offset_words * 64 / static_cast<uint64_t>(offset_width)) {
-    return fail("offset table too small");
-  }
-  BitWriter packed;
-  for (uint64_t w = 0; w < offset_words; ++w) {
-    uint64_t word = 0;
-    if (!ReadU64(blob, &pos, &word)) return fail("truncated offsets");
-    packed.WriteFixed(word, 64);
-  }
-  BitReader reader(packed);
-  std::vector<int64_t> offsets = {0};
-  for (uint64_t item = 0; item < num_items; ++item) {
-    int64_t offset = static_cast<int64_t>(reader.ReadFixed(offset_width));
-    if (offset < offsets.back() || offset > static_cast<int64_t>(arena_bits)) {
-      return fail("non-monotone offsets");
-    }
-    offsets.push_back(offset);
-  }
-  if (num_items > 0 && offsets.back() != static_cast<int64_t>(arena_bits)) {
-    return fail("offsets do not cover the arena");
-  }
-
-  uint64_t arena_words = 0;
-  if (!ReadU64(blob, &pos, &arena_words)) return fail("truncated arena");
-  if (arena_words < (arena_bits + 63) / 64) return fail("arena too small");
-  if (arena_words > blob.size() / 8) return fail("truncated arena");
+  std::vector<int64_t> offsets;
   std::vector<uint64_t> words;
-  words.reserve(arena_words);
-  for (uint64_t w = 0; w < arena_words; ++w) {
-    uint64_t word = 0;
-    if (!ReadU64(blob, &pos, &word)) return fail("truncated arena");
-    words.push_back(word);
-  }
-  if (pos != blob.size()) return fail("trailing bytes");
-
-  // The accessors FVL_CHECK that every span decodes exactly under the
-  // codec; an inconsistent blob (e.g. a flipped codec-width byte) must be
-  // rejected here, recoverably, rather than abort on first Label() call.
-  for (uint64_t item = 0; item < num_items; ++item) {
-    BitReader label_reader(&words, offsets[item], offsets[item + 1]);
-    label_reader.set_permissive();
-    codec.Decode(&label_reader);
-    if (label_reader.failed() || !label_reader.AtEnd()) {
-      std::string message = "label ";
-      message += std::to_string(item);
-      message += " does not decode under the blob's codec";
-      return fail(message);
-    }
+  if (Status status = ParseCodecAndArena(blob, &pos, num_items, arena_bits,
+                                         &codec, &offsets, &words);
+      !status.ok()) {
+    return status;
   }
   return ProvenanceIndex(std::move(codec), std::move(offsets),
                          std::move(words), static_cast<int64_t>(arena_bits));
+}
+
+Result<MergedProvenanceIndex> ProvenanceIndex::Merge(
+    std::span<const ProvenanceIndex> runs) {
+  if (runs.empty()) return MergedProvenanceIndex();
+
+  const LabelCodec& codec = runs[0].codec();
+  int64_t total = 0;
+  for (size_t r = 1; r < runs.size(); ++r) {
+    if (!(runs[r].codec() == codec)) {
+      return Status::Error(
+          ErrorCode::kInvalidArgument,
+          "run " + std::to_string(r) +
+              " was built for a different specification than run 0 "
+              "(label codecs disagree)");
+    }
+  }
+  for (const ProvenanceIndex& run : runs) total += run.num_items();
+  if (total >= std::numeric_limits<int>::max()) {
+    return Status::Error(ErrorCode::kInvalidArgument,
+                         "merged index would exceed the supported item count");
+  }
+
+  // Relocate every label into one contiguous arena, run by run; item ids
+  // stay dense, so (run, item) maps to run_base[run] + item.
+  std::vector<int64_t> run_base = {0};
+  std::vector<int64_t> offsets = {0};
+  run_base.reserve(runs.size() + 1);
+  offsets.reserve(static_cast<size_t>(total) + 1);
+  BitWriter arena;
+  for (const ProvenanceIndex& run : runs) {
+    for (int item = 0; item < run.num_items(); ++item) {
+      CopyBits(run.words_, run.offsets_[item], run.offsets_[item + 1],
+               &arena);
+      offsets.push_back(arena.size_bits());
+    }
+    run_base.push_back(run_base.back() + run.num_items());
+  }
+  int64_t arena_bits = arena.size_bits();  // before TakeWords resets it
+  return MergedProvenanceIndex(codec, std::move(run_base), std::move(offsets),
+                               arena.TakeWords(), arena_bits);
+}
+
+// --- MergedProvenanceIndex ---------------------------------------------------
+
+int MergedProvenanceIndex::GlobalId(int run, int item) const {
+  FVL_CHECK(run >= 0 && run < num_runs());
+  FVL_CHECK(item >= 0 && item < num_items(run));
+  return static_cast<int>(run_base_[run] + item);
+}
+
+int MergedProvenanceIndex::RunOf(int global) const {
+  FVL_CHECK(global >= 0 && global < total_items());
+  // First base strictly above `global`; zero-item runs (repeated bases) are
+  // skipped correctly because no flat id maps into them.
+  auto it = std::upper_bound(run_base_.begin(), run_base_.end(),
+                             static_cast<int64_t>(global));
+  return static_cast<int>(it - run_base_.begin()) - 1;
+}
+
+DataLabel MergedProvenanceIndex::LabelByGlobalId(int global) const {
+  FVL_CHECK(global >= 0 && global < total_items());
+  BitReader reader(&words_, offsets_[global], offsets_[global + 1]);
+  DataLabel label = codec_.Decode(&reader);
+  FVL_CHECK(reader.AtEnd());
+  return label;
+}
+
+int64_t MergedProvenanceIndex::LabelBits(int run, int item) const {
+  int global = GlobalId(run, item);
+  return offsets_[global + 1] - offsets_[global];
+}
+
+int64_t MergedProvenanceIndex::SizeBits() const {
+  // Arena, a minimal-width offset per item, and the per-run base table.
+  return arena_bits_ +
+         static_cast<int64_t>(total_items()) * BitWidthFor(arena_bits_ + 1) +
+         static_cast<int64_t>(num_runs()) *
+             BitWidthFor(static_cast<int64_t>(total_items()) + 1);
+}
+
+std::string MergedProvenanceIndex::Serialize() const {
+  std::string blob(kMergedMagic, sizeof(kMergedMagic));
+  AppendU64(&blob, static_cast<uint64_t>(num_runs()));
+  AppendU64(&blob, static_cast<uint64_t>(total_items()));
+  AppendU64(&blob, static_cast<uint64_t>(arena_bits_));
+  for (int run = 0; run < num_runs(); ++run) {
+    AppendU64(&blob, static_cast<uint64_t>(num_items(run)));
+  }
+  AppendCodecAndArena(codec_, offsets_, words_, arena_bits_, &blob);
+  return blob;
+}
+
+Result<MergedProvenanceIndex> MergedProvenanceIndex::Deserialize(
+    const std::string& blob) {
+  auto fail = [](const std::string& message) -> Status {
+    return Status::Error(ErrorCode::kMalformedBlob, message);
+  };
+  if (blob.size() < sizeof(kMergedMagic) ||
+      std::memcmp(blob.data(), kMergedMagic, sizeof(kMergedMagic)) != 0) {
+    return fail("bad magic");
+  }
+  size_t pos = sizeof(kMergedMagic);
+  uint64_t num_runs = 0, total_items = 0, arena_bits = 0;
+  if (!ReadU64(blob, &pos, &num_runs) || !ReadU64(blob, &pos, &total_items) ||
+      !ReadU64(blob, &pos, &arena_bits)) {
+    return fail("truncated header");
+  }
+  // Same up-front bounding as the single-run format: no claimed count may
+  // describe more bytes than the blob carries, which caps every allocation
+  // below and keeps all arithmetic in int64 range.
+  if (num_runs > blob.size() / 8) return fail("num_runs exceeds blob");
+  // num_runs() narrows run_base_.size() - 1 to int.
+  if (num_runs >= static_cast<uint64_t>(std::numeric_limits<int>::max())) {
+    return fail("num_runs exceeds supported range");
+  }
+  if (arena_bits / 8 > blob.size()) return fail("arena_bits exceeds blob");
+  if (total_items / 8 > blob.size()) return fail("total_items exceeds blob");
+  if (total_items >= static_cast<uint64_t>(std::numeric_limits<int>::max())) {
+    return fail("total_items exceeds supported range");
+  }
+
+  std::vector<int64_t> run_base = {0};
+  run_base.reserve(num_runs + 1);
+  for (uint64_t run = 0; run < num_runs; ++run) {
+    uint64_t count = 0;
+    if (!ReadU64(blob, &pos, &count)) return fail("truncated run table");
+    if (count > total_items - static_cast<uint64_t>(run_base.back())) {
+      return fail("run item counts exceed total_items");
+    }
+    run_base.push_back(run_base.back() + static_cast<int64_t>(count));
+  }
+  if (run_base.back() != static_cast<int64_t>(total_items)) {
+    return fail("run item counts do not sum to total_items");
+  }
+
+  LabelCodec codec;
+  std::vector<int64_t> offsets;
+  std::vector<uint64_t> words;
+  if (Status status = ParseCodecAndArena(blob, &pos, total_items, arena_bits,
+                                         &codec, &offsets, &words);
+      !status.ok()) {
+    return status;
+  }
+  return MergedProvenanceIndex(std::move(codec), std::move(run_base),
+                               std::move(offsets), std::move(words),
+                               static_cast<int64_t>(arena_bits));
 }
 
 }  // namespace fvl

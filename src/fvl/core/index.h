@@ -24,15 +24,18 @@
 #define FVL_CORE_INDEX_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "fvl/core/run_labeler.h"
+#include "fvl/util/check.h"
 #include "fvl/util/status.h"
 
 namespace fvl {
 
 class ProvenanceIndex;
+class MergedProvenanceIndex;
 
 class ProvenanceIndexBuilder {
  public:
@@ -76,6 +79,15 @@ class ProvenanceIndex {
   // returned index never aborts in its accessors.
   static Result<ProvenanceIndex> Deserialize(const std::string& blob);
 
+  // Combines per-run snapshots of the *same* specification into one
+  // queryable multi-run artifact: every label is relocated into one
+  // contiguous arena and items are addressed as (run, local_item) pairs.
+  // Runs whose codecs disagree (i.e. snapshots of structurally different
+  // grammars) are rejected with kInvalidArgument; an empty span yields an
+  // empty merged index rather than an error.
+  static Result<MergedProvenanceIndex> Merge(
+      std::span<const ProvenanceIndex> runs);
+
  private:
   friend class ProvenanceIndexBuilder;
   ProvenanceIndex(LabelCodec codec, std::vector<int64_t> offsets,
@@ -87,6 +99,71 @@ class ProvenanceIndex {
 
   LabelCodec codec_;
   std::vector<int64_t> offsets_;  // size num_items + 1; [0] = 0
+  std::vector<uint64_t> words_;
+  int64_t arena_bits_ = 0;
+};
+
+// Many runs of one specification, frozen into a single position-independent
+// artifact (ProvenanceIndex::Merge). Items are addressed as (run, item)
+// pairs: a per-run offset table maps each pair to a flat id into one
+// contiguous relocated label arena, so cross-run batch sweeps walk memory
+// linearly instead of chasing per-run snapshots. Serialization follows the
+// single-run format and hardening: self-describing (codec widths in the
+// header), and Deserialize bounds-checks every field and verifies that
+// every label span decodes under the embedded codec before an index is
+// returned — accessors on a deserialized index never abort.
+class MergedProvenanceIndex {
+ public:
+  MergedProvenanceIndex() = default;  // zero runs, zero items
+
+  int num_runs() const { return static_cast<int>(run_base_.size()) - 1; }
+  int num_items(int run) const {
+    FVL_CHECK(run >= 0 && run < num_runs());
+    return static_cast<int>(run_base_[run + 1] - run_base_[run]);
+  }
+  // Items across all runs; bounded to int range by Merge/Deserialize.
+  int total_items() const { return static_cast<int>(run_base_.back()); }
+  // The shared codec of every merged run.
+  const LabelCodec& codec() const { return codec_; }
+
+  // Flat id of (run, item) in arena order: run_base_[run] + item.
+  int GlobalId(int run, int item) const;
+  // Inverse direction: the run a flat id belongs to. Queries use this to
+  // keep run boundaries meaningful — items of different runs never depend
+  // on each other (separate executions share no data flow), and the
+  // decoding predicate is only defined over labels of one parse tree.
+  int RunOf(int global) const;
+
+  // Decodes the label of one item, addressed either way.
+  DataLabel Label(int run, int item) const {
+    return LabelByGlobalId(GlobalId(run, item));
+  }
+  DataLabel LabelByGlobalId(int global) const;
+  // Exact encoded size of one item's label.
+  int64_t LabelBits(int run, int item) const;
+
+  // Total index size in bits (arena + offset tables at minimal width).
+  int64_t SizeBits() const;
+
+  // Same contract as the single-run pair: stable little-endian format,
+  // kMalformedBlob on any parse or decode inconsistency.
+  std::string Serialize() const;
+  static Result<MergedProvenanceIndex> Deserialize(const std::string& blob);
+
+ private:
+  friend class ProvenanceIndex;  // Merge constructs the result
+  MergedProvenanceIndex(LabelCodec codec, std::vector<int64_t> run_base,
+                        std::vector<int64_t> offsets,
+                        std::vector<uint64_t> words, int64_t arena_bits)
+      : codec_(std::move(codec)),
+        run_base_(std::move(run_base)),
+        offsets_(std::move(offsets)),
+        words_(std::move(words)),
+        arena_bits_(arena_bits) {}
+
+  LabelCodec codec_;
+  std::vector<int64_t> run_base_{0};  // size num_runs + 1; [0] = 0
+  std::vector<int64_t> offsets_{0};   // size total_items + 1; [0] = 0
   std::vector<uint64_t> words_;
   int64_t arena_bits_ = 0;
 };

@@ -197,27 +197,25 @@ Result<bool> ProvenanceService::Depends(ViewHandle handle, const DataLabel& d1,
   return (*decoder)->Depends(d1, d2);
 }
 
-Result<std::vector<bool>> ProvenanceService::DependsMany(
-    ViewHandle handle, const ProvenanceIndex& index,
-    std::span<const std::pair<int, int>> queries, ViewLabelMode mode) {
-  if (Status status = CheckIndexCompatible(index); !status.ok()) {
-    return status;
-  }
+Result<std::vector<bool>> ProvenanceService::BatchDepends(
+    ViewHandle handle, int num_items,
+    std::span<const std::pair<int, int>> queries, ViewLabelMode mode,
+    const std::function<DataLabel(int)>& label_of) {
   Result<const Decoder*> decoder = DecoderOf(handle, mode);
   if (!decoder.ok()) return decoder.status();
 
   // Decode each distinct item once for the whole batch. Scratch is sized by
   // the batch (hash map, node-stable references) unless the batch covers a
   // good fraction of the snapshot, where the flat table's O(1) lookups win.
-  const bool dense = queries.size() * 4 >= static_cast<size_t>(index.num_items());
-  std::vector<DataLabel> decoded(dense ? index.num_items() : 0);
-  std::vector<char> have(dense ? index.num_items() : 0, 0);
+  const bool dense = queries.size() * 4 >= static_cast<size_t>(num_items);
+  std::vector<DataLabel> decoded(dense ? num_items : 0);
+  std::vector<char> have(dense ? num_items : 0, 0);
   std::unordered_map<int, DataLabel> sparse;
   bool in_bounds = true;
-  auto label_of = [&](int item) -> const DataLabel& {
+  auto decoded_label = [&](int item) -> const DataLabel& {
     if (dense) {
       if (!have[item]) {
-        decoded[item] = index.Label(item);
+        decoded[item] = label_of(item);
         in_bounds = in_bounds && LabelInBounds(decoded[item]);
         have[item] = 1;
       }
@@ -225,7 +223,7 @@ Result<std::vector<bool>> ProvenanceService::DependsMany(
     }
     auto [it, inserted] = sparse.try_emplace(item);
     if (inserted) {
-      it->second = index.Label(item);
+      it->second = label_of(item);
       in_bounds = in_bounds && LabelInBounds(it->second);
     }
     return it->second;
@@ -234,15 +232,14 @@ Result<std::vector<bool>> ProvenanceService::DependsMany(
   std::vector<bool> answers;
   answers.reserve(queries.size());
   for (const auto& [d1, d2] : queries) {
-    if (d1 < 0 || d1 >= index.num_items() || d2 < 0 ||
-        d2 >= index.num_items()) {
+    if (d1 < 0 || d1 >= num_items || d2 < 0 || d2 >= num_items) {
       return Status::Error(ErrorCode::kInvalidArgument,
                            "query item (" + std::to_string(d1) + ", " +
                                std::to_string(d2) + ") out of range [0, " +
-                               std::to_string(index.num_items()) + ")");
+                               std::to_string(num_items) + ")");
     }
-    const DataLabel& l1 = label_of(d1);
-    const DataLabel& l2 = label_of(d2);
+    const DataLabel& l1 = decoded_label(d1);
+    const DataLabel& l2 = decoded_label(d2);
     if (!in_bounds) {
       return Status::Error(ErrorCode::kInvalidArgument,
                            "index label fields are out of range for this "
@@ -251,6 +248,103 @@ Result<std::vector<bool>> ProvenanceService::DependsMany(
     answers.push_back((*decoder)->Depends(l1, l2));
   }
   return answers;
+}
+
+Result<std::vector<bool>> ProvenanceService::DependsMany(
+    ViewHandle handle, const ProvenanceIndex& index,
+    std::span<const std::pair<int, int>> queries, ViewLabelMode mode) {
+  if (Status status = CheckIndexCompatible(index); !status.ok()) {
+    return status;
+  }
+  return BatchDepends(handle, index.num_items(), queries, mode,
+                      [&index](int item) { return index.Label(item); });
+}
+
+Result<std::vector<bool>> ProvenanceService::MergedBatch(
+    ViewHandle handle, const MergedProvenanceIndex& index,
+    std::span<const std::pair<int, int>> flat, ViewLabelMode mode) {
+  // Validate the handle up front: it must be reported (kNotFound) even when
+  // every pair crosses runs and the decoder is never consulted.
+  if (Result<const ViewEntry*> entry = std::as_const(*this).EntryOf(handle);
+      !entry.ok()) {
+    return entry.status();
+  }
+  // Cross-run pairs are false by definition — separate executions share no
+  // data flow, and the decoding predicate's path comparisons are only
+  // meaningful for labels of one parse tree. Only same-run pairs reach
+  // BatchDepends (which still decodes each distinct flat id once).
+  std::vector<bool> answers(flat.size(), false);
+  std::vector<std::pair<int, int>> same_run;
+  std::vector<size_t> positions;
+  for (size_t q = 0; q < flat.size(); ++q) {
+    if (index.RunOf(flat[q].first) == index.RunOf(flat[q].second)) {
+      same_run.push_back(flat[q]);
+      positions.push_back(q);
+    }
+  }
+  if (!same_run.empty()) {
+    Result<std::vector<bool>> sub = BatchDepends(
+        handle, index.total_items(), same_run, mode,
+        [&index](int item) { return index.LabelByGlobalId(item); });
+    if (!sub.ok()) return sub.status();
+    for (size_t i = 0; i < positions.size(); ++i) {
+      answers[positions[i]] = (*sub)[i];
+    }
+  }
+  return answers;
+}
+
+Result<std::vector<bool>> ProvenanceService::DependsMany(
+    ViewHandle handle, const MergedProvenanceIndex& index,
+    std::span<const std::pair<int, int>> queries, ViewLabelMode mode) {
+  if (Status status = CheckIndexCompatible(index); !status.ok()) {
+    return status;
+  }
+  for (const auto& [d1, d2] : queries) {
+    if (d1 < 0 || d1 >= index.total_items() || d2 < 0 ||
+        d2 >= index.total_items()) {
+      return Status::Error(ErrorCode::kInvalidArgument,
+                           "query item (" + std::to_string(d1) + ", " +
+                               std::to_string(d2) + ") out of range [0, " +
+                               std::to_string(index.total_items()) + ")");
+    }
+  }
+  return MergedBatch(handle, index, queries, mode);
+}
+
+Result<std::vector<bool>> ProvenanceService::QueryAcrossRuns(
+    ViewHandle handle, const MergedProvenanceIndex& index,
+    std::span<const std::pair<RunItem, RunItem>> queries, ViewLabelMode mode) {
+  if (Status status = CheckIndexCompatible(index); !status.ok()) {
+    return status;
+  }
+  // Map (run, item) addresses to flat ids up front; MergedBatch then
+  // decodes each distinct flat id once regardless of which runs the batch
+  // touches.
+  std::vector<std::pair<int, int>> flat;
+  flat.reserve(queries.size());
+  auto flat_id = [&index](RunItem address, int* out) {
+    if (address.run < 0 || address.run >= index.num_runs() ||
+        address.item < 0 || address.item >= index.num_items(address.run)) {
+      return false;
+    }
+    *out = index.GlobalId(address.run, address.item);
+    return true;
+  };
+  for (const auto& [a, b] : queries) {
+    std::pair<int, int> ids;
+    if (!flat_id(a, &ids.first) || !flat_id(b, &ids.second)) {
+      return Status::Error(
+          ErrorCode::kInvalidArgument,
+          "query address (run " + std::to_string(a.run) + " item " +
+              std::to_string(a.item) + ", run " + std::to_string(b.run) +
+              " item " + std::to_string(b.item) +
+              ") out of range for a merged index of " +
+              std::to_string(index.num_runs()) + " runs");
+    }
+    flat.push_back(ids);
+  }
+  return MergedBatch(handle, index, flat, mode);
 }
 
 bool ProvenanceService::LabelInBounds(const DataLabel& label) const {
@@ -292,16 +386,27 @@ Status ProvenanceService::CheckIndexCompatible(
   return Status::Ok();
 }
 
-Result<std::vector<bool>> ProvenanceService::VisibilitySweep(
-    ViewHandle handle, const ProvenanceIndex& index, ViewLabelMode mode) {
-  if (Status status = CheckIndexCompatible(index); !status.ok()) {
-    return status;
+Status ProvenanceService::CheckIndexCompatible(
+    const MergedProvenanceIndex& index) const {
+  // An empty merge (zero runs) carries no labels at all, so it is
+  // vacuously compatible; queries against it can only return empty results.
+  if (index.num_runs() == 0) return Status::Ok();
+  if (!(index.codec() == LabelCodec(*pg_))) {
+    return Status::Error(
+        ErrorCode::kInvalidArgument,
+        "merged index was not built for this service's specification");
   }
+  return Status::Ok();
+}
+
+Result<std::vector<bool>> ProvenanceService::SweepVisibility(
+    ViewHandle handle, int num_items, ViewLabelMode mode,
+    const std::function<DataLabel(int)>& label_of) {
   Result<const ViewLabel*> label = LabelOf(handle, mode);
   if (!label.ok()) return label.status();
-  std::vector<bool> visible(index.num_items());
-  for (int item = 0; item < index.num_items(); ++item) {
-    DataLabel item_label = index.Label(item);
+  std::vector<bool> visible(num_items);
+  for (int item = 0; item < num_items; ++item) {
+    DataLabel item_label = label_of(item);
     if (!LabelInBounds(item_label)) {
       return Status::Error(ErrorCode::kInvalidArgument,
                            "index label fields are out of range for this "
@@ -310,6 +415,26 @@ Result<std::vector<bool>> ProvenanceService::VisibilitySweep(
     visible[item] = IsItemVisible(item_label, **label);
   }
   return visible;
+}
+
+Result<std::vector<bool>> ProvenanceService::VisibilitySweep(
+    ViewHandle handle, const ProvenanceIndex& index, ViewLabelMode mode) {
+  if (Status status = CheckIndexCompatible(index); !status.ok()) {
+    return status;
+  }
+  return SweepVisibility(handle, index.num_items(), mode,
+                         [&index](int item) { return index.Label(item); });
+}
+
+Result<std::vector<bool>> ProvenanceService::VisibilitySweep(
+    ViewHandle handle, const MergedProvenanceIndex& index,
+    ViewLabelMode mode) {
+  if (Status status = CheckIndexCompatible(index); !status.ok()) {
+    return status;
+  }
+  return SweepVisibility(
+      handle, index.total_items(), mode,
+      [&index](int item) { return index.LabelByGlobalId(item); });
 }
 
 // --- ProvenanceSession -----------------------------------------------------

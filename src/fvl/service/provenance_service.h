@@ -35,6 +35,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -72,6 +73,15 @@ class ViewHandle {
 
   int id_ = -1;
   uint64_t service_tag_ = 0;
+};
+
+// (run, local_item) address into a MergedProvenanceIndex — the item-id
+// scheme of multi-run artifacts (ProvenanceService::QueryAcrossRuns).
+struct RunItem {
+  int run = -1;
+  int item = -1;
+
+  friend bool operator==(RunItem, RunItem) = default;
 };
 
 class ProvenanceService
@@ -175,6 +185,40 @@ class ProvenanceService
       ViewHandle handle, const ProvenanceIndex& index,
       ViewLabelMode mode = ViewLabelMode::kQueryEfficient);
 
+  // --- Multi-run queries ----------------------------------------------------
+  //
+  // One merged artifact (ProvenanceIndex::Merge) covers many runs of this
+  // service's specification; these entry points answer against all of them
+  // in one call, decoding each distinct item once per call just like the
+  // single-run batch paths (see bench/bench_merge_query.cc).
+
+  // Cross-run batch queries: queries[i] = {a, b} with each side addressed
+  // as a (run, local_item) pair. Pairs within one run are answered by the
+  // decoding predicate; pairs spanning two runs are false by definition —
+  // separate executions share no data flow (and the predicate is only
+  // defined over labels of one parse tree). kInvalidArgument if any address
+  // is out of range or the merged index was built for a different
+  // specification; an empty query span (or an empty merged index with no
+  // queries) returns an empty vector rather than erroring.
+  Result<std::vector<bool>> QueryAcrossRuns(
+      ViewHandle handle, const MergedProvenanceIndex& index,
+      std::span<const std::pair<RunItem, RunItem>> queries,
+      ViewLabelMode mode = ViewLabelMode::kQueryEfficient);
+
+  // Merged-index overload of DependsMany: query sides are flat item ids
+  // (MergedProvenanceIndex::GlobalId) into the merged arena; pairs whose
+  // ids fall in different runs answer false, as in QueryAcrossRuns.
+  Result<std::vector<bool>> DependsMany(
+      ViewHandle handle, const MergedProvenanceIndex& index,
+      std::span<const std::pair<int, int>> queries,
+      ViewLabelMode mode = ViewLabelMode::kQueryEfficient);
+
+  // Merged-index overload of VisibilitySweep: one entry per item across all
+  // merged runs, in flat-id order.
+  Result<std::vector<bool>> VisibilitySweep(
+      ViewHandle handle, const MergedProvenanceIndex& index,
+      ViewLabelMode mode = ViewLabelMode::kQueryEfficient);
+
  private:
   struct ViewEntry {
     // Exactly one of regular/grouped is set; the registry dedups regular
@@ -196,6 +240,22 @@ class ProvenanceService
   Result<const ViewEntry*> EntryOf(ViewHandle handle) const;
   Result<ViewEntry*> EntryOf(ViewHandle handle);
   Status CheckIndexCompatible(const ProvenanceIndex& index) const;
+  Status CheckIndexCompatible(const MergedProvenanceIndex& index) const;
+  // Shared decode-once batch cores behind DependsMany / QueryAcrossRuns and
+  // the visibility sweeps; `label_of` abstracts over the single-run and
+  // merged item spaces (ids are pre-validated against num_items).
+  Result<std::vector<bool>> BatchDepends(
+      ViewHandle handle, int num_items,
+      std::span<const std::pair<int, int>> queries, ViewLabelMode mode,
+      const std::function<DataLabel(int)>& label_of);
+  // Merged-index batch core over pre-validated flat id pairs: answers
+  // same-run pairs through BatchDepends and cross-run pairs as false.
+  Result<std::vector<bool>> MergedBatch(
+      ViewHandle handle, const MergedProvenanceIndex& index,
+      std::span<const std::pair<int, int>> flat, ViewLabelMode mode);
+  Result<std::vector<bool>> SweepVisibility(
+      ViewHandle handle, int num_items, ViewLabelMode mode,
+      const std::function<DataLabel(int)>& label_of);
   // Whether every decoded field indexes inside this grammar's tables; the
   // decoder reads matrices unchecked, so untrusted labels are vetted here.
   bool LabelInBounds(const DataLabel& label) const;

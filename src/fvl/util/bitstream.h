@@ -25,6 +25,12 @@ class BitWriter {
 
   int64_t size_bits() const { return size_bits_; }
   const std::vector<uint64_t>& words() const { return words_; }
+  // Moves the backing words out without a copy (large arenas); the writer
+  // is left empty, as after default construction.
+  std::vector<uint64_t> TakeWords() {
+    size_bits_ = 0;
+    return std::move(words_);
+  }
 
  private:
   void WriteBit(bool bit);

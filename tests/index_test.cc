@@ -3,7 +3,9 @@
 #include "fvl/core/decoder.h"
 #include "fvl/core/index.h"
 #include "fvl/service/legacy_facade.h"
+#include "fvl/service/provenance_service.h"
 #include "fvl/run/provenance_oracle.h"
+#include "fvl/util/random.h"
 #include "fvl/workload/bioaid.h"
 #include "fvl/workload/paper_example.h"
 #include "fvl/workload/view_generator.h"
@@ -151,6 +153,118 @@ TEST_F(IndexTest, CompactnessVsRawStructs) {
       static_cast<double>(index.SizeBits()) / index.num_items();
   EXPECT_LT(bits_per_item, 120.0);
   EXPECT_GT(bits_per_item, 10.0);
+}
+
+// ----- Randomized corrupt-blob corpus (single-run and merged). -----
+//
+// Byte flips and truncations under a seeded RNG, pushed through the whole
+// untrusted-snapshot pipeline: Deserialize either rejects the blob with
+// kMalformedBlob, or returns an index whose every accessor is safe (the
+// deserializer validated each label span) and whose labels the service
+// vets — queries then succeed or fail with kInvalidArgument. No input may
+// crash; the corpus runs under the ASan/UBSan CI matrix.
+
+// Applies `mutations` random byte flips (at least one bit per chosen byte).
+std::string FlipBytes(const std::string& blob, Rng& rng, int mutations) {
+  std::string corrupt = blob;
+  for (int m = 0; m < mutations; ++m) {
+    size_t pos = rng.NextBounded(corrupt.size());
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^
+                                     (1u << rng.NextBounded(8)));
+  }
+  return corrupt;
+}
+
+TEST_F(IndexTest, RandomizedCorruptionCorpusSingleRun) {
+  ProvenanceIndex index = ProvenanceIndexBuilder::FromLabeledRun(
+      scheme_.production_graph(), labeled_->labeler);
+  std::string blob = index.Serialize();
+
+  Rng rng(2024);
+  int rejected = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string corrupt = FlipBytes(blob, rng, 1 + trial % 3);
+    Result<ProvenanceIndex> parsed = ProvenanceIndex::Deserialize(corrupt);
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.code(), ErrorCode::kMalformedBlob);
+      ++rejected;
+      continue;
+    }
+    // A surviving blob (e.g. an arena flip that still decodes) must be
+    // fully usable: every accessor was validated at the door.
+    for (int item = 0; item < parsed->num_items(); item += 41) {
+      parsed->Label(item);
+    }
+  }
+  // Header/offset flips are always caught; only some arena flips survive.
+  EXPECT_GT(rejected, 100);
+
+  // Truncation at *every* strict prefix length fails cleanly.
+  for (int trial = 0; trial < 60; ++trial) {
+    size_t cut = rng.NextBounded(blob.size());
+    EXPECT_EQ(ProvenanceIndex::Deserialize(blob.substr(0, cut)).code(),
+              ErrorCode::kMalformedBlob)
+        << "cut=" << cut;
+  }
+}
+
+TEST_F(IndexTest, RandomizedCorruptionCorpusMerged) {
+  // Three runs merged, then the same corpus against the merged format —
+  // including the run-count table that the single-run format lacks. Parsed
+  // survivors are additionally pushed through the service's batch path,
+  // which must answer or reject with kInvalidArgument, never crash.
+  auto service = ProvenanceService::Create(MakePaperExample().spec).value();
+  std::vector<ProvenanceIndex> snapshots;
+  for (int r = 0; r < 3; ++r) {
+    snapshots.push_back(
+        service
+            ->GenerateLabeledRun(
+                RunGeneratorOptions{.target_items = 120,
+                                    .seed = 60 + static_cast<uint64_t>(r)})
+            ->Snapshot());
+  }
+  MergedProvenanceIndex merged = ProvenanceIndex::Merge(snapshots).value();
+  std::string blob = merged.Serialize();
+
+  Rng rng(4096);
+  int rejected = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string corrupt = FlipBytes(blob, rng, 1 + trial % 3);
+    Result<MergedProvenanceIndex> parsed =
+        MergedProvenanceIndex::Deserialize(corrupt);
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.code(), ErrorCode::kMalformedBlob);
+      ++rejected;
+      continue;
+    }
+    for (int global = 0; global < parsed->total_items(); global += 37) {
+      parsed->LabelByGlobalId(global);
+    }
+    if (parsed->num_runs() > 0 && parsed->num_items(0) > 1) {
+      std::vector<std::pair<RunItem, RunItem>> queries = {{{0, 0}, {0, 1}}};
+      Result<std::vector<bool>> answers = service->QueryAcrossRuns(
+          service->default_view(), *parsed, queries);
+      if (!answers.ok()) {
+        EXPECT_EQ(answers.code(), ErrorCode::kInvalidArgument);
+      }
+    }
+  }
+  EXPECT_GT(rejected, 100);
+
+  for (int trial = 0; trial < 60; ++trial) {
+    size_t cut = rng.NextBounded(blob.size());
+    EXPECT_EQ(MergedProvenanceIndex::Deserialize(blob.substr(0, cut)).code(),
+              ErrorCode::kMalformedBlob)
+        << "cut=" << cut;
+  }
+
+  // Cross-format confusion: a single-run blob is not a merged blob and
+  // vice versa (distinct magics), rejected rather than misparsed.
+  EXPECT_EQ(MergedProvenanceIndex::Deserialize(snapshots[0].Serialize())
+                .code(),
+            ErrorCode::kMalformedBlob);
+  EXPECT_EQ(ProvenanceIndex::Deserialize(blob).code(),
+            ErrorCode::kMalformedBlob);
 }
 
 TEST(IndexEdgeCases, EmptyIndex) {

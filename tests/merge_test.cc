@@ -1,0 +1,392 @@
+// Multi-run index merging (ProvenanceIndex::Merge + QueryAcrossRuns):
+// a differential harness that checks, across randomized specifications,
+// runs, views, and label modes, that answers from a merged index are
+// bit-identical to per-run DependsMany answers and to the ground-truth
+// oracle (whose reachability is built from the view's full assignment —
+// λ* for the default view), plus the merge-specific error and edge cases.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "fvl/run/provenance_oracle.h"
+#include "fvl/service/provenance_service.h"
+#include "fvl/util/random.h"
+#include "fvl/workload/bioaid.h"
+#include "fvl/workload/paper_example.h"
+#include "fvl/workload/synthetic.h"
+#include "fvl/workload/view_generator.h"
+
+namespace fvl {
+namespace {
+
+constexpr ViewLabelMode kAllModes[] = {ViewLabelMode::kSpaceEfficient,
+                                       ViewLabelMode::kDefault,
+                                       ViewLabelMode::kQueryEfficient};
+
+// A batch of labeled runs of one service, frozen individually and merged.
+struct MergedRuns {
+  std::vector<std::shared_ptr<ProvenanceSession>> sessions;
+  std::vector<ProvenanceIndex> snapshots;
+  MergedProvenanceIndex merged;
+};
+
+MergedRuns MakeRuns(const std::shared_ptr<ProvenanceService>& service,
+                    int num_runs, int target_items, uint64_t seed) {
+  MergedRuns out;
+  for (int r = 0; r < num_runs; ++r) {
+    RunGeneratorOptions options;
+    options.target_items = target_items + 17 * r;
+    options.seed = seed + r;
+    out.sessions.push_back(service->GenerateLabeledRun(options));
+    out.snapshots.push_back(out.sessions.back()->Snapshot());
+  }
+  out.merged = ProvenanceIndex::Merge(out.snapshots).value();
+  return out;
+}
+
+// The differential core: per run, random same-run query pairs must get
+// the same answers through QueryAcrossRuns on the merged index, through
+// DependsMany on that run's own snapshot, and (whenever both items are
+// visible) from the ProvenanceOracle over the run.
+void CheckDifferential(ProvenanceService& service, const MergedRuns& runs,
+                       ViewHandle view, ViewLabelMode mode,
+                       int queries_per_run, uint64_t seed) {
+  const CompiledView& compiled = *service.CompiledRegularView(view).value();
+  for (size_t r = 0; r < runs.snapshots.size(); ++r) {
+    const ProvenanceIndex& single = runs.snapshots[r];
+    ASSERT_GT(single.num_items(), 0);
+    Rng rng(seed + r);
+    std::vector<std::pair<int, int>> local;
+    std::vector<std::pair<RunItem, RunItem>> addressed;
+    for (int q = 0; q < queries_per_run; ++q) {
+      int d1 = rng.NextInt(0, single.num_items() - 1);
+      int d2 = rng.NextInt(0, single.num_items() - 1);
+      local.push_back({d1, d2});
+      addressed.push_back({{static_cast<int>(r), d1},
+                           {static_cast<int>(r), d2}});
+    }
+
+    Result<std::vector<bool>> merged_answers =
+        service.QueryAcrossRuns(view, runs.merged, addressed, mode);
+    ASSERT_TRUE(merged_answers.ok()) << merged_answers.status().ToString();
+    Result<std::vector<bool>> single_answers =
+        service.DependsMany(view, single, local, mode);
+    ASSERT_TRUE(single_answers.ok()) << single_answers.status().ToString();
+    ASSERT_EQ(*merged_answers, *single_answers)
+        << "run " << r << " view " << view.id() << " mode "
+        << static_cast<int>(mode);
+
+    ProvenanceOracle oracle(runs.sessions[r]->run(), compiled);
+    for (size_t q = 0; q < local.size(); ++q) {
+      auto [d1, d2] = local[q];
+      if (!oracle.ItemVisible(d1) || !oracle.ItemVisible(d2)) continue;
+      ASSERT_EQ((*merged_answers)[q], oracle.Depends(d1, d2))
+          << "run " << r << " d1=" << d1 << " d2=" << d2 << " view "
+          << view.id() << " mode " << static_cast<int>(mode);
+    }
+  }
+}
+
+// ----- Differential harness. -----
+
+TEST(MergeDifferential, PaperViewsAllModes) {
+  PaperExample ex = MakePaperExample();
+  auto service = ProvenanceService::Create(ex.spec).value();
+  ViewHandle grey = service->RegisterView(ex.grey_view).value();
+
+  MergedRuns runs = MakeRuns(service, 4, 120, 31);
+  ASSERT_EQ(runs.merged.num_runs(), 4);
+  for (ViewHandle view : {service->default_view(), grey}) {
+    for (ViewLabelMode mode : kAllModes) {
+      CheckDifferential(*service, runs, view, mode, 120, 7);
+    }
+  }
+}
+
+TEST(MergeDifferential, RandomizedSyntheticSpecs) {
+  // 12 randomized specifications × 4 runs each (plus the paper fixture's 4
+  // above) ≈ 50 specification/run combinations through the harness; label
+  // modes rotate per specification so all three stay covered.
+  Rng meta(2026);
+  int combos = 0;
+  for (int s = 0; s < 12; ++s) {
+    SyntheticOptions options;
+    options.workflow_size = meta.NextInt(4, 8);
+    options.module_degree = meta.NextInt(2, 3);
+    options.nesting_depth = meta.NextInt(1, 2);
+    options.recursion_length = meta.NextInt(2, 3);
+    options.seed = 100 + s;
+    Workload workload = MakeSynthetic(options);
+    auto service = ProvenanceService::Create(workload.spec).value();
+
+    ViewGeneratorOptions view_options;
+    view_options.num_expandable = meta.NextInt(1, 3);
+    view_options.deps =
+        (s % 2 != 0) ? PerceivedDeps::kGreyBox : PerceivedDeps::kWhiteBox;
+    view_options.seed = 500 + s;
+    CompiledView generated = GenerateSafeView(workload, view_options);
+    ViewHandle view = service->RegisterView(generated.view()).value();
+
+    MergedRuns runs = MakeRuns(service, 4, 40 + 10 * (s % 4), 1000 + s);
+    combos += static_cast<int>(runs.snapshots.size());
+    ViewLabelMode mode = kAllModes[s % 3];
+    CheckDifferential(*service, runs, service->default_view(), mode, 80,
+                      40 + s);
+    CheckDifferential(*service, runs, view, mode, 80, 90 + s);
+  }
+  EXPECT_GE(combos + 4, 50);  // + the paper fixture's runs
+}
+
+TEST(MergeDifferential, MergedLabelsAreBitIdenticalToPerRunSnapshots) {
+  auto service = ProvenanceService::Create(MakePaperExample().spec).value();
+  MergedRuns runs = MakeRuns(service, 3, 100, 5);
+  ASSERT_EQ(runs.merged.total_items(),
+            runs.snapshots[0].num_items() + runs.snapshots[1].num_items() +
+                runs.snapshots[2].num_items());
+  for (size_t r = 0; r < runs.snapshots.size(); ++r) {
+    ASSERT_EQ(runs.merged.num_items(static_cast<int>(r)),
+              runs.snapshots[r].num_items());
+    for (int item = 0; item < runs.snapshots[r].num_items(); ++item) {
+      ASSERT_EQ(runs.merged.Label(static_cast<int>(r), item),
+                runs.snapshots[r].Label(item))
+          << "run " << r << " item " << item;
+      ASSERT_EQ(runs.merged.LabelBits(static_cast<int>(r), item),
+                runs.snapshots[r].LabelBits(item));
+    }
+  }
+}
+
+TEST(MergeDifferential, CrossRunPairsAreIndependent) {
+  // Pairs within one run answer exactly as the decoding predicate over the
+  // two (relocated) labels; pairs spanning two runs are false by definition
+  // — separate executions share no data flow, and the predicate's
+  // path-prefix comparisons are only meaningful inside one parse tree.
+  PaperExample ex = MakePaperExample();
+  auto service = ProvenanceService::Create(ex.spec).value();
+  ViewHandle grey = service->RegisterView(ex.grey_view).value();
+  MergedRuns runs = MakeRuns(service, 3, 90, 77);
+
+  Rng rng(123);
+  std::vector<std::pair<RunItem, RunItem>> queries;
+  for (int q = 0; q < 300; ++q) {
+    RunItem a{rng.NextInt(0, runs.merged.num_runs() - 1), 0};
+    RunItem b{rng.NextInt(0, runs.merged.num_runs() - 1), 0};
+    a.item = rng.NextInt(0, runs.merged.num_items(a.run) - 1);
+    b.item = rng.NextInt(0, runs.merged.num_items(b.run) - 1);
+    queries.push_back({a, b});
+  }
+  std::vector<bool> answers =
+      service->QueryAcrossRuns(grey, runs.merged, queries).value();
+  int cross = 0, positives = 0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    auto [a, b] = queries[q];
+    if (a.run != b.run) {
+      EXPECT_FALSE(answers[q]) << "cross-run query " << q;
+      ++cross;
+    } else {
+      EXPECT_EQ(answers[q],
+                service
+                    ->Depends(grey, runs.merged.Label(a.run, a.item),
+                              runs.merged.Label(b.run, b.item))
+                    .value())
+          << "query " << q;
+      positives += answers[q];
+    }
+  }
+  EXPECT_GT(cross, 50);      // the sample genuinely exercised both kinds
+  EXPECT_GT(positives, 0);   // and some same-run pairs do depend
+
+  // The flat-id overload agrees with the (run, item) addressing.
+  std::vector<std::pair<int, int>> flat;
+  for (const auto& [a, b] : queries) {
+    flat.push_back({runs.merged.GlobalId(a.run, a.item),
+                    runs.merged.GlobalId(b.run, b.item)});
+  }
+  EXPECT_EQ(service->DependsMany(grey, runs.merged, flat).value(), answers);
+}
+
+TEST(MergeDifferential, VisibilitySweepMatchesPerRunSweeps) {
+  PaperExample ex = MakePaperExample();
+  auto service = ProvenanceService::Create(ex.spec).value();
+  ViewHandle grey = service->RegisterView(ex.grey_view).value();
+  MergedRuns runs = MakeRuns(service, 3, 80, 11);
+
+  std::vector<bool> merged_sweep =
+      service->VisibilitySweep(grey, runs.merged).value();
+  std::vector<bool> concatenated;
+  for (const ProvenanceIndex& single : runs.snapshots) {
+    std::vector<bool> sweep = service->VisibilitySweep(grey, single).value();
+    concatenated.insert(concatenated.end(), sweep.begin(), sweep.end());
+  }
+  EXPECT_EQ(merged_sweep, concatenated);
+}
+
+// ----- Serialization. -----
+
+TEST(MergeSerialization, SelfDescribingRoundTrip) {
+  auto service = ProvenanceService::Create(MakePaperExample().spec).value();
+  MergedRuns runs = MakeRuns(service, 3, 100, 19);
+
+  std::string blob = runs.merged.Serialize();
+  Result<MergedProvenanceIndex> restored =
+      MergedProvenanceIndex::Deserialize(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->num_runs(), runs.merged.num_runs());
+  ASSERT_EQ(restored->total_items(), runs.merged.total_items());
+  for (int r = 0; r < restored->num_runs(); ++r) {
+    ASSERT_EQ(restored->num_items(r), runs.merged.num_items(r));
+    for (int item = 0; item < restored->num_items(r); ++item) {
+      ASSERT_EQ(restored->Label(r, item), runs.merged.Label(r, item));
+    }
+  }
+  EXPECT_EQ(restored->Serialize(), blob);
+
+  // Queries run identically against the restored artifact.
+  Rng rng(3);
+  std::vector<std::pair<RunItem, RunItem>> queries;
+  for (int q = 0; q < 100; ++q) {
+    RunItem a{rng.NextInt(0, 2), 0}, b{rng.NextInt(0, 2), 0};
+    a.item = rng.NextInt(0, restored->num_items(a.run) - 1);
+    b.item = rng.NextInt(0, restored->num_items(b.run) - 1);
+    queries.push_back({a, b});
+  }
+  ViewHandle view = service->default_view();
+  EXPECT_EQ(service->QueryAcrossRuns(view, *restored, queries).value(),
+            service->QueryAcrossRuns(view, runs.merged, queries).value());
+}
+
+// ----- Errors and edge cases. -----
+
+TEST(MergeErrors, MismatchedSpecificationsRejected) {
+  auto paper = ProvenanceService::Create(MakePaperExample().spec).value();
+  auto bioaid = ProvenanceService::Create(MakeBioAid(2012).spec).value();
+  std::vector<ProvenanceIndex> mixed;
+  mixed.push_back(paper
+                      ->GenerateLabeledRun(
+                          RunGeneratorOptions{.target_items = 50, .seed = 1})
+                      ->Snapshot());
+  mixed.push_back(bioaid
+                      ->GenerateLabeledRun(
+                          RunGeneratorOptions{.target_items = 50, .seed = 2})
+                      ->Snapshot());
+  Result<MergedProvenanceIndex> merged = ProvenanceIndex::Merge(mixed);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.code(), ErrorCode::kInvalidArgument);
+
+  // A merged index of another specification is turned away by the service.
+  std::vector<ProvenanceIndex> foreign(1, std::move(mixed[1]));
+  MergedProvenanceIndex foreign_merged =
+      ProvenanceIndex::Merge(foreign).value();
+  std::vector<std::pair<RunItem, RunItem>> queries = {{{0, 0}, {0, 1}}};
+  EXPECT_EQ(paper
+                ->QueryAcrossRuns(paper->default_view(), foreign_merged,
+                                  queries)
+                .code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(
+      paper->VisibilitySweep(paper->default_view(), foreign_merged).code(),
+      ErrorCode::kInvalidArgument);
+}
+
+TEST(MergeErrors, ForeignViewHandleReturnsNotFound) {
+  // Two services over the *same* specification: indexes are codec-compatible
+  // across them, but a handle issued by one must not resolve on the other.
+  auto a = ProvenanceService::Create(MakePaperExample().spec).value();
+  auto b = ProvenanceService::Create(MakePaperExample().spec).value();
+  MergedRuns runs = MakeRuns(a, 2, 60, 9);
+
+  ViewHandle foreign = b->default_view();
+  std::vector<std::pair<RunItem, RunItem>> queries = {{{0, 0}, {1, 0}}};
+  EXPECT_EQ(a->QueryAcrossRuns(foreign, runs.merged, queries).code(),
+            ErrorCode::kNotFound);
+  std::vector<std::pair<int, int>> flat = {{0, 1}};
+  EXPECT_EQ(a->DependsMany(foreign, runs.merged, flat).code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(a->DependsMany(foreign, runs.snapshots[0], flat).code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(a->VisibilitySweep(foreign, runs.merged).code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(MergeErrors, OutOfRangeAddressesRejected) {
+  auto service = ProvenanceService::Create(MakePaperExample().spec).value();
+  MergedRuns runs = MakeRuns(service, 2, 60, 13);
+  ViewHandle view = service->default_view();
+
+  for (auto bad : std::vector<std::pair<RunItem, RunItem>>{
+           {{-1, 0}, {0, 0}},
+           {{2, 0}, {0, 0}},
+           {{0, -1}, {0, 0}},
+           {{0, 0}, {1, runs.merged.num_items(1)}}}) {
+    std::vector<std::pair<RunItem, RunItem>> queries = {bad};
+    EXPECT_EQ(service->QueryAcrossRuns(view, runs.merged, queries).code(),
+              ErrorCode::kInvalidArgument);
+  }
+  std::vector<std::pair<int, int>> bad_flat = {
+      {0, runs.merged.total_items()}};
+  EXPECT_EQ(service->DependsMany(view, runs.merged, bad_flat).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(MergeEdgeCases, EmptyInputsGiveEmptyResultsNotErrors) {
+  auto service = ProvenanceService::Create(MakePaperExample().spec).value();
+  ViewHandle view = service->default_view();
+
+  // Merging nothing yields an empty artifact, not an error.
+  std::vector<ProvenanceIndex> none;
+  Result<MergedProvenanceIndex> empty = ProvenanceIndex::Merge(none);
+  ASSERT_TRUE(empty.ok()) << empty.status().ToString();
+  EXPECT_EQ(empty->num_runs(), 0);
+  EXPECT_EQ(empty->total_items(), 0);
+
+  // Empty query spans return empty answers on both empty and non-empty
+  // merged indexes.
+  std::vector<std::pair<RunItem, RunItem>> no_queries;
+  std::vector<std::pair<int, int>> no_flat;
+  EXPECT_TRUE(
+      service->QueryAcrossRuns(view, *empty, no_queries).value().empty());
+  EXPECT_TRUE(service->DependsMany(view, *empty, no_flat).value().empty());
+  EXPECT_TRUE(service->VisibilitySweep(view, *empty).value().empty());
+
+  MergedRuns runs = MakeRuns(service, 2, 60, 21);
+  EXPECT_TRUE(
+      service->QueryAcrossRuns(view, runs.merged, no_queries).value().empty());
+  EXPECT_TRUE(
+      service->DependsMany(view, runs.merged, no_flat).value().empty());
+
+  // The empty artifact round-trips through serialization.
+  Result<MergedProvenanceIndex> restored =
+      MergedProvenanceIndex::Deserialize(empty->Serialize());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->num_runs(), 0);
+}
+
+TEST(MergeEdgeCases, ZeroItemRunsMergeCleanly) {
+  // A run frozen before producing anything occupies a (run, ·) slot with
+  // zero items; neighbors keep their labels and addressing.
+  auto service = ProvenanceService::Create(MakePaperExample().spec).value();
+  auto session = service->GenerateLabeledRun(
+      RunGeneratorOptions{.target_items = 60, .seed = 2});
+  std::vector<ProvenanceIndex> snapshots;
+  snapshots.push_back(
+      ProvenanceIndexBuilder(service->production_graph()).Build());
+  snapshots.push_back(session->Snapshot());
+  MergedProvenanceIndex merged = ProvenanceIndex::Merge(snapshots).value();
+  ASSERT_EQ(merged.num_runs(), 2);
+  EXPECT_EQ(merged.num_items(0), 0);
+  ASSERT_EQ(merged.num_items(1), session->num_items());
+  for (int item = 0; item < merged.num_items(1); ++item) {
+    ASSERT_EQ(merged.Label(1, item), snapshots[1].Label(item));
+  }
+  Result<MergedProvenanceIndex> restored =
+      MergedProvenanceIndex::Deserialize(merged.Serialize());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->num_items(0), 0);
+  EXPECT_EQ(restored->num_items(1), merged.num_items(1));
+}
+
+}  // namespace
+}  // namespace fvl
