@@ -10,11 +10,16 @@
 //     run, but R calls, R scratch setups, R codec checks);
 //   * merged — a single QueryAcrossRuns over the merged index: one scratch,
 //     one contiguous relocated arena, decode-once across the whole batch.
-// Merge cost is reported per row; expect it in the milliseconds (a 64-bit
-// bulk bit-copy per label) and amortized after one batch. Merged throughput
-// should beat one_at_a_time by the usual 2-4x decode-amortization factor
-// and stay close to the per-run batch path (it pays a RunOf partition and a
-// larger decode table for the single-call, single-artifact interface).
+// Merge cost is reported per row; expect it in the milliseconds (one bulk
+// bit copy per run into the shared LabelStore arena — no per-label work)
+// and amortized after one batch. Merged throughput should beat
+// one_at_a_time by the usual 2-4x decode-amortization factor and stay close
+// to the per-run batch path (it pays a RunOf partition and a larger decode
+// table for the single-call, single-artifact interface). B_per_label is the
+// merged store's bytes per item (shared arena + grouped offsets); the
+// merged_t2/t4 columns shard the decode loop across the service's
+// fork-join query workers (set_query_threads) — identical answers,
+// parallel decode.
 
 #include <cstdio>
 
@@ -45,8 +50,9 @@ void Main(const BenchConfig& config) {
   const std::vector<int> run_counts =
       config.quick ? std::vector<int>{2, 4, 8} : std::vector<int>{2, 4, 8, 16};
 
-  TablePrinter table({"runs", "total_items", "merge_ms", "queries",
-                      "one_at_a_time_qps", "per_run_batched_qps", "merged_qps",
+  TablePrinter table({"runs", "total_items", "merge_ms", "B_per_label",
+                      "queries", "one_at_a_time_qps", "per_run_batched_qps",
+                      "merged_qps", "merged_t2_qps", "merged_t4_qps",
                       "speedup_vs_loop"});
   for (int num_runs : run_counts) {
     std::vector<std::shared_ptr<ProvenanceSession>> sessions;
@@ -100,24 +106,35 @@ void Main(const BenchConfig& config) {
     });
     FVL_CHECK(hits_batched == hits_single);
 
-    std::vector<bool> merged_answers;
-    double merged_ms = TimeMs([&] {
-      merged_answers =
-          service->QueryAcrossRuns(view, merged, across).value();
-    });
-    int hits_merged = 0;
-    for (bool answer : merged_answers) hits_merged += answer;
-    FVL_CHECK(hits_merged == hits_single);
+    double merged_ms[3] = {0, 0, 0};
+    const int thread_points[3] = {1, 2, 4};
+    for (int t = 0; t < 3; ++t) {
+      service->set_query_threads(thread_points[t]);
+      std::vector<bool> merged_answers;
+      merged_ms[t] = TimeMs([&] {
+        merged_answers =
+            service->QueryAcrossRuns(view, merged, across).value();
+      });
+      int hits_merged = 0;
+      for (bool answer : merged_answers) hits_merged += answer;
+      FVL_CHECK(hits_merged == hits_single);
+    }
+    service->set_query_threads(1);
 
+    double bytes_per_label =
+        static_cast<double>(merged.SizeBits()) / 8.0 / merged.total_items();
     auto qps = [&](double ms) { return total_queries / (ms / 1000.0); };
     table.AddRow({std::to_string(num_runs),
                   std::to_string(merged.total_items()),
                   TablePrinter::Num(merge_ms, 2),
+                  TablePrinter::Num(bytes_per_label, 2),
                   std::to_string(total_queries),
                   TablePrinter::Num(qps(single_ms), 0),
                   TablePrinter::Num(qps(batched_ms), 0),
-                  TablePrinter::Num(qps(merged_ms), 0),
-                  TablePrinter::Num(single_ms / merged_ms, 2)});
+                  TablePrinter::Num(qps(merged_ms[0]), 0),
+                  TablePrinter::Num(qps(merged_ms[1]), 0),
+                  TablePrinter::Num(qps(merged_ms[2]), 0),
+                  TablePrinter::Num(single_ms / merged_ms[0], 2)});
   }
   table.Print(
       "multi-run merge + cross-run query throughput: one QueryAcrossRuns "

@@ -8,6 +8,16 @@
 // 2Q to at most N — per-query call overhead, not predicate cost, dominates
 // once labels are compact (cf. PIMDAL). Expected shape: batched throughput
 // beats one-at-a-time on every run size, with the gap growing as Q/N grows.
+//
+// Also reported per row:
+//   * B_per_label — LabelStore bytes per item in the frozen snapshot
+//     (arena + offsets), the space side of the shared-arena story;
+//   * locked_qps — service->Depends one at a time, which takes the view
+//     registry's internal mutex on every call: its gap to one_at_a_time_qps
+//     is the whole cost of the lock (uncontended) on the worst-case path;
+//   * batched_qps at 1/2/4 query threads — DependsMany's decode loop
+//     sharded across the pool (set_query_threads); answers are identical,
+//     only the decode stage parallelizes.
 
 #include <cstdio>
 
@@ -33,8 +43,9 @@ void Main(const BenchConfig& config) {
   const ViewLabel& label =
       *service->LabelOf(view, ViewLabelMode::kQueryEfficient).value();
 
-  TablePrinter table({"run_size", "queries", "one_at_a_time_qps",
-                      "batched_qps", "speedup"});
+  TablePrinter table({"run_size", "queries", "B_per_label",
+                      "one_at_a_time_qps", "locked_qps", "batched_qps",
+                      "batched_t2_qps", "batched_t4_qps", "speedup"});
   for (int size : config.run_sizes()) {
     RunGeneratorOptions run_options;
     run_options.target_items = size;
@@ -56,26 +67,49 @@ void Main(const BenchConfig& config) {
     });
     benchmark_sink = benchmark_sink + hits_single;
 
-    // Batched: one DependsMany call per run.
-    std::vector<bool> answers;
-    double batched_ms = TimeMs([&] {
-      answers = service->DependsMany(view, index, queries).value();
+    // One at a time through the service: same work plus one registry-mutex
+    // acquisition per call (the decoder-cache lookup).
+    int hits_locked = 0;
+    double locked_ms = TimeMs([&] {
+      for (const auto& [d1, d2] : queries) {
+        hits_locked += service
+                           ->Depends(view, index.Label(d1), index.Label(d2))
+                           .value();
+      }
     });
-    int hits_batched = 0;
-    for (bool answer : answers) hits_batched += answer;
-    FVL_CHECK(hits_batched == hits_single);
+    FVL_CHECK(hits_locked == hits_single);
 
-    double single_qps = queries.size() / (single_ms / 1000.0);
-    double batched_qps = queries.size() / (batched_ms / 1000.0);
+    // Batched: one DependsMany call per run, at 1/2/4 decode threads.
+    double batched_ms[3] = {0, 0, 0};
+    const int thread_points[3] = {1, 2, 4};
+    for (int t = 0; t < 3; ++t) {
+      service->set_query_threads(thread_points[t]);
+      std::vector<bool> answers;
+      batched_ms[t] = TimeMs([&] {
+        answers = service->DependsMany(view, index, queries).value();
+      });
+      int hits_batched = 0;
+      for (bool answer : answers) hits_batched += answer;
+      FVL_CHECK(hits_batched == hits_single);
+    }
+    service->set_query_threads(1);
+
+    double bytes_per_label =
+        static_cast<double>(index.SizeBits()) / 8.0 / index.num_items();
+    auto qps = [&](double ms) { return queries.size() / (ms / 1000.0); };
     table.AddRow({std::to_string(size), std::to_string(queries.size()),
-                  TablePrinter::Num(single_qps, 0),
-                  TablePrinter::Num(batched_qps, 0),
-                  TablePrinter::Num(single_ms / batched_ms, 2)});
+                  TablePrinter::Num(bytes_per_label, 2),
+                  TablePrinter::Num(qps(single_ms), 0),
+                  TablePrinter::Num(qps(locked_ms), 0),
+                  TablePrinter::Num(qps(batched_ms[0]), 0),
+                  TablePrinter::Num(qps(batched_ms[1]), 0),
+                  TablePrinter::Num(qps(batched_ms[2]), 0),
+                  TablePrinter::Num(single_ms / batched_ms[0], 2)});
   }
   table.Print(
-      "service query throughput: batched DependsMany vs one-at-a-time "
-      "decode+query loop (BioAID, medium grey-box view, query-efficient "
-      "labels)");
+      "service query throughput: batched DependsMany (1/2/4 decode threads) "
+      "vs one-at-a-time decode+query loops, raw and through the locked "
+      "registry (BioAID, medium grey-box view, query-efficient labels)");
 }
 
 }  // namespace

@@ -1,6 +1,5 @@
 #include "fvl/core/index.h"
 
-#include <algorithm>
 #include <cstring>
 #include <limits>
 #include <utility>
@@ -15,189 +14,38 @@ namespace {
 // self-describing (version 1 required the caller to supply the codec).
 constexpr char kMagic[8] = {'F', 'V', 'L', 'I', 'D', 'X', '2', '\0'};
 // Multi-run variant (ProvenanceIndex::Merge): adds a per-run item-count
-// table between the scalar header and the shared codec/offsets/arena tail.
+// table between the scalar header and the shared store tail.
 constexpr char kMergedMagic[8] = {'F', 'V', 'L', 'M', 'R', 'G', '1', '\0'};
-
-void AppendU64(std::string* out, uint64_t value) {
-  for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
-  }
-}
-
-bool ReadU64(const std::string& blob, size_t* pos, uint64_t* value) {
-  if (*pos + 8 > blob.size()) return false;
-  *value = 0;
-  for (int i = 0; i < 8; ++i) {
-    *value |= static_cast<uint64_t>(static_cast<unsigned char>(blob[*pos + i]))
-              << (8 * i);
-  }
-  *pos += 8;
-  return true;
-}
-
-// Appends the relocated bit range [start_bit, end_bit) of `words` to `out`.
-void CopyBits(const std::vector<uint64_t>& words, int64_t start_bit,
-              int64_t end_bit, BitWriter* out) {
-  BitReader reader(&words, start_bit, end_bit);
-  for (int64_t remaining = end_bit - start_bit; remaining > 0;) {
-    int chunk = remaining < 64 ? static_cast<int>(remaining) : 64;
-    out->WriteFixed(reader.ReadFixed(chunk), chunk);
-    remaining -= chunk;
-  }
-}
-
-// The tail shared by the single-run and merged formats: codec field widths,
-// the bit-packed offset table, and the label arena.
-void AppendCodecAndArena(const LabelCodec& codec,
-                         const std::vector<int64_t>& offsets,
-                         const std::vector<uint64_t>& words,
-                         int64_t arena_bits, std::string* blob) {
-  // Codec field widths (self-description).
-  for (int width : {codec.production_bits, codec.position_bits,
-                    codec.cycle_bits, codec.start_bits, codec.port_bits}) {
-    blob->push_back(static_cast<char>(width));
-  }
-
-  // Offsets, bit-packed at the minimal fixed width.
-  int offset_width = BitWidthFor(arena_bits + 1);
-  blob->push_back(static_cast<char>(offset_width));
-  BitWriter packed;
-  for (size_t item = 0; item + 1 < offsets.size(); ++item) {
-    packed.WriteFixed(static_cast<uint64_t>(offsets[item + 1]), offset_width);
-  }
-  AppendU64(blob, static_cast<uint64_t>(packed.words().size()));
-  for (uint64_t word : packed.words()) AppendU64(blob, word);
-
-  AppendU64(blob, static_cast<uint64_t>(words.size()));
-  for (uint64_t word : words) AppendU64(blob, word);
-}
-
-// Parses and validates the shared tail starting at *pos; on success the
-// blob is fully consumed and every label span is known to decode exactly
-// under the embedded codec, so accessors of the resulting index never
-// abort. `num_items` and `arena_bits` come from the caller's header and
-// must already be bounded by the blob size.
-Status ParseCodecAndArena(const std::string& blob, size_t* pos,
-                          uint64_t num_items, uint64_t arena_bits,
-                          LabelCodec* codec, std::vector<int64_t>* offsets,
-                          std::vector<uint64_t>* words) {
-  auto fail = [](const std::string& message) -> Status {
-    return Status::Error(ErrorCode::kMalformedBlob, message);
-  };
-  if (*pos + 5 > blob.size()) return fail("truncated codec widths");
-  int* widths[5] = {&codec->production_bits, &codec->position_bits,
-                    &codec->cycle_bits, &codec->start_bits,
-                    &codec->port_bits};
-  for (int* width : widths) {
-    *width = static_cast<unsigned char>(blob[(*pos)++]);
-    if (*width > 64) return fail("codec width out of range");
-  }
-
-  if (*pos >= blob.size()) return fail("truncated header");
-  int offset_width = static_cast<unsigned char>(blob[(*pos)++]);
-  if (offset_width != BitWidthFor(static_cast<int64_t>(arena_bits) + 1)) {
-    return fail("inconsistent offset width");
-  }
-
-  uint64_t offset_words = 0;
-  if (!ReadU64(blob, pos, &offset_words)) return fail("truncated offsets");
-  if (offset_width > 0 &&
-      num_items > offset_words * 64 / static_cast<uint64_t>(offset_width)) {
-    return fail("offset table too small");
-  }
-  BitWriter packed;
-  for (uint64_t w = 0; w < offset_words; ++w) {
-    uint64_t word = 0;
-    if (!ReadU64(blob, pos, &word)) return fail("truncated offsets");
-    packed.WriteFixed(word, 64);
-  }
-  BitReader reader(packed);
-  *offsets = {0};
-  for (uint64_t item = 0; item < num_items; ++item) {
-    int64_t offset = static_cast<int64_t>(reader.ReadFixed(offset_width));
-    if (offset < offsets->back() ||
-        offset > static_cast<int64_t>(arena_bits)) {
-      return fail("non-monotone offsets");
-    }
-    offsets->push_back(offset);
-  }
-  if (num_items > 0 && offsets->back() != static_cast<int64_t>(arena_bits)) {
-    return fail("offsets do not cover the arena");
-  }
-
-  uint64_t arena_words = 0;
-  if (!ReadU64(blob, pos, &arena_words)) return fail("truncated arena");
-  if (arena_words < (arena_bits + 63) / 64) return fail("arena too small");
-  if (arena_words > blob.size() / 8) return fail("truncated arena");
-  words->clear();
-  words->reserve(arena_words);
-  for (uint64_t w = 0; w < arena_words; ++w) {
-    uint64_t word = 0;
-    if (!ReadU64(blob, pos, &word)) return fail("truncated arena");
-    words->push_back(word);
-  }
-  if (*pos != blob.size()) return fail("trailing bytes");
-
-  // The accessors FVL_CHECK that every span decodes exactly under the
-  // codec; an inconsistent blob (e.g. a flipped codec-width byte) must be
-  // rejected here, recoverably, rather than abort on first Label() call.
-  for (uint64_t item = 0; item < num_items; ++item) {
-    BitReader label_reader(words, (*offsets)[item], (*offsets)[item + 1]);
-    label_reader.set_permissive();
-    codec->Decode(&label_reader);
-    if (label_reader.failed() || !label_reader.AtEnd()) {
-      std::string message = "label ";
-      message += std::to_string(item);
-      message += " does not decode under the blob's codec";
-      return fail(message);
-    }
-  }
-  return Status::Ok();
-}
 
 }  // namespace
 
-void ProvenanceIndexBuilder::Add(const DataLabel& label) {
-  if (offsets_.empty()) offsets_.push_back(0);
-  codec_.EncodeTo(label, &arena_);
-  offsets_.push_back(arena_.size_bits());
+ProvenanceIndexBuilder::ProvenanceIndexBuilder(const ProductionGraph& pg)
+    : store_(LabelCodec(pg)) {
+  store_.BeginGroup();
 }
 
 ProvenanceIndex ProvenanceIndexBuilder::Build() && {
-  if (offsets_.empty()) offsets_.push_back(0);
-  int64_t arena_bits = arena_.size_bits();  // before TakeWords resets it
-  return ProvenanceIndex(std::move(codec_), std::move(offsets_),
-                         arena_.TakeWords(), arena_bits);
+  return ProvenanceIndex(std::move(store_));
 }
 
 ProvenanceIndex ProvenanceIndexBuilder::FromLabeledRun(
     const ProductionGraph& pg, const RunLabeler& labeler) {
-  ProvenanceIndexBuilder builder(pg);
-  for (int item = 0; item < labeler.num_labels(); ++item) {
-    builder.Add(labeler.Label(item));
-  }
-  return std::move(builder).Build();
+  FVL_CHECK(labeler.codec() == LabelCodec(pg));
+  return ProvenanceIndex(labeler.store());
 }
 
 int64_t ProvenanceIndex::SizeBits() const {
   // Arena plus a minimal-width offset per item.
-  return arena_bits_ +
-         static_cast<int64_t>(num_items()) * BitWidthFor(arena_bits_ + 1);
-}
-
-DataLabel ProvenanceIndex::Label(int item) const {
-  FVL_CHECK(item >= 0 && item < num_items());
-  BitReader reader(&words_, offsets_[item], offsets_[item + 1]);
-  DataLabel label = codec_.Decode(&reader);
-  FVL_CHECK(reader.AtEnd());
-  return label;
+  return store_.arena_bits() +
+         static_cast<int64_t>(num_items()) *
+             BitWidthFor(store_.arena_bits() + 1);
 }
 
 std::string ProvenanceIndex::Serialize() const {
   std::string blob(kMagic, sizeof(kMagic));
-  AppendU64(&blob, static_cast<uint64_t>(num_items()));
-  AppendU64(&blob, static_cast<uint64_t>(arena_bits_));
-  AppendCodecAndArena(codec_, offsets_, words_, arena_bits_, &blob);
+  LabelStore::AppendU64(&blob, static_cast<uint64_t>(num_items()));
+  LabelStore::AppendU64(&blob, static_cast<uint64_t>(store_.arena_bits()));
+  store_.AppendTail(&blob);
   return blob;
 }
 
@@ -211,7 +59,8 @@ Result<ProvenanceIndex> ProvenanceIndex::Deserialize(const std::string& blob) {
   }
   size_t pos = sizeof(kMagic);
   uint64_t num_items = 0, arena_bits = 0;
-  if (!ReadU64(blob, &pos, &num_items) || !ReadU64(blob, &pos, &arena_bits)) {
+  if (!LabelStore::ReadU64(blob, &pos, &num_items) ||
+      !LabelStore::ReadU64(blob, &pos, &arena_bits)) {
     return fail("truncated header");
   }
   // Neither count can describe more bits than the blob itself carries;
@@ -219,21 +68,15 @@ Result<ProvenanceIndex> ProvenanceIndex::Deserialize(const std::string& blob) {
   // allocation below by the blob size.
   if (arena_bits / 8 > blob.size()) return fail("arena_bits exceeds blob");
   if (num_items / 8 > blob.size()) return fail("num_items exceeds blob");
-  // num_items() narrows offsets_.size() - 1 to int.
+  // num_items() narrows the store's item count to int.
   if (num_items >= static_cast<uint64_t>(std::numeric_limits<int>::max())) {
     return fail("num_items exceeds supported range");
   }
 
-  LabelCodec codec;
-  std::vector<int64_t> offsets;
-  std::vector<uint64_t> words;
-  if (Status status = ParseCodecAndArena(blob, &pos, num_items, arena_bits,
-                                         &codec, &offsets, &words);
-      !status.ok()) {
-    return status;
-  }
-  return ProvenanceIndex(std::move(codec), std::move(offsets),
-                         std::move(words), static_cast<int64_t>(arena_bits));
+  Result<LabelStore> store = LabelStore::ParseTail(
+      blob, &pos, {0, static_cast<int64_t>(num_items)}, arena_bits);
+  if (!store.ok()) return store.status();
+  return ProvenanceIndex(std::move(store).value());
 }
 
 Result<MergedProvenanceIndex> ProvenanceIndex::Merge(
@@ -257,73 +100,36 @@ Result<MergedProvenanceIndex> ProvenanceIndex::Merge(
                          "merged index would exceed the supported item count");
   }
 
-  // Relocate every label into one contiguous arena, run by run; item ids
-  // stay dense, so (run, item) maps to run_base[run] + item.
-  std::vector<int64_t> run_base = {0};
-  std::vector<int64_t> offsets = {0};
-  run_base.reserve(runs.size() + 1);
-  offsets.reserve(static_cast<size_t>(total) + 1);
-  BitWriter arena;
+  // Grouped append into one shared arena: per run, one bulk bit copy plus
+  // integer offset rebasing; item ids stay dense, so (run, item) maps to
+  // the run's group base + item.
+  LabelStore store(codec);
   for (const ProvenanceIndex& run : runs) {
-    for (int item = 0; item < run.num_items(); ++item) {
-      CopyBits(run.words_, run.offsets_[item], run.offsets_[item + 1],
-               &arena);
-      offsets.push_back(arena.size_bits());
-    }
-    run_base.push_back(run_base.back() + run.num_items());
+    store.AppendGroups(run.store());
   }
-  int64_t arena_bits = arena.size_bits();  // before TakeWords resets it
-  return MergedProvenanceIndex(codec, std::move(run_base), std::move(offsets),
-                               arena.TakeWords(), arena_bits);
+  return MergedProvenanceIndex(std::move(store));
 }
 
 // --- MergedProvenanceIndex ---------------------------------------------------
 
-int MergedProvenanceIndex::GlobalId(int run, int item) const {
-  FVL_CHECK(run >= 0 && run < num_runs());
-  FVL_CHECK(item >= 0 && item < num_items(run));
-  return static_cast<int>(run_base_[run] + item);
-}
-
-int MergedProvenanceIndex::RunOf(int global) const {
-  FVL_CHECK(global >= 0 && global < total_items());
-  // First base strictly above `global`; zero-item runs (repeated bases) are
-  // skipped correctly because no flat id maps into them.
-  auto it = std::upper_bound(run_base_.begin(), run_base_.end(),
-                             static_cast<int64_t>(global));
-  return static_cast<int>(it - run_base_.begin()) - 1;
-}
-
-DataLabel MergedProvenanceIndex::LabelByGlobalId(int global) const {
-  FVL_CHECK(global >= 0 && global < total_items());
-  BitReader reader(&words_, offsets_[global], offsets_[global + 1]);
-  DataLabel label = codec_.Decode(&reader);
-  FVL_CHECK(reader.AtEnd());
-  return label;
-}
-
-int64_t MergedProvenanceIndex::LabelBits(int run, int item) const {
-  int global = GlobalId(run, item);
-  return offsets_[global + 1] - offsets_[global];
-}
-
 int64_t MergedProvenanceIndex::SizeBits() const {
   // Arena, a minimal-width offset per item, and the per-run base table.
-  return arena_bits_ +
-         static_cast<int64_t>(total_items()) * BitWidthFor(arena_bits_ + 1) +
+  return store_.arena_bits() +
+         static_cast<int64_t>(total_items()) *
+             BitWidthFor(store_.arena_bits() + 1) +
          static_cast<int64_t>(num_runs()) *
              BitWidthFor(static_cast<int64_t>(total_items()) + 1);
 }
 
 std::string MergedProvenanceIndex::Serialize() const {
   std::string blob(kMergedMagic, sizeof(kMergedMagic));
-  AppendU64(&blob, static_cast<uint64_t>(num_runs()));
-  AppendU64(&blob, static_cast<uint64_t>(total_items()));
-  AppendU64(&blob, static_cast<uint64_t>(arena_bits_));
+  LabelStore::AppendU64(&blob, static_cast<uint64_t>(num_runs()));
+  LabelStore::AppendU64(&blob, static_cast<uint64_t>(total_items()));
+  LabelStore::AppendU64(&blob, static_cast<uint64_t>(store_.arena_bits()));
   for (int run = 0; run < num_runs(); ++run) {
-    AppendU64(&blob, static_cast<uint64_t>(num_items(run)));
+    LabelStore::AppendU64(&blob, static_cast<uint64_t>(num_items(run)));
   }
-  AppendCodecAndArena(codec_, offsets_, words_, arena_bits_, &blob);
+  store_.AppendTail(&blob);
   return blob;
 }
 
@@ -338,15 +144,16 @@ Result<MergedProvenanceIndex> MergedProvenanceIndex::Deserialize(
   }
   size_t pos = sizeof(kMergedMagic);
   uint64_t num_runs = 0, total_items = 0, arena_bits = 0;
-  if (!ReadU64(blob, &pos, &num_runs) || !ReadU64(blob, &pos, &total_items) ||
-      !ReadU64(blob, &pos, &arena_bits)) {
+  if (!LabelStore::ReadU64(blob, &pos, &num_runs) ||
+      !LabelStore::ReadU64(blob, &pos, &total_items) ||
+      !LabelStore::ReadU64(blob, &pos, &arena_bits)) {
     return fail("truncated header");
   }
   // Same up-front bounding as the single-run format: no claimed count may
   // describe more bytes than the blob carries, which caps every allocation
   // below and keeps all arithmetic in int64 range.
   if (num_runs > blob.size() / 8) return fail("num_runs exceeds blob");
-  // num_runs() narrows run_base_.size() - 1 to int.
+  // num_runs() narrows the store's group count to int.
   if (num_runs >= static_cast<uint64_t>(std::numeric_limits<int>::max())) {
     return fail("num_runs exceeds supported range");
   }
@@ -360,7 +167,9 @@ Result<MergedProvenanceIndex> MergedProvenanceIndex::Deserialize(
   run_base.reserve(num_runs + 1);
   for (uint64_t run = 0; run < num_runs; ++run) {
     uint64_t count = 0;
-    if (!ReadU64(blob, &pos, &count)) return fail("truncated run table");
+    if (!LabelStore::ReadU64(blob, &pos, &count)) {
+      return fail("truncated run table");
+    }
     if (count > total_items - static_cast<uint64_t>(run_base.back())) {
       return fail("run item counts exceed total_items");
     }
@@ -370,17 +179,10 @@ Result<MergedProvenanceIndex> MergedProvenanceIndex::Deserialize(
     return fail("run item counts do not sum to total_items");
   }
 
-  LabelCodec codec;
-  std::vector<int64_t> offsets;
-  std::vector<uint64_t> words;
-  if (Status status = ParseCodecAndArena(blob, &pos, total_items, arena_bits,
-                                         &codec, &offsets, &words);
-      !status.ok()) {
-    return status;
-  }
-  return MergedProvenanceIndex(std::move(codec), std::move(run_base),
-                               std::move(offsets), std::move(words),
-                               static_cast<int64_t>(arena_bits));
+  Result<LabelStore> store =
+      LabelStore::ParseTail(blob, &pos, std::move(run_base), arena_bits);
+  if (!store.ok()) return store.status();
+  return MergedProvenanceIndex(std::move(store).value());
 }
 
 }  // namespace fvl

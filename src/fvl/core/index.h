@@ -1,10 +1,12 @@
 // Persistent provenance index: the downstream-adoption layer around the
 // labeling scheme.
 //
-// A ProvenanceIndexBuilder consumes a labeled run and packs every encoded
-// data label into one contiguous bit arena with a per-item offset table; the
-// resulting ProvenanceIndex is a position-independent blob that can be
-// serialized, mapped back, and queried without the Run or the labeler:
+// Both index classes are thin, immutable wrappers over a frozen
+// fvl::LabelStore (core/label_store.h) — one contiguous bit arena plus
+// grouped offsets. A ProvenanceIndexBuilder consumes a labeled run and
+// packs every encoded data label into a single-group store; the resulting
+// ProvenanceIndex is a position-independent blob that can be serialized,
+// mapped back, and queried without the Run or the labeler:
 //
 //   ProvenanceIndexBuilder builder(service.production_graph());
 //   ... builder.Add(label) for every item (or FromLabeledRun) ...
@@ -26,8 +28,10 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "fvl/core/label_store.h"
 #include "fvl/core/run_labeler.h"
 #include "fvl/util/check.h"
 #include "fvl/util/status.h"
@@ -39,37 +43,43 @@ class MergedProvenanceIndex;
 
 class ProvenanceIndexBuilder {
  public:
-  explicit ProvenanceIndexBuilder(const ProductionGraph& pg) : codec_(pg) {}
+  explicit ProvenanceIndexBuilder(const ProductionGraph& pg);
 
   // Items must be added in id order (0, 1, 2, ...).
-  void Add(const DataLabel& label);
+  void Add(const DataLabel& label) { store_.Append(label); }
 
   ProvenanceIndex Build() &&;
 
+  // Freezes an already-labeled run: the labeler's live store is copied
+  // verbatim (no label is re-encoded).
   static ProvenanceIndex FromLabeledRun(const ProductionGraph& pg,
                                         const RunLabeler& labeler);
 
  private:
-  LabelCodec codec_;
-  std::vector<int64_t> offsets_;  // bit offset of each item's label
-  BitWriter arena_;
+  LabelStore store_;
 };
 
 class ProvenanceIndex {
  public:
-  int num_items() const { return static_cast<int>(offsets_.size()) - 1; }
+  // Wraps a frozen single-group store (a builder's output, a session's
+  // live store copied at snapshot time, or a deserialized blob).
+  explicit ProvenanceIndex(LabelStore store) : store_(std::move(store)) {
+    FVL_CHECK(store_.num_groups() == 1);
+  }
+
+  int num_items() const { return store_.total_items(); }
   // The codec the labels are encoded with; consumers can compare it against
   // their grammar's codec before decoding (ProvenanceService does).
-  const LabelCodec& codec() const { return codec_; }
+  const LabelCodec& codec() const { return store_.codec(); }
+  // The underlying frozen store (zero-copy span access for batch decode).
+  const LabelStore& store() const { return store_; }
   // Total index size in bits (arena + offset table at minimal width).
   int64_t SizeBits() const;
 
   // Decodes the label of one item.
-  DataLabel Label(int item) const;
+  DataLabel Label(int item) const { return store_.DecodeLabel(item); }
   // Exact encoded size of one item's label.
-  int64_t LabelBits(int item) const {
-    return offsets_[item + 1] - offsets_[item];
-  }
+  int64_t LabelBits(int item) const { return store_.LabelBits(item); }
 
   // Stable little-endian binary format (header incl. codec widths, offsets,
   // arena). Self-describing: Deserialize needs only the blob.
@@ -80,67 +90,62 @@ class ProvenanceIndex {
   static Result<ProvenanceIndex> Deserialize(const std::string& blob);
 
   // Combines per-run snapshots of the *same* specification into one
-  // queryable multi-run artifact: every label is relocated into one
-  // contiguous arena and items are addressed as (run, local_item) pairs.
-  // Runs whose codecs disagree (i.e. snapshots of structurally different
-  // grammars) are rejected with kInvalidArgument; an empty span yields an
-  // empty merged index rather than an error.
+  // queryable multi-run artifact: a grouped append into one shared arena —
+  // every run becomes a store group, items are addressed as
+  // (run, local_item) pairs, and no label is re-encoded. Runs whose codecs
+  // disagree (i.e. snapshots of structurally different grammars) are
+  // rejected with kInvalidArgument; an empty span yields an empty merged
+  // index rather than an error.
   static Result<MergedProvenanceIndex> Merge(
       std::span<const ProvenanceIndex> runs);
 
  private:
-  friend class ProvenanceIndexBuilder;
-  ProvenanceIndex(LabelCodec codec, std::vector<int64_t> offsets,
-                  std::vector<uint64_t> words, int64_t arena_bits)
-      : codec_(std::move(codec)),
-        offsets_(std::move(offsets)),
-        words_(std::move(words)),
-        arena_bits_(arena_bits) {}
-
-  LabelCodec codec_;
-  std::vector<int64_t> offsets_;  // size num_items + 1; [0] = 0
-  std::vector<uint64_t> words_;
-  int64_t arena_bits_ = 0;
+  LabelStore store_;
 };
 
 // Many runs of one specification, frozen into a single position-independent
-// artifact (ProvenanceIndex::Merge). Items are addressed as (run, item)
-// pairs: a per-run offset table maps each pair to a flat id into one
-// contiguous relocated label arena, so cross-run batch sweeps walk memory
-// linearly instead of chasing per-run snapshots. Serialization follows the
-// single-run format and hardening: self-describing (codec widths in the
-// header), and Deserialize bounds-checks every field and verifies that
-// every label span decodes under the embedded codec before an index is
-// returned — accessors on a deserialized index never abort.
+// artifact (ProvenanceIndex::Merge): a LabelStore with one group per run.
+// Items are addressed as (run, item) pairs: the grouped offset table maps
+// each pair to a flat id into one contiguous shared label arena, so
+// cross-run batch sweeps walk memory linearly instead of chasing per-run
+// snapshots. Serialization follows the single-run format and hardening:
+// self-describing (codec widths in the header), and Deserialize
+// bounds-checks every field and verifies that every label span decodes
+// under the embedded codec before an index is returned — accessors on a
+// deserialized index never abort.
 class MergedProvenanceIndex {
  public:
   MergedProvenanceIndex() = default;  // zero runs, zero items
+  explicit MergedProvenanceIndex(LabelStore store) : store_(std::move(store)) {}
 
-  int num_runs() const { return static_cast<int>(run_base_.size()) - 1; }
-  int num_items(int run) const {
-    FVL_CHECK(run >= 0 && run < num_runs());
-    return static_cast<int>(run_base_[run + 1] - run_base_[run]);
-  }
+  int num_runs() const { return store_.num_groups(); }
+  int num_items(int run) const { return store_.num_items(run); }
   // Items across all runs; bounded to int range by Merge/Deserialize.
-  int total_items() const { return static_cast<int>(run_base_.back()); }
+  int total_items() const { return store_.total_items(); }
   // The shared codec of every merged run.
-  const LabelCodec& codec() const { return codec_; }
+  const LabelCodec& codec() const { return store_.codec(); }
+  // The underlying frozen store (zero-copy span access for batch decode).
+  const LabelStore& store() const { return store_; }
 
-  // Flat id of (run, item) in arena order: run_base_[run] + item.
-  int GlobalId(int run, int item) const;
+  // Flat id of (run, item) in arena order.
+  int GlobalId(int run, int item) const { return store_.GlobalId(run, item); }
   // Inverse direction: the run a flat id belongs to. Queries use this to
   // keep run boundaries meaningful — items of different runs never depend
   // on each other (separate executions share no data flow), and the
   // decoding predicate is only defined over labels of one parse tree.
-  int RunOf(int global) const;
+  int RunOf(int global) const { return store_.GroupOf(global); }
 
   // Decodes the label of one item, addressed either way.
   DataLabel Label(int run, int item) const {
     return LabelByGlobalId(GlobalId(run, item));
   }
-  DataLabel LabelByGlobalId(int global) const;
+  DataLabel LabelByGlobalId(int global) const {
+    return store_.DecodeLabel(global);
+  }
   // Exact encoded size of one item's label.
-  int64_t LabelBits(int run, int item) const;
+  int64_t LabelBits(int run, int item) const {
+    return store_.LabelBits(GlobalId(run, item));
+  }
 
   // Total index size in bits (arena + offset tables at minimal width).
   int64_t SizeBits() const;
@@ -151,21 +156,7 @@ class MergedProvenanceIndex {
   static Result<MergedProvenanceIndex> Deserialize(const std::string& blob);
 
  private:
-  friend class ProvenanceIndex;  // Merge constructs the result
-  MergedProvenanceIndex(LabelCodec codec, std::vector<int64_t> run_base,
-                        std::vector<int64_t> offsets,
-                        std::vector<uint64_t> words, int64_t arena_bits)
-      : codec_(std::move(codec)),
-        run_base_(std::move(run_base)),
-        offsets_(std::move(offsets)),
-        words_(std::move(words)),
-        arena_bits_(arena_bits) {}
-
-  LabelCodec codec_;
-  std::vector<int64_t> run_base_{0};  // size num_runs + 1; [0] = 0
-  std::vector<int64_t> offsets_{0};   // size total_items + 1; [0] = 0
-  std::vector<uint64_t> words_;
-  int64_t arena_bits_ = 0;
+  LabelStore store_;
 };
 
 }  // namespace fvl

@@ -1,0 +1,189 @@
+#include "fvl/core/label_store.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace fvl {
+
+namespace {
+
+// Appends the relocated bit range [start_bit, end_bit) of `words` to `out`
+// in 64-bit chunks (both ends take the word-parallel fast paths).
+void CopyBits(const std::vector<uint64_t>& words, int64_t start_bit,
+              int64_t end_bit, BitWriter* out) {
+  BitReader reader(&words, start_bit, end_bit);
+  for (int64_t remaining = end_bit - start_bit; remaining > 0;) {
+    int chunk = remaining < 64 ? static_cast<int>(remaining) : 64;
+    out->WriteFixed(reader.ReadFixed(chunk), chunk);
+    remaining -= chunk;
+  }
+}
+
+}  // namespace
+
+int LabelStore::GroupOf(int global) const {
+  FVL_CHECK(global >= 0 && global < total_items());
+  // First base strictly above `global`.
+  auto it = std::upper_bound(group_base_.begin(), group_base_.end(),
+                             static_cast<int64_t>(global));
+  return static_cast<int>(it - group_base_.begin()) - 1;
+}
+
+void LabelStore::Append(const DataLabel& label) {
+  FVL_CHECK(num_groups() > 0);
+  codec_.EncodeTo(label, &arena_);
+  offsets_.push_back(arena_.size_bits());
+  ++group_base_.back();
+}
+
+void LabelStore::AppendGroups(const LabelStore& other) {
+  FVL_CHECK(other.codec_ == codec_);
+  // Rebasing assumes the source offsets cover its whole arena — true for
+  // live stores by construction and enforced by ParseTail for parsed ones.
+  FVL_DCHECK(other.offsets_.back() == other.arena_bits());
+  const int64_t arena_base = arena_.size_bits();
+  CopyBits(other.arena_.words(), 0, other.arena_bits(), &arena_);
+  offsets_.reserve(offsets_.size() + other.total_items());
+  for (int item = 0; item < other.total_items(); ++item) {
+    offsets_.push_back(arena_base + other.offsets_[item + 1]);
+  }
+  const int64_t item_base = group_base_.back();
+  group_base_.reserve(group_base_.size() + other.num_groups());
+  for (int group = 0; group < other.num_groups(); ++group) {
+    group_base_.push_back(item_base + other.group_base_[group + 1]);
+  }
+}
+
+DataLabel LabelStore::DecodeLabel(int global) const {
+  BitReader reader = SpanReader(global);
+  DataLabel label = codec_.Decode(&reader);
+  FVL_CHECK(reader.AtEnd());
+  return label;
+}
+
+void LabelStore::AppendU64(std::string* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+bool LabelStore::ReadU64(const std::string& blob, size_t* pos,
+                         uint64_t* value) {
+  if (*pos + 8 > blob.size()) return false;
+  *value = 0;
+  for (int i = 0; i < 8; ++i) {
+    *value |= static_cast<uint64_t>(static_cast<unsigned char>(blob[*pos + i]))
+              << (8 * i);
+  }
+  *pos += 8;
+  return true;
+}
+
+void LabelStore::AppendTail(std::string* blob) const {
+  // Codec field widths (self-description).
+  for (int width : {codec_.production_bits, codec_.position_bits,
+                    codec_.cycle_bits, codec_.start_bits, codec_.port_bits}) {
+    blob->push_back(static_cast<char>(width));
+  }
+
+  // Offsets, bit-packed at the minimal fixed width.
+  int offset_width = BitWidthFor(arena_bits() + 1);
+  blob->push_back(static_cast<char>(offset_width));
+  BitWriter packed;
+  for (size_t item = 0; item + 1 < offsets_.size(); ++item) {
+    packed.WriteFixed(static_cast<uint64_t>(offsets_[item + 1]), offset_width);
+  }
+  AppendU64(blob, static_cast<uint64_t>(packed.words().size()));
+  for (uint64_t word : packed.words()) AppendU64(blob, word);
+
+  AppendU64(blob, static_cast<uint64_t>(arena_.words().size()));
+  for (uint64_t word : arena_.words()) AppendU64(blob, word);
+}
+
+Result<LabelStore> LabelStore::ParseTail(const std::string& blob, size_t* pos,
+                                         std::vector<int64_t> group_base,
+                                         uint64_t arena_bits) {
+  auto fail = [](const std::string& message) -> Status {
+    return Status::Error(ErrorCode::kMalformedBlob, message);
+  };
+  const uint64_t num_items = static_cast<uint64_t>(group_base.back());
+
+  LabelStore store;
+  store.group_base_ = std::move(group_base);
+  if (*pos + 5 > blob.size()) return fail("truncated codec widths");
+  int* widths[5] = {&store.codec_.production_bits,
+                    &store.codec_.position_bits, &store.codec_.cycle_bits,
+                    &store.codec_.start_bits, &store.codec_.port_bits};
+  for (int* width : widths) {
+    *width = static_cast<unsigned char>(blob[(*pos)++]);
+    if (*width > 64) return fail("codec width out of range");
+  }
+
+  if (*pos >= blob.size()) return fail("truncated header");
+  int offset_width = static_cast<unsigned char>(blob[(*pos)++]);
+  if (offset_width != BitWidthFor(static_cast<int64_t>(arena_bits) + 1)) {
+    return fail("inconsistent offset width");
+  }
+
+  uint64_t offset_words = 0;
+  if (!ReadU64(blob, pos, &offset_words)) return fail("truncated offsets");
+  if (offset_width > 0 &&
+      num_items > offset_words * 64 / static_cast<uint64_t>(offset_width)) {
+    return fail("offset table too small");
+  }
+  BitWriter packed;
+  for (uint64_t w = 0; w < offset_words; ++w) {
+    uint64_t word = 0;
+    if (!ReadU64(blob, pos, &word)) return fail("truncated offsets");
+    packed.WriteFixed(word, 64);
+  }
+  BitReader reader(packed);
+  store.offsets_ = {0};
+  for (uint64_t item = 0; item < num_items; ++item) {
+    int64_t offset = static_cast<int64_t>(reader.ReadFixed(offset_width));
+    if (offset < store.offsets_.back() ||
+        offset > static_cast<int64_t>(arena_bits)) {
+      return fail("non-monotone offsets");
+    }
+    store.offsets_.push_back(offset);
+  }
+  // Also rejects 0-item blobs claiming a nonzero arena: AppendGroups
+  // rebases against offsets_.back(), so uncovered arena bits would be
+  // grafted onto the next appended group's first span.
+  if (store.offsets_.back() != static_cast<int64_t>(arena_bits)) {
+    return fail("offsets do not cover the arena");
+  }
+
+  uint64_t arena_words = 0;
+  if (!ReadU64(blob, pos, &arena_words)) return fail("truncated arena");
+  if (arena_words < (arena_bits + 63) / 64) return fail("arena too small");
+  if (arena_words > blob.size() / 8) return fail("truncated arena");
+  std::vector<uint64_t> words;
+  words.reserve(arena_words);
+  for (uint64_t w = 0; w < arena_words; ++w) {
+    uint64_t word = 0;
+    if (!ReadU64(blob, pos, &word)) return fail("truncated arena");
+    words.push_back(word);
+  }
+  if (*pos != blob.size()) return fail("trailing bytes");
+  store.arena_ = BitWriter::FromWords(std::move(words),
+                                      static_cast<int64_t>(arena_bits));
+
+  // The accessors FVL_CHECK that every span decodes exactly under the
+  // codec; an inconsistent blob (e.g. a flipped codec-width byte) must be
+  // rejected here, recoverably, rather than abort on first DecodeLabel.
+  for (uint64_t item = 0; item < num_items; ++item) {
+    BitReader label_reader = store.SpanReader(static_cast<int>(item));
+    label_reader.set_permissive();
+    store.codec_.Decode(&label_reader);
+    if (label_reader.failed() || !label_reader.AtEnd()) {
+      std::string message = "label ";
+      message += std::to_string(item);
+      message += " does not decode under the blob's codec";
+      return fail(message);
+    }
+  }
+  return store;
+}
+
+}  // namespace fvl

@@ -1,0 +1,131 @@
+// Shared-arena label storage — the one representation behind every place
+// the library keeps encoded data labels (in the spirit of poplar-trie's
+// GroupedLabelStore; see SNIPPETS.md).
+//
+// A LabelStore is one contiguous bit arena of codec-encoded labels plus a
+// grouped offset table: `group_base_` maps a group (a run, for multi-run
+// artifacts) to its flat-id range and `offsets_` maps each flat id to its
+// bit span in the arena. The same object serves every storage site:
+//
+//   * live sessions append labels as items are created (RunLabeler);
+//   * snapshots freeze the store by copying the arena — no re-encode
+//     (ProvenanceIndex is a frozen single-group store);
+//   * multi-run merging appends whole stores group-by-group with one bulk
+//     bit copy and integer offset rebasing — no label is re-encoded
+//     (MergedProvenanceIndex is a frozen many-group store);
+//   * both the FVLIDX2 and FVLMRG1 blob formats share the store's
+//     serialized tail (codec widths, bit-packed offsets, arena) and its
+//     hardened ParseTail, which bounds-checks every field and verifies that
+//     every span decodes under the embedded codec before a store is
+//     returned — accessors of a parsed store never abort.
+//
+// Span access is zero-copy: SpanReader returns a BitReader over the arena
+// words, so batch decode loops (DependsMany / VisibilitySweep) walk one
+// contiguous allocation in flat-id order.
+
+#ifndef FVL_CORE_LABEL_STORE_H_
+#define FVL_CORE_LABEL_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fvl/core/data_label.h"
+#include "fvl/util/bitstream.h"
+#include "fvl/util/check.h"
+#include "fvl/util/status.h"
+
+namespace fvl {
+
+class LabelStore {
+ public:
+  // Empty store with all-zero codec widths (the state of an empty merge);
+  // use the codec constructor for anything that will hold labels.
+  LabelStore() = default;
+  explicit LabelStore(LabelCodec codec) : codec_(std::move(codec)) {}
+
+  const LabelCodec& codec() const { return codec_; }
+
+  int num_groups() const { return static_cast<int>(group_base_.size()) - 1; }
+  int num_items(int group) const {
+    FVL_CHECK(group >= 0 && group < num_groups());
+    return static_cast<int>(group_base_[group + 1] - group_base_[group]);
+  }
+  // Items across all groups; bounded to int range by appenders/ParseTail.
+  int total_items() const { return static_cast<int>(group_base_.back()); }
+  int64_t arena_bits() const { return arena_.size_bits(); }
+
+  // Flat id of (group, item) in arena order: group_base_[group] + item.
+  int GlobalId(int group, int item) const {
+    FVL_CHECK(group >= 0 && group < num_groups());
+    FVL_CHECK(item >= 0 && item < num_items(group));
+    return static_cast<int>(group_base_[group] + item);
+  }
+  // Inverse direction: the group a flat id belongs to. Zero-item groups
+  // (repeated bases) are skipped correctly — no flat id maps into them.
+  int GroupOf(int global) const;
+
+  // --- Append (live sessions, builders) -----------------------------------
+
+  // Opens a new, empty group at the end; subsequent Append calls fill it.
+  void BeginGroup() { group_base_.push_back(group_base_.back()); }
+
+  // Encodes `label` at the end of the arena, as the next item of the last
+  // group (BeginGroup must have been called at least once).
+  void Append(const DataLabel& label);
+
+  // Appends every group of `other` as new groups of this store: one bulk
+  // bit copy of the other arena plus integer offset rebasing — no label is
+  // decoded or re-encoded. Codecs must match (callers report mismatches as
+  // recoverable errors before calling).
+  void AppendGroups(const LabelStore& other);
+
+  // --- Span access (zero-copy) --------------------------------------------
+
+  // Reader over exactly the bit span of one label.
+  BitReader SpanReader(int global) const {
+    FVL_CHECK(global >= 0 && global < total_items());
+    return BitReader(&arena_.words(), offsets_[global], offsets_[global + 1]);
+  }
+  // Decodes one label; spans are validated at construction/ParseTail, so
+  // decode never aborts on a store obtained through the public paths.
+  DataLabel DecodeLabel(int global) const;
+  // Exact encoded size of one label.
+  int64_t LabelBits(int global) const {
+    FVL_CHECK(global >= 0 && global < total_items());
+    return offsets_[global + 1] - offsets_[global];
+  }
+
+  // --- Serialization ------------------------------------------------------
+  //
+  // The store serializes as the tail shared by the FVLIDX2 and FVLMRG1 blob
+  // formats: codec field widths, the offset table bit-packed at the minimal
+  // fixed width, and the label arena. Group structure is the *header's*
+  // business (the single-run format has one implicit group; the merged
+  // format writes a run table), so callers pass group bases to ParseTail.
+
+  void AppendTail(std::string* blob) const;
+
+  // Parses and validates the tail starting at *pos; on success the blob is
+  // fully consumed and every label span is known to decode exactly under
+  // the embedded codec. `group_base` and `arena_bits` come from the
+  // caller's header and must already be bounded by the blob size (counts
+  // within int range, bases monotone).
+  static Result<LabelStore> ParseTail(const std::string& blob, size_t* pos,
+                                      std::vector<int64_t> group_base,
+                                      uint64_t arena_bits);
+
+  // Little-endian u64 helpers shared with the format headers.
+  static void AppendU64(std::string* out, uint64_t value);
+  static bool ReadU64(const std::string& blob, size_t* pos, uint64_t* value);
+
+ private:
+  LabelCodec codec_;
+  std::vector<int64_t> group_base_{0};  // size num_groups + 1; [0] = 0
+  std::vector<int64_t> offsets_{0};     // size total_items + 1; [0] = 0
+  BitWriter arena_;
+};
+
+}  // namespace fvl
+
+#endif  // FVL_CORE_LABEL_STORE_H_

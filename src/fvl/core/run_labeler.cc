@@ -1,42 +1,43 @@
 #include "fvl/core/run_labeler.h"
 
+#include <vector>
+
 #include "fvl/util/check.h"
 
 namespace fvl {
 
 RunLabeler::RunLabeler(const Grammar* grammar, const ProductionGraph* pg)
-    : tree_(grammar, pg), codec_(*pg) {}
+    : tree_(grammar, pg), store_(LabelCodec(*pg)) {
+  store_.BeginGroup();
+}
 
 void RunLabeler::OnStart(const Run& run) {
   tree_.OnStart(run);
   // Item ids are allocated sequentially; the start module's boundary items
-  // are exactly [0, inputs + outputs). Resizing to that count (rather than
+  // are exactly [0, inputs + outputs). Buffering that count (rather than
   // run.num_items()) keeps the labeler strictly online even when replaying
-  // an already-completed run.
-  labels_.resize(run.InputItems(run.start_instance()).size() +
-                 run.OutputItems(run.start_instance()).size());
+  // an already-completed run; the store appends in item-id order.
+  std::vector<DataLabel> boundary(
+      run.InputItems(run.start_instance()).size() +
+      run.OutputItems(run.start_instance()).size());
   const ParseNode& start_node =
       tree_.node(tree_.NodeOfInstance(run.start_instance()));
   for (int item_id : run.InputItems(run.start_instance())) {
-    DataLabel label;
-    label.consumer =
+    boundary[item_id].consumer =
         PortLabel{start_node.path, run.item(item_id).consumer_port};
-    labels_[item_id] = std::move(label);
   }
   for (int item_id : run.OutputItems(run.start_instance())) {
-    DataLabel label;
-    label.producer =
+    boundary[item_id].producer =
         PortLabel{start_node.path, run.item(item_id).producer_port};
-    labels_[item_id] = std::move(label);
   }
+  for (const DataLabel& label : boundary) store_.Append(label);
 }
 
 void RunLabeler::OnApply(const Run& run, const DerivationStep& step) {
   tree_.OnApply(run, step);
-  FVL_CHECK(static_cast<int>(labels_.size()) == step.first_item);
-  // Resize to the step's own items (not run.num_items(), which is already
-  // the final count when replaying a completed run).
-  labels_.resize(step.first_item + step.num_items);
+  FVL_CHECK(store_.total_items() == step.first_item);
+  // Label exactly the step's own items (not up to run.num_items(), which is
+  // already the final count when replaying a completed run).
   for (int e = 0; e < step.num_items; ++e) {
     int item_id = step.first_item + e;
     const DataItem& item = run.item(item_id);
@@ -47,7 +48,7 @@ void RunLabeler::OnApply(const Run& run, const DerivationStep& step) {
     DataLabel label;
     label.producer = PortLabel{producer_node.path, item.producer_port};
     label.consumer = PortLabel{consumer_node.path, item.consumer_port};
-    labels_[item_id] = std::move(label);
+    store_.Append(label);
   }
 }
 

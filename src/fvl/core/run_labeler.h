@@ -2,13 +2,18 @@
 // moment it is produced, using only the compressed parse tree built so far.
 // Labels are immutable once assigned (Def. 10) — the labeler never revisits
 // an item.
+//
+// Labels are stored encoded, in a live single-group LabelStore: each label
+// is appended to the shared bit arena when its item appears, so a labeled
+// run costs arena bits (tens of bits per item), not DataLabel structs, and
+// freezing a snapshot (ProvenanceIndexBuilder::FromLabeledRun) copies the
+// arena instead of re-encoding every label. Label(item) decodes on demand.
 
 #ifndef FVL_CORE_RUN_LABELER_H_
 #define FVL_CORE_RUN_LABELER_H_
 
-#include <vector>
-
 #include "fvl/core/data_label.h"
+#include "fvl/core/label_store.h"
 #include "fvl/core/parse_tree.h"
 #include "fvl/run/run.h"
 
@@ -22,18 +27,21 @@ class RunLabeler {
   void OnStart(const Run& run);
   void OnApply(const Run& run, const DerivationStep& step);
 
-  int num_labels() const { return static_cast<int>(labels_.size()); }
-  const DataLabel& Label(int item) const { return labels_[item]; }
+  int num_labels() const { return store_.total_items(); }
+  // Decoded on demand from the store (a few hundred ns per call).
+  DataLabel Label(int item) const { return store_.DecodeLabel(item); }
   const CompressedParseTree& tree() const { return tree_; }
 
+  // The live label store behind this run (one group, append-only).
+  const LabelStore& store() const { return store_; }
+
   // Exact encoded size of an item's label, in bits.
-  int64_t LabelBits(int item) const { return codec_.EncodedBits(labels_[item]); }
-  const LabelCodec& codec() const { return codec_; }
+  int64_t LabelBits(int item) const { return store_.LabelBits(item); }
+  const LabelCodec& codec() const { return store_.codec(); }
 
  private:
   CompressedParseTree tree_;
-  LabelCodec codec_;
-  std::vector<DataLabel> labels_;
+  LabelStore store_;
 };
 
 // Convenience: derive nothing, just label an already-derived run by

@@ -78,8 +78,8 @@ class BasicDynamicLabeling {
 
   // φ'(d) — conceptually (φr(d), φv(U_default)); the shared view label is a
   // constant-size component (Thm. 10 part 2), so it is stored once (in the
-  // service's registry).
-  const DataLabel& DataPart(int item) const { return labeler_.Label(item); }
+  // service's registry). Decoded on demand from the labeler's LabelStore.
+  DataLabel DataPart(int item) const { return labeler_.Label(item); }
   int64_t LabelBits(int item) const { return labeler_.LabelBits(item); }
 
   // π'(φ'(d1), φ'(d2)).

@@ -9,6 +9,7 @@
 #include "fvl/core/index.h"
 #include "fvl/core/visibility.h"
 #include "fvl/util/check.h"
+#include "fvl/util/thread_pool.h"
 #include "fvl/workflow/properness.h"
 
 namespace fvl {
@@ -58,10 +59,6 @@ Result<std::shared_ptr<ProvenanceService>> ProvenanceService::Finish(
   service->spec_ = std::move(spec);
   service->pg_ = std::move(pg);
   service->true_full_ = std::move(safety).value();
-  for (const Module& m : service->spec_->grammar.modules()) {
-    service->max_ports_ =
-        std::max({service->max_ports_, m.num_inputs, m.num_outputs});
-  }
 
   Result<ViewHandle> default_view =
       service->RegisterView(MakeDefaultView(service->spec()));
@@ -73,20 +70,36 @@ Result<std::shared_ptr<ProvenanceService>> ProvenanceService::Finish(
 Result<ViewHandle> ProvenanceService::RegisterView(View view) {
   // Registry hit: structurally equal views share one entry, so compilation
   // and labeling happen once.
-  for (int id = 0; id < num_views(); ++id) {
-    if (views_[id]->regular.has_value() &&
-        views_[id]->regular->view() == view) {
-      return ViewHandle(id, tag_);
+  auto find_existing = [this](const View& wanted) {
+    for (int id = 0; id < static_cast<int>(views_.size()); ++id) {
+      if (views_[id]->regular.has_value() &&
+          views_[id]->regular->view() == wanted) {
+        return id;
+      }
     }
+    return -1;
+  };
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (int id = find_existing(view); id >= 0) return ViewHandle(id, tag_);
   }
+
+  // Compile outside the lock — an arbitrary view compilation must not
+  // stall concurrent queries on the registry mutex.
   Result<CompiledView> compiled =
       CompiledView::Compile(spec_->grammar, std::move(view));
   if (!compiled.ok()) return compiled.status();
 
+  std::lock_guard<std::mutex> lock(mu_);
+  // Re-scan: another thread may have registered the same view meanwhile
+  // (the loser's compilation is discarded, keeping handles deduplicated).
+  if (int id = find_existing(compiled->view()); id >= 0) {
+    return ViewHandle(id, tag_);
+  }
   auto entry = std::make_unique<ViewEntry>();
   entry->regular = std::move(compiled).value();
   views_.push_back(std::move(entry));
-  return ViewHandle(num_views() - 1, tag_);
+  return ViewHandle(static_cast<int>(views_.size()) - 1, tag_);
 }
 
 Result<ViewHandle> ProvenanceService::RegisterGroupedView(
@@ -95,16 +108,17 @@ Result<ViewHandle> ProvenanceService::RegisterGroupedView(
       GroupedView::Compile(spec_->grammar, std::move(base), std::move(groups));
   if (!compiled.ok()) return compiled.status();
 
+  std::lock_guard<std::mutex> lock(mu_);
   auto entry = std::make_unique<ViewEntry>();
   entry->grouped = std::move(compiled).value();
   views_.push_back(std::move(entry));
-  return ViewHandle(num_views() - 1, tag_);
+  return ViewHandle(static_cast<int>(views_.size()) - 1, tag_);
 }
 
 Result<const ProvenanceService::ViewEntry*> ProvenanceService::EntryOf(
     ViewHandle handle) const {
   if (!handle.valid() || handle.service_tag_ != tag_ ||
-      handle.id() >= num_views()) {
+      handle.id() >= static_cast<int>(views_.size())) {
     return Status::Error(ErrorCode::kNotFound,
                          "view handle " + std::to_string(handle.id()) +
                              " was not issued by this service");
@@ -134,6 +148,7 @@ const ViewLabel& ProvenanceService::BuildLabel(ViewEntry& entry,
 
 Result<const ViewLabel*> ProvenanceService::LabelOf(ViewHandle handle,
                                                     ViewLabelMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
   Result<ViewEntry*> entry = EntryOf(handle);
   if (!entry.ok()) return entry.status();
   return &BuildLabel(**entry, mode);
@@ -141,6 +156,7 @@ Result<const ViewLabel*> ProvenanceService::LabelOf(ViewHandle handle,
 
 Result<const Decoder*> ProvenanceService::DecoderOf(ViewHandle handle,
                                                     ViewLabelMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
   Result<ViewEntry*> entry = EntryOf(handle);
   if (!entry.ok()) return entry.status();
   auto& slot = (*entry)->decoders[static_cast<int>(mode)];
@@ -152,6 +168,7 @@ Result<const Decoder*> ProvenanceService::DecoderOf(ViewHandle handle,
 
 Result<const CompiledView*> ProvenanceService::CompiledRegularView(
     ViewHandle handle) const {
+  std::lock_guard<std::mutex> lock(mu_);
   Result<const ViewEntry*> entry = EntryOf(handle);
   if (!entry.ok()) return entry.status();
   if (!(*entry)->regular.has_value()) {
@@ -204,33 +221,6 @@ Result<std::vector<bool>> ProvenanceService::BatchDepends(
   Result<const Decoder*> decoder = DecoderOf(handle, mode);
   if (!decoder.ok()) return decoder.status();
 
-  // Decode each distinct item once for the whole batch. Scratch is sized by
-  // the batch (hash map, node-stable references) unless the batch covers a
-  // good fraction of the snapshot, where the flat table's O(1) lookups win.
-  const bool dense = queries.size() * 4 >= static_cast<size_t>(num_items);
-  std::vector<DataLabel> decoded(dense ? num_items : 0);
-  std::vector<char> have(dense ? num_items : 0, 0);
-  std::unordered_map<int, DataLabel> sparse;
-  bool in_bounds = true;
-  auto decoded_label = [&](int item) -> const DataLabel& {
-    if (dense) {
-      if (!have[item]) {
-        decoded[item] = label_of(item);
-        in_bounds = in_bounds && LabelInBounds(decoded[item]);
-        have[item] = 1;
-      }
-      return decoded[item];
-    }
-    auto [it, inserted] = sparse.try_emplace(item);
-    if (inserted) {
-      it->second = label_of(item);
-      in_bounds = in_bounds && LabelInBounds(it->second);
-    }
-    return it->second;
-  };
-
-  std::vector<bool> answers;
-  answers.reserve(queries.size());
   for (const auto& [d1, d2] : queries) {
     if (d1 < 0 || d1 >= num_items || d2 < 0 || d2 >= num_items) {
       return Status::Error(ErrorCode::kInvalidArgument,
@@ -238,9 +228,48 @@ Result<std::vector<bool>> ProvenanceService::BatchDepends(
                                std::to_string(d2) + ") out of range [0, " +
                                std::to_string(num_items) + ")");
     }
+  }
+
+  // Decode each distinct item once for the whole batch. Scratch is sized by
+  // the batch (hash map, node-stable references) unless the batch covers a
+  // good fraction of the snapshot, where the flat table's O(1) lookups win
+  // — and where the decode loop can shard across fork-join workers
+  // (util/thread_pool.h; the table is per-call and read-only once filled).
+  const bool dense = queries.size() * 4 >= static_cast<size_t>(num_items);
+  std::vector<DataLabel> decoded(dense ? num_items : 0);
+  std::vector<char> needed(dense ? num_items : 0, 0);
+  std::unordered_map<int, DataLabel> sparse;
+  std::atomic<bool> in_bounds{true};
+  if (dense) {
+    for (const auto& [d1, d2] : queries) needed[d1] = needed[d2] = 1;
+    ParallelFor(num_items, query_threads(), [&](int64_t begin, int64_t end) {
+      bool shard_ok = true;
+      for (int64_t item = begin; item < end; ++item) {
+        if (!needed[item]) continue;
+        decoded[item] = label_of(static_cast<int>(item));
+        shard_ok = shard_ok && LabelInBounds(decoded[item]);
+      }
+      if (!shard_ok) in_bounds.store(false, std::memory_order_relaxed);
+    });
+  }
+  auto decoded_label = [&](int item) -> const DataLabel& {
+    if (dense) return decoded[item];
+    auto [it, inserted] = sparse.try_emplace(item);
+    if (inserted) {
+      it->second = label_of(item);
+      if (!LabelInBounds(it->second)) {
+        in_bounds.store(false, std::memory_order_relaxed);
+      }
+    }
+    return it->second;
+  };
+
+  std::vector<bool> answers;
+  answers.reserve(queries.size());
+  for (const auto& [d1, d2] : queries) {
     const DataLabel& l1 = decoded_label(d1);
     const DataLabel& l2 = decoded_label(d2);
-    if (!in_bounds) {
+    if (!in_bounds.load(std::memory_order_relaxed)) {
       return Status::Error(ErrorCode::kInvalidArgument,
                            "index label fields are out of range for this "
                            "service's grammar");
@@ -265,9 +294,12 @@ Result<std::vector<bool>> ProvenanceService::MergedBatch(
     std::span<const std::pair<int, int>> flat, ViewLabelMode mode) {
   // Validate the handle up front: it must be reported (kNotFound) even when
   // every pair crosses runs and the decoder is never consulted.
-  if (Result<const ViewEntry*> entry = std::as_const(*this).EntryOf(handle);
-      !entry.ok()) {
-    return entry.status();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (Result<const ViewEntry*> entry = std::as_const(*this).EntryOf(handle);
+        !entry.ok()) {
+      return entry.status();
+    }
   }
   // Cross-run pairs are false by definition — separate executions share no
   // data flow, and the decoding predicate's path comparisons are only
@@ -348,28 +380,52 @@ Result<std::vector<bool>> ProvenanceService::QueryAcrossRuns(
 }
 
 bool ProvenanceService::LabelInBounds(const DataLabel& label) const {
-  auto edge_ok = [&](const EdgeLabel& e) {
-    if (e.kind == EdgeLabel::Kind::kProduction) {
-      if (e.production < 0 ||
-          e.production >= spec_->grammar.num_productions()) {
-        return false;
-      }
-      const Production& p = spec_->grammar.production(e.production);
-      return e.position >= 0 &&
-             e.position < static_cast<int>(p.rhs.members.size());
-    }
-    if (e.cycle < 0 || e.cycle >= pg_->num_cycles()) return false;
-    return e.start >= 0 && e.start < pg_->cycle(e.cycle).length() &&
-           e.iteration >= 1;
-  };
-  auto side_ok = [&](const std::optional<PortLabel>& side) {
+  const Grammar& grammar = spec_->grammar;
+  // Walks one side's path from the root, tracking the module each edge
+  // lands on (exactly how CompressedParseTree assigns paths), so every
+  // field is validated against the grammar tables the decoder will index
+  // with it — and the final port against the arity of the module that
+  // created it, not the global maximum.
+  auto side_ok = [&](const std::optional<PortLabel>& side,
+                     bool producer) -> bool {
     if (!side.has_value()) return true;
+    ModuleId module = grammar.start();
     for (const EdgeLabel& e : side->path) {
-      if (!edge_ok(e)) return false;
+      if (e.kind == EdgeLabel::Kind::kProduction) {
+        if (e.production < 0 || e.production >= grammar.num_productions()) {
+          return false;
+        }
+        const Production& p = grammar.production(e.production);
+        // The production must expand the module the path has reached.
+        if (p.lhs != module) return false;
+        if (e.position < 0 ||
+            e.position >= static_cast<int>(p.rhs.members.size())) {
+          return false;
+        }
+        module = p.rhs.members[e.position];
+      } else {
+        if (e.cycle < 0 || e.cycle >= pg_->num_cycles()) return false;
+        const ProductionGraph::Cycle& cycle = pg_->cycle(e.cycle);
+        if (e.start < 0 || e.start >= cycle.length() || e.iteration < 1) {
+          return false;
+        }
+        // A recursion node for (cycle, start) only hangs off the module
+        // that starts that unfolding; the i-th unfolded member is i-1 cycle
+        // steps further along.
+        if (pg_->CycleOf(module) != e.cycle ||
+            pg_->CycleStartIndex(module) != e.start) {
+          return false;
+        }
+        module = cycle.members[static_cast<size_t>(
+            (e.start + e.iteration - 1) % cycle.length())];
+      }
     }
-    return side->port >= 0 && side->port < max_ports_;
+    const Module& m = grammar.module(module);
+    const int arity = producer ? m.num_outputs : m.num_inputs;
+    return side->port >= 0 && side->port < arity;
   };
-  return side_ok(label.producer) && side_ok(label.consumer);
+  return side_ok(label.producer, /*producer=*/true) &&
+         side_ok(label.consumer, /*producer=*/false);
 }
 
 Status ProvenanceService::CheckIndexCompatible(
@@ -404,17 +460,28 @@ Result<std::vector<bool>> ProvenanceService::SweepVisibility(
     const std::function<DataLabel(int)>& label_of) {
   Result<const ViewLabel*> label = LabelOf(handle, mode);
   if (!label.ok()) return label.status();
-  std::vector<bool> visible(num_items);
-  for (int item = 0; item < num_items; ++item) {
-    DataLabel item_label = label_of(item);
-    if (!LabelInBounds(item_label)) {
-      return Status::Error(ErrorCode::kInvalidArgument,
-                           "index label fields are out of range for this "
-                           "service's grammar");
+  // Decode + bounds-check + visibility per item, sharded across fork-join
+  // workers (the view label is read-only; shards write disjoint bytes).
+  std::vector<char> per_item(num_items, 0);
+  std::atomic<bool> in_bounds{true};
+  ParallelFor(num_items, query_threads(), [&](int64_t begin, int64_t end) {
+    bool shard_ok = true;
+    for (int64_t item = begin; item < end; ++item) {
+      DataLabel item_label = label_of(static_cast<int>(item));
+      if (!LabelInBounds(item_label)) {
+        shard_ok = false;
+        break;
+      }
+      per_item[item] = IsItemVisible(item_label, **label) ? 1 : 0;
     }
-    visible[item] = IsItemVisible(item_label, **label);
+    if (!shard_ok) in_bounds.store(false, std::memory_order_relaxed);
+  });
+  if (!in_bounds.load(std::memory_order_relaxed)) {
+    return Status::Error(ErrorCode::kInvalidArgument,
+                         "index label fields are out of range for this "
+                         "service's grammar");
   }
-  return visible;
+  return std::vector<bool>(per_item.begin(), per_item.end());
 }
 
 Result<std::vector<bool>> ProvenanceService::VisibilitySweep(
@@ -497,8 +564,9 @@ Result<bool> ProvenanceSession::Depends(ViewHandle view, int item1, int item2,
 }
 
 ProvenanceIndex ProvenanceSession::Snapshot() const {
-  return ProvenanceIndexBuilder::FromLabeledRun(service_->production_graph(),
-                                                labeler_);
+  // The session's live store already holds every label encoded; freezing is
+  // a copy of the arena and offset tables, not a re-encode.
+  return ProvenanceIndex(labeler_.store());
 }
 
 }  // namespace fvl

@@ -24,19 +24,28 @@
 //
 // Ownership: the service owns its Specification, ProductionGraph and every
 // compiled/labeled view artifact; sessions share ownership of the service,
-// so no raw-pointer lifetime contracts leak into user code. The service is
-// not yet thread-safe: queries lazily populate the per-mode label/decoder
-// caches, so all access — registration, sessions, and queries — requires
-// external synchronization. ROADMAP.md tracks the locked registry and
-// server front-end that will lift this.
+// so no raw-pointer lifetime contracts leak into user code.
+//
+// Thread safety: the view registry is internally synchronized — view
+// registration, the lazy per-mode label/decoder caches, and queries may be
+// called concurrently from any number of threads without external locking
+// (bench_service_throughput measures the lock's overhead on the
+// one-at-a-time path). Individual *sessions* are still single-writer:
+// concurrent Apply calls on one session require external synchronization,
+// but distinct sessions are independent. Batch queries can additionally
+// shard their decode loops across fork-join workers — spawned per call,
+// amortized by a ~1k-item grain (util/thread_pool.h) — via
+// set_query_threads; answers are identical at any thread count.
 
 #ifndef FVL_SERVICE_PROVENANCE_SERVICE_H_
 #define FVL_SERVICE_PROVENANCE_SERVICE_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <utility>
@@ -120,7 +129,10 @@ class ProvenanceService
 
   // The default view (Δ, λ), registered at construction.
   ViewHandle default_view() const { return default_view_; }
-  int num_views() const { return static_cast<int>(views_.size()); }
+  int num_views() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(views_.size());
+  }
 
   // The cached φv(U) for a handle; computed on first request per mode. The
   // pointer is stable for the service's lifetime.
@@ -134,7 +146,21 @@ class ProvenanceService
   // Number of ViewLabeler::Label executions performed so far — observable
   // cache-effectiveness metric (asserted by tests/service_test.cc).
   int64_t view_labelings_performed() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return view_labelings_performed_;
+  }
+
+  // Number of worker threads batch queries (DependsMany, VisibilitySweep,
+  // QueryAcrossRuns) may shard their decode loops across. 1 (the default)
+  // keeps batches on the calling thread; higher values parallelize only
+  // batches large enough to amortize the fork-join (decode tables are
+  // per-call and read-only, so answers are identical at any setting).
+  void set_query_threads(int threads) {
+    query_threads_.store(threads < 1 ? 1 : threads,
+                         std::memory_order_relaxed);
+  }
+  int query_threads() const {
+    return query_threads_.load(std::memory_order_relaxed);
   }
 
   // --- Sessions -----------------------------------------------------------
@@ -237,6 +263,8 @@ class ProvenanceService
   static Result<std::shared_ptr<ProvenanceService>> Finish(
       std::shared_ptr<const Specification> spec);
 
+  // Registry lookups; `mu_` must be held (every public entry point takes
+  // it once, so internal code never locks twice).
   Result<const ViewEntry*> EntryOf(ViewHandle handle) const;
   Result<ViewEntry*> EntryOf(ViewHandle handle);
   Status CheckIndexCompatible(const ProvenanceIndex& index) const;
@@ -257,7 +285,11 @@ class ProvenanceService
       ViewHandle handle, int num_items, ViewLabelMode mode,
       const std::function<DataLabel(int)>& label_of);
   // Whether every decoded field indexes inside this grammar's tables; the
-  // decoder reads matrices unchecked, so untrusted labels are vetted here.
+  // decoder reads matrices unchecked in release builds, so untrusted labels
+  // are vetted here. The check walks each side's path through the grammar
+  // (edge by edge, tracking the current module), so production/position/
+  // cycle/start fields are validated against the *module they apply to* and
+  // the port against that module's own arity — not just the global maxima.
   bool LabelInBounds(const DataLabel& label) const;
   const ViewLabel& BuildLabel(ViewEntry& entry, ViewLabelMode mode);
 
@@ -265,11 +297,16 @@ class ProvenanceService
   std::unique_ptr<ProductionGraph> pg_;  // refers into *spec_
   DependencyAssignment true_full_;
 
+  // Guards the view registry: `views_` growth, the lazy label/decoder
+  // slots, and the labeling counter. Immutable state (spec_, pg_,
+  // true_full_, tag_) is lock-free; entry pointers are stable once
+  // published, so queries only hold the lock for registry lookups.
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<ViewEntry>> views_;
   ViewHandle default_view_;
   int64_t view_labelings_performed_ = 0;
   uint64_t tag_;  // process-unique issuer tag stamped into handles
-  int max_ports_ = 0;  // max input/output arity across modules
+  std::atomic<int> query_threads_{1};
 };
 
 // One run labeled online (Def. 10). Obtained from
@@ -285,8 +322,9 @@ class ProvenanceSession {
   int num_items() const { return run_.num_items(); }
   bool complete() const { return run_.IsComplete(); }
 
-  // φr(d) — assigned the moment the item appeared; immutable afterwards.
-  const DataLabel& Label(int item) const { return labeler_.Label(item); }
+  // φr(d) — assigned (and encoded into the session's live LabelStore) the
+  // moment the item appeared; immutable afterwards, decoded on demand.
+  DataLabel Label(int item) const { return labeler_.Label(item); }
   int64_t LabelBits(int item) const { return labeler_.LabelBits(item); }
 
   // Applies one derivation step and labels the items it creates. Fails with
@@ -300,7 +338,9 @@ class ProvenanceSession {
                        ViewLabelMode mode = ViewLabelMode::kQueryEfficient);
 
   // Freezes the labels assigned so far into a position-independent,
-  // serializable snapshot. The session may keep deriving afterwards.
+  // serializable snapshot: the session's live LabelStore is copied (one
+  // arena memcpy — no label is re-encoded). The session may keep deriving
+  // afterwards.
   ProvenanceIndex Snapshot() const;
 
  private:

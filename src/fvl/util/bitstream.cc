@@ -16,7 +16,27 @@ void BitWriter::WriteBit(bool bit) {
 void BitWriter::WriteFixed(uint64_t value, int width) {
   FVL_CHECK(width >= 0 && width <= 64);
   FVL_DCHECK(width == 64 || value < (uint64_t{1} << width));
-  for (int i = 0; i < width; ++i) WriteBit((value >> i) & 1);
+  if (width == 0) return;
+  if (width < 64) value &= (uint64_t{1} << width) - 1;
+  // Word-parallel append: OR the low bits into the current partial word and
+  // spill the rest into a fresh one. Bit order matches WriteBit (LSB-first
+  // within each word), so mixed WriteBit/WriteFixed streams are unchanged.
+  const int used = static_cast<int>(size_bits_ % 64);
+  if (used == 0) words_.push_back(0);
+  words_[size_bits_ / 64] |= value << used;
+  const int fits = 64 - used;
+  if (width > fits) words_.push_back(value >> fits);
+  size_bits_ += width;
+}
+
+BitWriter BitWriter::FromWords(std::vector<uint64_t> words,
+                               int64_t size_bits) {
+  FVL_CHECK(size_bits >= 0 &&
+            (size_bits + 63) / 64 <= static_cast<int64_t>(words.size()));
+  BitWriter writer;
+  writer.words_ = std::move(words);
+  writer.size_bits_ = size_bits;
+  return writer;
 }
 
 void BitWriter::WriteGamma(uint64_t value) {
@@ -49,10 +69,24 @@ bool BitReader::CheckRemaining(uint64_t bits) {
 
 uint64_t BitReader::ReadFixed(int width) {
   FVL_CHECK(width >= 0 && width <= 64);
-  uint64_t value = 0;
-  for (int i = 0; i < width; ++i) {
-    if (ReadBit()) value |= uint64_t{1} << i;
+  if (width == 0) return 0;
+  if (position_ + width > size_bits_) {
+    // Out-of-range tail: keep the per-bit path, whose permissive handling
+    // (all-ones fill + failed()) the blob validators rely on.
+    uint64_t value = 0;
+    for (int i = 0; i < width; ++i) {
+      if (ReadBit()) value |= uint64_t{1} << i;
+    }
+    return value;
   }
+  // Word-parallel extraction (same LSB-first layout as ReadBit).
+  const int64_t word = position_ / 64;
+  const int off = static_cast<int>(position_ % 64);
+  uint64_t value = (*words_)[word] >> off;
+  const int got = 64 - off;
+  if (width > got) value |= (*words_)[word + 1] << got;
+  if (width < 64) value &= (uint64_t{1} << width) - 1;
+  position_ += width;
   return value;
 }
 

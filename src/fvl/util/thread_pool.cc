@@ -1,0 +1,32 @@
+#include "fvl/util/thread_pool.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace fvl {
+
+void ParallelFor(int64_t n, int threads,
+                 const std::function<void(int64_t, int64_t)>& body) {
+  if (n <= 0) return;
+  const int64_t max_shards = std::max<int64_t>(1, n / kParallelForGrain);
+  const int shards =
+      static_cast<int>(std::min<int64_t>(std::max(threads, 1), max_shards));
+  if (shards == 1) {
+    body(0, n);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(shards - 1);
+  const int64_t per_shard = (n + shards - 1) / shards;
+  for (int s = 1; s < shards; ++s) {
+    int64_t begin = s * per_shard;
+    int64_t end = std::min(n, begin + per_shard);
+    if (begin >= end) break;
+    workers.emplace_back([&body, begin, end] { body(begin, end); });
+  }
+  body(0, std::min(n, per_shard));
+  for (std::thread& worker : workers) worker.join();
+}
+
+}  // namespace fvl

@@ -1,0 +1,38 @@
+// Fork-join sharding for read-only batch loops (the decode stages of
+// DependsMany / VisibilitySweep).
+//
+// ParallelFor splits [0, n) into contiguous shards and runs them on up to
+// `threads` workers, the calling thread included. The body must be safe to
+// run concurrently on disjoint ranges; results are joined before return, so
+// callers need no synchronization afterwards. threads <= 1, tiny n, or a
+// grain larger than n degrade to one serial call on the current thread —
+// the overhead-free path batch queries take by default.
+//
+// Workers are spawned per call and joined before return (fork-join, not a
+// persistent pool): the kParallelForGrain floor keeps the spawn cost — tens
+// of microseconds — amortized over at least ~1k decodes per extra worker.
+// A lazily-started persistent pool is the upgrade path if per-call spawn
+// ever shows up in bench_service_throughput.
+//
+// The body must not throw. The library is exception-free (docs/DESIGN.md
+// §4: recoverable errors travel as Status values, which the batch loops
+// collect via per-shard flags; everything else FVL_CHECK-aborts), and an
+// exception escaping a worker would std::terminate.
+
+#ifndef FVL_UTIL_THREAD_POOL_H_
+#define FVL_UTIL_THREAD_POOL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace fvl {
+
+// Minimum items per shard; below it, extra threads cost more than they win.
+inline constexpr int64_t kParallelForGrain = 1024;
+
+void ParallelFor(int64_t n, int threads,
+                 const std::function<void(int64_t begin, int64_t end)>& body);
+
+}  // namespace fvl
+
+#endif  // FVL_UTIL_THREAD_POOL_H_

@@ -119,6 +119,21 @@ TEST_F(IndexTest, DeserializeRejectsInconsistentBlobs) {
   // A huge claimed item count must fail fast, not allocate terabytes.
   EXPECT_EQ(ProvenanceIndex::Deserialize(crafted(uint64_t{1} << 40)).code(),
             ErrorCode::kMalformedBlob);
+
+  // The converse confusion: zero items claiming a nonzero arena. The
+  // offsets (vacuously) fail to cover the arena, and accepting it would
+  // let a later Merge graft the junk bits onto the next run's first label
+  // span (grouped-append rebases against the last offset).
+  std::string junk_arena("FVLIDX2", 8);
+  u64(&junk_arena, 0);             // num_items
+  u64(&junk_arena, 64);            // arena_bits
+  junk_arena.append(5, '\0');      // codec widths
+  junk_arena.push_back(7);         // offset width = BitWidthFor(65)
+  u64(&junk_arena, 0);             // offset words
+  u64(&junk_arena, 1);             // arena words
+  u64(&junk_arena, 0xDEADBEEFULL); // uncovered arena bits
+  EXPECT_EQ(ProvenanceIndex::Deserialize(junk_arena).code(),
+            ErrorCode::kMalformedBlob);
 }
 
 TEST_F(IndexTest, QueriesWorkFromDeserializedIndex) {
@@ -265,6 +280,63 @@ TEST_F(IndexTest, RandomizedCorruptionCorpusMerged) {
             ErrorCode::kMalformedBlob);
   EXPECT_EQ(ProvenanceIndex::Deserialize(blob).code(),
             ErrorCode::kMalformedBlob);
+}
+
+TEST_F(IndexTest, RandomizedCorruptionCorpusUnifiedTail) {
+  // Both blob formats now parse their label payload through the one
+  // hardened LabelStore::ParseTail (codec widths, bit-packed offsets,
+  // arena). Aim every flip at that shared tail, past the format-specific
+  // headers, so the corpus exercises the unified deserializer in both
+  // framings: each mutant must be rejected with kMalformedBlob or yield an
+  // index whose accessors are safe.
+  ProvenanceIndex index = ProvenanceIndexBuilder::FromLabeledRun(
+      scheme_.production_graph(), labeled_->labeler);
+  std::string single = index.Serialize();
+  const size_t single_tail = 8 + 16;  // magic + num_items/arena_bits
+
+  std::vector<ProvenanceIndex> runs;
+  runs.push_back(ProvenanceIndex::Deserialize(single).value());
+  runs.push_back(ProvenanceIndex::Deserialize(single).value());
+  MergedProvenanceIndex merged = ProvenanceIndex::Merge(runs).value();
+  std::string merged_blob = merged.Serialize();
+  // magic + num_runs/total_items/arena_bits + run table
+  const size_t merged_tail = 8 + 24 + 8 * runs.size();
+
+  Rng rng(777);
+  int rejected_single = 0, rejected_merged = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string corrupt = single;
+    size_t pos = single_tail + rng.NextBounded(corrupt.size() - single_tail);
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ (1u << rng.NextBounded(8)));
+    Result<ProvenanceIndex> parsed = ProvenanceIndex::Deserialize(corrupt);
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.code(), ErrorCode::kMalformedBlob);
+      ++rejected_single;
+    } else {
+      for (int item = 0; item < parsed->num_items(); item += 29) {
+        parsed->Label(item);
+      }
+    }
+
+    corrupt = merged_blob;
+    pos = merged_tail + rng.NextBounded(corrupt.size() - merged_tail);
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ (1u << rng.NextBounded(8)));
+    Result<MergedProvenanceIndex> parsed_merged =
+        MergedProvenanceIndex::Deserialize(corrupt);
+    if (!parsed_merged.ok()) {
+      EXPECT_EQ(parsed_merged.code(), ErrorCode::kMalformedBlob);
+      ++rejected_merged;
+    } else {
+      for (int global = 0; global < parsed_merged->total_items();
+           global += 29) {
+        parsed_merged->LabelByGlobalId(global);
+      }
+    }
+  }
+  // Offset-table and codec-width flips are always caught; only some arena
+  // flips decode by luck.
+  EXPECT_GT(rejected_single, 50);
+  EXPECT_GT(rejected_merged, 50);
 }
 
 TEST(IndexEdgeCases, EmptyIndex) {

@@ -5,13 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "fvl/run/provenance_oracle.h"
 #include "fvl/service/provenance_service.h"
 #include "fvl/util/random.h"
+#include "fvl/util/thread_pool.h"
 #include "fvl/workflow/grammar_builder.h"
 #include "fvl/workload/bioaid.h"
 #include "fvl/workload/paper_example.h"
@@ -347,6 +350,228 @@ TEST(ServiceBatch, SnapshotRoundTripsWithoutACodec) {
   ViewHandle view = service->default_view();
   EXPECT_EQ(service->DependsMany(view, restored, queries).value(),
             service->DependsMany(view, index, queries).value());
+}
+
+// Walks a port-label path to the module that created the port, mirroring
+// how CompressedParseTree assigns paths (and how the service's untrusted-
+// label boundary check resolves modules).
+ModuleId ModuleAtPathEnd(const ProvenanceService& service,
+                         const std::vector<EdgeLabel>& path) {
+  const Grammar& g = service.grammar();
+  const ProductionGraph& pg = service.production_graph();
+  ModuleId module = g.start();
+  for (const EdgeLabel& e : path) {
+    if (e.kind == EdgeLabel::Kind::kProduction) {
+      module = g.production(e.production).rhs.members[e.position];
+    } else {
+      const ProductionGraph::Cycle& cycle = pg.cycle(e.cycle);
+      module = cycle.members[static_cast<size_t>(
+          (e.start + e.iteration - 1) % cycle.length())];
+    }
+  }
+  return module;
+}
+
+TEST(ServiceHardening, PerModulePortBoundsEnforced) {
+  // A label whose port is within the *global* maximum arity but beyond the
+  // arity of its own module would index past that module's matrix
+  // dimensions in a release-build decoder; the batch entry points must
+  // reject it. The paper example has modules of 1 to 3 ports, so such
+  // labels exist and survive encoding.
+  auto service = MakePaperService();
+  auto session = service->GenerateLabeledRun(RunGeneratorOptions{
+      .target_items = 300, .seed = 17});
+
+  int max_outputs = 0;
+  for (ModuleId m = 0; m < service->grammar().num_modules(); ++m) {
+    max_outputs = std::max(max_outputs, service->grammar().module(m).num_outputs);
+  }
+
+  int victim = -1;
+  DataLabel tampered;
+  for (int item = 0; item < session->num_items(); ++item) {
+    DataLabel label = session->Label(item);
+    if (!label.producer.has_value()) continue;
+    ModuleId m = ModuleAtPathEnd(*service, label.producer->path);
+    int arity = service->grammar().module(m).num_outputs;
+    if (arity < max_outputs) {
+      // In range for the old global check, out of range for the module.
+      label.producer->port = arity;
+      tampered = std::move(label);
+      victim = item;
+      break;
+    }
+  }
+  ASSERT_GE(victim, 0) << "no item from a below-max-arity module found";
+
+  ProvenanceIndexBuilder builder(service->production_graph());
+  for (int item = 0; item < session->num_items(); ++item) {
+    builder.Add(item == victim ? tampered : session->Label(item));
+  }
+  ProvenanceIndex index = std::move(builder).Build();
+
+  std::vector<std::pair<int, int>> queries = {{victim, victim}};
+  EXPECT_EQ(
+      service->DependsMany(service->default_view(), index, queries).code(),
+      ErrorCode::kInvalidArgument);
+  EXPECT_EQ(service->VisibilitySweep(service->default_view(), index).code(),
+            ErrorCode::kInvalidArgument);
+
+  // Queries that never touch the tampered item still answer.
+  std::vector<std::pair<int, int>> clean = {{0, 1}};
+  EXPECT_TRUE(
+      service->DependsMany(service->default_view(), index, clean).ok());
+}
+
+TEST(ServiceHardening, InconsistentPathsRejected) {
+  // Each edge of a label's path must expand the module the path has
+  // reached; a production edge whose lhs is some *other* module (id still
+  // in range — the old field-wise check accepted it) means the decoder
+  // would multiply matrices of unrelated productions. Rejected at the
+  // boundary instead.
+  auto service = MakePaperService();
+  auto session = service->GenerateLabeledRun(RunGeneratorOptions{
+      .target_items = 300, .seed = 23});
+
+  int victim = -1;
+  DataLabel tampered;
+  for (int item = 0; item < session->num_items() && victim < 0; ++item) {
+    DataLabel label = session->Label(item);
+    if (!label.producer.has_value() || label.producer->path.empty()) continue;
+    EdgeLabel& first = label.producer->path.front();
+    if (first.kind != EdgeLabel::Kind::kProduction) continue;
+    // Retarget the root edge to a production of a non-start module, keeping
+    // the position valid for that production.
+    for (ProductionId p = 0; p < service->grammar().num_productions(); ++p) {
+      if (service->grammar().production(p).lhs ==
+          service->grammar().start()) {
+        continue;
+      }
+      first.production = p;
+      first.position = 0;
+      tampered = label;
+      victim = item;
+      break;
+    }
+  }
+  ASSERT_GE(victim, 0);
+
+  ProvenanceIndexBuilder builder(service->production_graph());
+  for (int item = 0; item < session->num_items(); ++item) {
+    builder.Add(item == victim ? tampered : session->Label(item));
+  }
+  ProvenanceIndex index = std::move(builder).Build();
+  std::vector<std::pair<int, int>> queries = {{victim, victim}};
+  EXPECT_EQ(
+      service->DependsMany(service->default_view(), index, queries).code(),
+      ErrorCode::kInvalidArgument);
+}
+
+TEST(ServiceThreads, ShardedBatchesMatchSerialAnswers) {
+  // set_query_threads only shards the decode loops; answers are identical
+  // at every thread count, for both batch entry points and both index
+  // shapes. Runs are sized well past kParallelForGrain (1024) so the
+  // multi-shard path genuinely executes at 2+ threads — both per snapshot
+  // (2500 items) and merged (~7500 items).
+  PaperExample ex = MakePaperExample();
+  auto service = ProvenanceService::Create(ex.spec).value();
+  ViewHandle grey = service->RegisterView(ex.grey_view).value();
+
+  std::vector<ProvenanceIndex> snapshots;
+  for (int r = 0; r < 3; ++r) {
+    snapshots.push_back(
+        service
+            ->GenerateLabeledRun(RunGeneratorOptions{
+                .target_items = 2500, .seed = 31 + static_cast<uint64_t>(r)})
+            ->Snapshot());
+  }
+  MergedProvenanceIndex merged = ProvenanceIndex::Merge(snapshots).value();
+  ASSERT_GE(static_cast<int64_t>(snapshots[0].num_items()),
+            2 * kParallelForGrain)
+      << "snapshot too small to produce a second ParallelFor shard";
+
+  Rng rng(5);
+  std::vector<std::pair<int, int>> queries;
+  for (int q = 0; q < 4000; ++q) {
+    queries.push_back({rng.NextInt(0, snapshots[0].num_items() - 1),
+                       rng.NextInt(0, snapshots[0].num_items() - 1)});
+  }
+  std::vector<std::pair<int, int>> flat;
+  for (int q = 0; q < 4000; ++q) {
+    flat.push_back({rng.NextInt(0, merged.total_items() - 1),
+                    rng.NextInt(0, merged.total_items() - 1)});
+  }
+
+  std::vector<bool> serial_single =
+      service->DependsMany(grey, snapshots[0], queries).value();
+  std::vector<bool> serial_merged =
+      service->DependsMany(grey, merged, flat).value();
+  std::vector<bool> serial_sweep =
+      service->VisibilitySweep(grey, merged).value();
+  for (int threads : {2, 4, 8}) {
+    service->set_query_threads(threads);
+    EXPECT_EQ(service->DependsMany(grey, snapshots[0], queries).value(),
+              serial_single)
+        << threads << " threads";
+    EXPECT_EQ(service->DependsMany(grey, merged, flat).value(),
+              serial_merged)
+        << threads << " threads";
+    EXPECT_EQ(service->VisibilitySweep(grey, merged).value(), serial_sweep)
+        << threads << " threads";
+  }
+  service->set_query_threads(1);
+}
+
+TEST(ServiceThreads, RegistryIsInternallySynchronized) {
+  // Registration, lazy label/decoder cache fills, session creation and
+  // queries race from many threads; under ASan/TSan-less CI this still
+  // catches registry corruption (lost entries, double labelings) via the
+  // invariants below.
+  PaperExample ex = MakePaperExample();
+  auto service = ProvenanceService::Create(ex.spec).value();
+  auto session = service->GenerateLabeledRun(RunGeneratorOptions{
+      .target_items = 200, .seed = 41});
+  ProvenanceIndex index = session->Snapshot();
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  std::vector<ViewHandle> handles(kThreads);
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      // Everyone registers the same view — the registry must dedup to one
+      // entry — while hammering the lazy caches and batch queries.
+      Result<ViewHandle> handle = service->RegisterView(ex.grey_view);
+      if (!handle.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      handles[t] = handle.value();
+      for (int round = 0; round < 20; ++round) {
+        ViewLabelMode mode = static_cast<ViewLabelMode>(round % 3);
+        if (!service->DecoderOf(handle.value(), mode).ok()) {
+          failures.fetch_add(1);
+        }
+        std::vector<std::pair<int, int>> queries = {
+            {t, round}, {round, t + round}};
+        if (!service->DependsMany(handle.value(), index, queries, mode)
+                 .ok()) {
+          failures.fetch_add(1);
+        }
+        auto extra = service->BeginRun();
+        if (extra->num_items() <= 0) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(handles[t], handles[0]) << "dedup failed for thread " << t;
+  }
+  // One grey-view entry (plus the default view), and at most one labeling
+  // per (view, mode): 2 views x 3 modes.
+  EXPECT_EQ(service->num_views(), 2);
+  EXPECT_LE(service->view_labelings_performed(), 6);
 }
 
 TEST(ServiceBatch, ForeignIndexRejected) {
