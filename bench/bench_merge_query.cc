@@ -20,10 +20,22 @@
 // merged_t2/t4 columns shard the decode loop across the service's
 // fork-join query workers (set_query_threads) — identical answers,
 // parallel decode.
+//
+// The second table compares the two paths from *serialized* runs:
+// materializing every blob and calling Merge versus MergeRunsStreamed,
+// which deserializes and appends one run at a time. stream_merge_ms should
+// track mat_merge_ms (same bulk appends, plus per-blob parse); the peak
+// columns are the memory story — peak live LabelStore instances
+// (internal::StoreCountProbe, a peak-RSS proxy): the materialized path
+// grows with the run count, the streamed path stays a small constant.
 
 #include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "bench_util.h"
+#include "fvl/core/label_store.h"
 #include "fvl/service/provenance_service.h"
 
 namespace fvl::bench {
@@ -32,6 +44,8 @@ namespace {
 volatile long benchmark_sink = 0;
 
 void Main(const BenchConfig& config) {
+  // Opened up front: a bad --json path must fail before the run, not after.
+  JsonReport report(config, "merge_query");
   Workload workload = MakeBioAid(2012);
   auto service = ProvenanceService::Create(workload.spec).value();
 
@@ -50,6 +64,9 @@ void Main(const BenchConfig& config) {
   const std::vector<int> run_counts =
       config.quick ? std::vector<int>{2, 4, 8} : std::vector<int>{2, 4, 8, 16};
 
+  TablePrinter stream_table({"runs", "total_items", "mat_merge_ms",
+                             "mat_peak_stores", "stream_merge_ms",
+                             "stream_peak_stores"});
   TablePrinter table({"runs", "total_items", "merge_ms", "B_per_label",
                       "queries", "one_at_a_time_qps", "per_run_batched_qps",
                       "merged_qps", "merged_t2_qps", "merged_t4_qps",
@@ -69,6 +86,43 @@ void Main(const BenchConfig& config) {
     double merge_ms = TimeMs([&] {
       merged = ProvenanceIndex::Merge(snapshots).value();
     });
+
+    // Serialized-run merging: materialize-everything vs MergeRunsStreamed,
+    // with the store-count probe as the peak-RSS proxy for each.
+    std::vector<std::string> blobs;
+    for (const ProvenanceIndex& snapshot : snapshots) {
+      blobs.push_back(snapshot.Serialize());
+    }
+    int mat_peak = 0;
+    double mat_merge_ms = TimeMs([&] {
+      const int base = internal::StoreCountProbe::live();
+      internal::StoreCountProbe::ResetPeak();
+      std::vector<ProvenanceIndex> materialized;
+      materialized.reserve(blobs.size());
+      for (const std::string& blob : blobs) {
+        materialized.push_back(ProvenanceIndex::Deserialize(blob).value());
+      }
+      MergedProvenanceIndex from_blobs =
+          ProvenanceIndex::Merge(materialized).value();
+      benchmark_sink = benchmark_sink + from_blobs.total_items();
+      mat_peak = internal::StoreCountProbe::peak() - base;
+    });
+    int stream_peak = 0;
+    MergedProvenanceIndex streamed;
+    double stream_merge_ms = TimeMs([&] {
+      const int base = internal::StoreCountProbe::live();
+      internal::StoreCountProbe::ResetPeak();
+      std::vector<std::string_view> views(blobs.begin(), blobs.end());
+      streamed = service->MergeRunsStreamed(views).value();
+      stream_peak = internal::StoreCountProbe::peak() - base;
+    });
+    FVL_CHECK(streamed.total_items() == merged.total_items());
+    stream_table.AddRow({std::to_string(num_runs),
+                         std::to_string(merged.total_items()),
+                         TablePrinter::Num(mat_merge_ms, 2),
+                         std::to_string(mat_peak),
+                         TablePrinter::Num(stream_merge_ms, 2),
+                         std::to_string(stream_peak)});
 
     // One fixed pool of same-run queries, spread evenly over the runs, in
     // all three addressings.
@@ -140,6 +194,14 @@ void Main(const BenchConfig& config) {
       "multi-run merge + cross-run query throughput: one QueryAcrossRuns "
       "over the merged index vs per-run loops over individual snapshots "
       "(BioAID, medium grey-box view, query-efficient labels)");
+  stream_table.Print(
+      "memory-bounded merging of serialized runs: deserialize-everything + "
+      "Merge vs MergeRunsStreamed (one input store alive at a time); "
+      "peak_stores = peak live LabelStore count, a peak-RSS proxy");
+
+  report.Add("merge_query_throughput", table);
+  report.Add("streamed_merge", stream_table);
+  report.Write();
 }
 
 }  // namespace

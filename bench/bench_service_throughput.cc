@@ -18,6 +18,16 @@
 //   * batched_qps at 1/2/4 query threads — DependsMany's decode loop
 //     sharded across the pool (set_query_threads); answers are identical,
 //     only the decode stage parallelizes.
+//
+// A second table measures the incremental-checkpointing path of long
+// executions (§2.3): a run is replayed step by step and frozen at 10
+// checkpoints, once via full Snapshot() copies (O(run) each, so the total
+// grows quadratically with run size) and once via SnapshotDelta
+// (FreezeDelta: O(delta) each, so the total stays linear).
+// snapshot_delta_ms should be roughly flat per item while
+// snapshot_total_ms grows with the checkpoint count × run size;
+// reassemble_ms is the one-time FromDeltas cost of rebuilding the full
+// index from the deltas (bit-identical to Snapshot(), checked live).
 
 #include <cstdio>
 
@@ -30,6 +40,8 @@ namespace {
 volatile long benchmark_sink = 0;
 
 void Main(const BenchConfig& config) {
+  // Opened up front: a bad --json path must fail before the run, not after.
+  JsonReport report(config, "service_throughput");
   Workload workload = MakeBioAid(2012);
   auto service = ProvenanceService::Create(workload.spec).value();
 
@@ -110,6 +122,61 @@ void Main(const BenchConfig& config) {
       "service query throughput: batched DependsMany (1/2/4 decode threads) "
       "vs one-at-a-time decode+query loops, raw and through the locked "
       "registry (BioAID, medium grey-box view, query-efficient labels)");
+
+  // Incremental checkpointing: replay each run step by step, freezing at
+  // ~10 evenly spaced checkpoints through both snapshot paths.
+  TablePrinter checkpoint_table({"run_size", "checkpoints",
+                                 "snapshot_total_ms", "snapshot_delta_ms",
+                                 "delta_speedup", "reassemble_ms"});
+  for (int size : config.run_sizes()) {
+    RunGeneratorOptions run_options;
+    run_options.target_items = size;
+    run_options.seed = size;
+    ProvenanceService::LabeledRun labeled =
+        service->DeriveLabeledRun(run_options);
+
+    RunLabeler labeler = service->MakeRunLabeler();
+    labeler.OnStart(labeled.run);
+    std::vector<ProvenanceIndex> deltas;
+    double full_ms = 0, delta_ms = 0;
+    int checkpoints = 0;
+    auto freeze = [&] {
+      full_ms += TimeMs([&] {
+        ProvenanceIndex snapshot(labeler.store());
+        benchmark_sink = benchmark_sink + snapshot.num_items();
+      });
+      delta_ms += TimeMs([&] {
+        deltas.push_back(ProvenanceIndex(labeler.FreezeDelta()));
+      });
+      ++checkpoints;
+    };
+    for (int s = 0; s < labeled.run.num_steps(); ++s) {
+      labeler.OnApply(labeled.run, labeled.run.step(s));
+      if (labeler.num_labels() >= (checkpoints + 1) * size / 10) freeze();
+    }
+    freeze();  // the tail past the last threshold
+
+    double reassemble_ms = TimeMs([&] {
+      ProvenanceIndex reassembled = ProvenanceIndex::FromDeltas(deltas).value();
+      FVL_CHECK(reassembled.num_items() == labeler.num_labels());
+      benchmark_sink = benchmark_sink + reassembled.num_items();
+    });
+
+    checkpoint_table.AddRow({std::to_string(labeler.num_labels()),
+                             std::to_string(checkpoints),
+                             TablePrinter::Num(full_ms, 3),
+                             TablePrinter::Num(delta_ms, 3),
+                             TablePrinter::Num(full_ms / delta_ms, 2),
+                             TablePrinter::Num(reassemble_ms, 3)});
+  }
+  checkpoint_table.Print(
+      "incremental mid-run checkpointing: ~10 freezes per replayed run, "
+      "full Snapshot() copies (O(run) each) vs SnapshotDelta (O(delta) "
+      "each), plus the one-time FromDeltas reassembly (BioAID)");
+
+  report.Add("query_throughput", table);
+  report.Add("incremental_checkpointing", checkpoint_table);
+  report.Write();
 }
 
 }  // namespace

@@ -8,11 +8,15 @@
 #define FVL_BENCH_BENCH_UTIL_H_
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fvl/service/legacy_facade.h"
+#include "fvl/util/check.h"
 #include "fvl/util/stopwatch.h"
 #include "fvl/util/table_printer.h"
 #include "fvl/workload/bioaid.h"
@@ -24,6 +28,10 @@ namespace fvl::bench {
 
 struct BenchConfig {
   bool quick = false;
+  // Destination for machine-readable results ("--json <path>"); empty
+  // disables JSON emission. CI archives these as BENCH_*.json artifacts to
+  // track the perf trajectory across commits.
+  std::string json_path;
   int runs_per_point() const { return quick ? 3 : 10; }
   int queries_per_point() const { return quick ? 20000 : 200000; }
   std::vector<int> run_sizes() const {
@@ -36,9 +44,68 @@ inline BenchConfig ParseArgs(int argc, char** argv) {
   BenchConfig config;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) config.quick = true;
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {  // fail fast, like an unwritable path would
+        std::fprintf(stderr, "--json requires a destination path\n");
+        std::exit(1);
+      }
+      config.json_path = argv[++i];
+    }
   }
   return config;
 }
+
+// Machine-readable results sink: collects named tables and writes one JSON
+// document — {"benchmark": ..., "quick": ..., "tables": [...]} — to
+// config.json_path at Write(). Every Add/Write is a no-op when --json was
+// not passed, so benches emit unconditionally. The destination is opened
+// at construction: an unwritable path fails fast (stderr + exit 1)
+// *before* the benchmark burns minutes of work, not after.
+class JsonReport {
+ public:
+  JsonReport(const BenchConfig& config, std::string benchmark)
+      : path_(config.json_path),
+        quick_(config.quick),
+        benchmark_(std::move(benchmark)) {
+    if (path_.empty()) return;
+    file_ = std::fopen(path_.c_str(), "w");
+    if (file_ == nullptr) {
+      std::fprintf(stderr, "cannot open --json destination %s for writing\n",
+                   path_.c_str());
+      std::exit(1);
+    }
+  }
+  ~JsonReport() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  void Add(const std::string& table_name, const TablePrinter& table) {
+    if (file_ == nullptr) return;
+    if (!tables_.empty()) tables_ += ",\n    ";
+    tables_ += table.ToJson(table_name);
+  }
+
+  void Write() {
+    if (file_ == nullptr) return;
+    std::fprintf(file_,
+                 "{\n  \"benchmark\": \"%s\",\n  \"quick\": %s,\n"
+                 "  \"tables\": [\n    %s\n  ]\n}\n",
+                 benchmark_.c_str(), quick_ ? "true" : "false",
+                 tables_.c_str());
+    std::fclose(file_);
+    file_ = nullptr;
+    std::printf("json results written to %s\n", path_.c_str());
+  }
+
+ private:
+  std::string path_;
+  bool quick_;
+  std::string benchmark_;
+  std::string tables_;
+  std::FILE* file_ = nullptr;
+};
 
 // Average and maximum encoded data-label length over a labeled run.
 struct LabelLengthStats {

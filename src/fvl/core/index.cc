@@ -17,6 +17,29 @@ constexpr char kMagic[8] = {'F', 'V', 'L', 'I', 'D', 'X', '2', '\0'};
 // table between the scalar header and the shared store tail.
 constexpr char kMergedMagic[8] = {'F', 'V', 'L', 'M', 'R', 'G', '1', '\0'};
 
+// Shared validation vocabulary of the three combiners (Merge, FromDeltas,
+// MergeStream::Append) — one wording per failure mode, so the error
+// taxonomy docs/ERRORS.md promises stays uniform by construction.
+Status MismatchedCodec(const char* noun, size_t index) {
+  return Status::Error(
+      ErrorCode::kInvalidArgument,
+      std::string(noun) + " " + std::to_string(index) +
+          " was built for a different specification than " + noun +
+          " 0 (label codecs disagree)");
+}
+
+Status TooManyItems(const char* artifact) {
+  return Status::Error(
+      ErrorCode::kInvalidArgument,
+      std::string(artifact) + " would exceed the supported item count");
+}
+
+// Combined item counts must stay strictly below the int ceiling the store
+// accessors narrow to.
+bool FitsItemCount(int64_t total) {
+  return total < std::numeric_limits<int>::max();
+}
+
 }  // namespace
 
 ProvenanceIndexBuilder::ProvenanceIndexBuilder(const ProductionGraph& pg)
@@ -49,7 +72,7 @@ std::string ProvenanceIndex::Serialize() const {
   return blob;
 }
 
-Result<ProvenanceIndex> ProvenanceIndex::Deserialize(const std::string& blob) {
+Result<ProvenanceIndex> ProvenanceIndex::Deserialize(std::string_view blob) {
   auto fail = [](const std::string& message) -> Status {
     return Status::Error(ErrorCode::kMalformedBlob, message);
   };
@@ -79,6 +102,34 @@ Result<ProvenanceIndex> ProvenanceIndex::Deserialize(const std::string& blob) {
   return ProvenanceIndex(std::move(store).value());
 }
 
+Result<ProvenanceIndex> ProvenanceIndex::FromDeltas(
+    std::span<const ProvenanceIndex> deltas) {
+  if (deltas.empty()) {
+    return Status::Error(
+        ErrorCode::kInvalidArgument,
+        "cannot reassemble an empty delta span (no codec to infer)");
+  }
+  const LabelCodec& codec = deltas[0].codec();
+  int64_t total = 0;
+  for (size_t d = 1; d < deltas.size(); ++d) {
+    if (!(deltas[d].codec() == codec)) return MismatchedCodec("delta", d);
+  }
+  for (const ProvenanceIndex& delta : deltas) total += delta.num_items();
+  if (!FitsItemCount(total)) return TooManyItems("reassembled index");
+
+  // One group, filled by bulk item appends in freeze order: arenas of
+  // consecutive deltas partition the original arena's bit range, so the
+  // concatenation reproduces a full Snapshot() bit for bit.
+  LabelStore store(codec);
+  store.BeginGroup();
+  for (const ProvenanceIndex& delta : deltas) {
+    if (Status status = store.AppendItems(delta.store()); !status.ok()) {
+      return status;
+    }
+  }
+  return ProvenanceIndex(std::move(store));
+}
+
 Result<MergedProvenanceIndex> ProvenanceIndex::Merge(
     std::span<const ProvenanceIndex> runs) {
   if (runs.empty()) return MergedProvenanceIndex();
@@ -86,28 +137,46 @@ Result<MergedProvenanceIndex> ProvenanceIndex::Merge(
   const LabelCodec& codec = runs[0].codec();
   int64_t total = 0;
   for (size_t r = 1; r < runs.size(); ++r) {
-    if (!(runs[r].codec() == codec)) {
-      return Status::Error(
-          ErrorCode::kInvalidArgument,
-          "run " + std::to_string(r) +
-              " was built for a different specification than run 0 "
-              "(label codecs disagree)");
-    }
+    if (!(runs[r].codec() == codec)) return MismatchedCodec("run", r);
   }
   for (const ProvenanceIndex& run : runs) total += run.num_items();
-  if (total >= std::numeric_limits<int>::max()) {
-    return Status::Error(ErrorCode::kInvalidArgument,
-                         "merged index would exceed the supported item count");
-  }
+  if (!FitsItemCount(total)) return TooManyItems("merged index");
 
   // Grouped append into one shared arena: per run, one bulk bit copy plus
   // integer offset rebasing; item ids stay dense, so (run, item) maps to
   // the run's group base + item.
   LabelStore store(codec);
   for (const ProvenanceIndex& run : runs) {
-    store.AppendGroups(run.store());
+    if (Status status = store.AppendGroups(run.store()); !status.ok()) {
+      return status;
+    }
   }
   return MergedProvenanceIndex(std::move(store));
+}
+
+// --- MergeStream -------------------------------------------------------------
+
+Status MergeStream::Append(std::string_view blob) {
+  // `run` is the only deserialized input ever alive in the stream; it is
+  // destroyed when Append returns, before the caller touches the next blob.
+  Result<ProvenanceIndex> run = ProvenanceIndex::Deserialize(blob);
+  if (!run.ok()) return run.status();
+  if (!have_codec_) {
+    store_ = LabelStore(run->codec());
+    have_codec_ = true;
+  } else if (!(run->codec() == store_.codec())) {
+    return MismatchedCodec("run", static_cast<size_t>(num_runs()));
+  }
+  if (!FitsItemCount(static_cast<int64_t>(store_.total_items()) +
+                     run->num_items())) {
+    return TooManyItems("merged index");
+  }
+  return store_.AppendGroups(run->store());
+}
+
+Result<MergedProvenanceIndex> MergeStream::Finish() && {
+  if (!have_codec_) return MergedProvenanceIndex();
+  return MergedProvenanceIndex(std::move(store_));
 }
 
 // --- MergedProvenanceIndex ---------------------------------------------------
@@ -134,7 +203,7 @@ std::string MergedProvenanceIndex::Serialize() const {
 }
 
 Result<MergedProvenanceIndex> MergedProvenanceIndex::Deserialize(
-    const std::string& blob) {
+    std::string_view blob) {
   auto fail = [](const std::string& message) -> Status {
     return Status::Error(ErrorCode::kMalformedBlob, message);
   };

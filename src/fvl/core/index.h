@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -86,8 +87,20 @@ class ProvenanceIndex {
   std::string Serialize() const;
   // Fails with kMalformedBlob on any parse error, including blobs whose
   // label spans do not decode exactly under the embedded codec — a
-  // returned index never aborts in its accessors.
-  static Result<ProvenanceIndex> Deserialize(const std::string& blob);
+  // returned index never aborts in its accessors. The blob is only read
+  // during the call (the index owns its storage), so borrowed buffers can
+  // be streamed through without copying (MergeStream relies on this).
+  static Result<ProvenanceIndex> Deserialize(std::string_view blob);
+
+  // Reassembles incremental snapshots (ProvenanceSession::SnapshotDelta)
+  // into the index one full Snapshot() would have produced at the same
+  // point — bit-identical, serialization included (golden test in
+  // tests/merge_test.cc). Deltas must be passed in freeze order and share
+  // one codec; a codec mismatch, an empty span (no codec to infer), an
+  // item-count overflow, or an internally inconsistent delta store is
+  // kInvalidArgument.
+  static Result<ProvenanceIndex> FromDeltas(
+      std::span<const ProvenanceIndex> deltas);
 
   // Combines per-run snapshots of the *same* specification into one
   // queryable multi-run artifact: a grouped append into one shared arena —
@@ -153,9 +166,53 @@ class MergedProvenanceIndex {
   // Same contract as the single-run pair: stable little-endian format,
   // kMalformedBlob on any parse or decode inconsistency.
   std::string Serialize() const;
-  static Result<MergedProvenanceIndex> Deserialize(const std::string& blob);
+  static Result<MergedProvenanceIndex> Deserialize(std::string_view blob);
 
  private:
+  LabelStore store_;
+};
+
+// Memory-bounded k-way merge: the streaming counterpart of
+// ProvenanceIndex::Merge for *serialized* runs. Each blob is deserialized
+// and appended on its own — the input store is destroyed before Append
+// returns, so merging N runs peaks at O(largest input + output) memory
+// instead of O(sum of inputs) (asserted against internal::StoreCountProbe
+// in tests/merge_test.cc). The finished artifact is bit-identical to
+// deserializing every blob up front and calling Merge (golden-blob test).
+//
+//   MergeStream stream;
+//   for (std::string_view blob : blobs) {
+//     if (Status status = stream.Append(blob); !status.ok()) return status;
+//   }
+//   MergedProvenanceIndex merged = std::move(stream).Finish().value();
+class MergeStream {
+ public:
+  MergeStream() = default;
+
+  // Deserializes one single-run (FVLIDX2) blob and appends it as the next
+  // run of the merge. kMalformedBlob if the blob does not parse or decode
+  // under its embedded codec; kInvalidArgument if its codec disagrees with
+  // the runs appended before it (a snapshot of a structurally different
+  // grammar) or the merge would exceed the supported item count. On error
+  // the stream is unchanged and may keep appending other blobs.
+  Status Append(std::string_view blob);
+
+  // Runs / items appended so far.
+  int num_runs() const { return store_.num_groups(); }
+  int total_items() const { return store_.total_items(); }
+  // The shared codec every appended run is pinned to (run 0's); all-zero
+  // widths until the first Append succeeds. Lets callers vet the whole
+  // batch against their own grammar after one blob instead of after the
+  // full merge (ProvenanceService::MergeRunsStreamed fails fast on it).
+  const LabelCodec& codec() const { return store_.codec(); }
+
+  // Freezes the appended runs into the merged artifact (an empty stream
+  // yields an empty index, exactly like Merge over an empty span); the
+  // stream is consumed.
+  Result<MergedProvenanceIndex> Finish() &&;
+
+ private:
+  bool have_codec_ = false;
   LabelStore store_;
 };
 

@@ -1,9 +1,40 @@
 #include "fvl/core/label_store.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 namespace fvl {
+
+namespace internal {
+
+namespace {
+std::atomic<int> live_stores{0};
+std::atomic<int> peak_stores{0};
+}  // namespace
+
+int StoreCountProbe::live() {
+  return live_stores.load(std::memory_order_relaxed);
+}
+
+int StoreCountProbe::peak() {
+  return peak_stores.load(std::memory_order_relaxed);
+}
+
+void StoreCountProbe::ResetPeak() {
+  peak_stores.store(live_stores.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+}
+
+void StoreCountProbe::Add(int delta) {
+  int now = live_stores.fetch_add(delta, std::memory_order_relaxed) + delta;
+  int peak = peak_stores.load(std::memory_order_relaxed);
+  while (now > peak && !peak_stores.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace internal
 
 namespace {
 
@@ -36,22 +67,57 @@ void LabelStore::Append(const DataLabel& label) {
   ++group_base_.back();
 }
 
-void LabelStore::AppendGroups(const LabelStore& other) {
+Status LabelStore::AppendArena(const LabelStore& other) {
   FVL_CHECK(other.codec_ == codec_);
   // Rebasing assumes the source offsets cover its whole arena — true for
-  // live stores by construction and enforced by ParseTail for parsed ones.
-  FVL_DCHECK(other.offsets_.back() == other.arena_bits());
+  // live stores by construction and enforced by ParseTail for parsed ones,
+  // but a hand-assembled or corrupted store must surface recoverably, not
+  // silently graft its uncovered bits onto the next appended span.
+  if (other.offsets_.back() != other.arena_bits()) {
+    return Status::Error(
+        ErrorCode::kInvalidArgument,
+        "source store is inconsistent: offsets cover " +
+            std::to_string(other.offsets_.back()) + " of " +
+            std::to_string(other.arena_bits()) + " arena bits");
+  }
   const int64_t arena_base = arena_.size_bits();
   CopyBits(other.arena_.words(), 0, other.arena_bits(), &arena_);
   offsets_.reserve(offsets_.size() + other.total_items());
   for (int item = 0; item < other.total_items(); ++item) {
     offsets_.push_back(arena_base + other.offsets_[item + 1]);
   }
+  return Status::Ok();
+}
+
+Status LabelStore::AppendGroups(const LabelStore& other) {
   const int64_t item_base = group_base_.back();
+  if (Status status = AppendArena(other); !status.ok()) return status;
   group_base_.reserve(group_base_.size() + other.num_groups());
   for (int group = 0; group < other.num_groups(); ++group) {
     group_base_.push_back(item_base + other.group_base_[group + 1]);
   }
+  return Status::Ok();
+}
+
+Status LabelStore::AppendItems(const LabelStore& other) {
+  FVL_CHECK(num_groups() > 0);
+  if (Status status = AppendArena(other); !status.ok()) return status;
+  group_base_.back() += other.total_items();
+  return Status::Ok();
+}
+
+LabelStore LabelStore::ExtractDelta() {
+  LabelStore delta(codec_);
+  delta.BeginGroup();
+  const int64_t base_bits = offsets_[watermark_items_];
+  CopyBits(arena_.words(), base_bits, arena_bits(), &delta.arena_);
+  delta.offsets_.reserve(total_items() - watermark_items_ + 1);
+  for (int item = watermark_items_; item < total_items(); ++item) {
+    delta.offsets_.push_back(offsets_[item + 1] - base_bits);
+  }
+  delta.group_base_.back() = total_items() - watermark_items_;
+  watermark_items_ = total_items();
+  return delta;
 }
 
 DataLabel LabelStore::DecodeLabel(int global) const {
@@ -67,9 +133,11 @@ void LabelStore::AppendU64(std::string* out, uint64_t value) {
   }
 }
 
-bool LabelStore::ReadU64(const std::string& blob, size_t* pos,
+bool LabelStore::ReadU64(std::string_view blob, size_t* pos,
                          uint64_t* value) {
-  if (*pos + 8 > blob.size()) return false;
+  // Subtraction form: `*pos + 8 > blob.size()` would wrap around for
+  // adversarial positions near SIZE_MAX and admit the read.
+  if (blob.size() < 8 || *pos > blob.size() - 8) return false;
   *value = 0;
   for (int i = 0; i < 8; ++i) {
     *value |= static_cast<uint64_t>(static_cast<unsigned char>(blob[*pos + i]))
@@ -100,7 +168,7 @@ void LabelStore::AppendTail(std::string* blob) const {
   for (uint64_t word : arena_.words()) AppendU64(blob, word);
 }
 
-Result<LabelStore> LabelStore::ParseTail(const std::string& blob, size_t* pos,
+Result<LabelStore> LabelStore::ParseTail(std::string_view blob, size_t* pos,
                                          std::vector<int64_t> group_base,
                                          uint64_t arena_bits) {
   auto fail = [](const std::string& message) -> Status {
@@ -110,7 +178,11 @@ Result<LabelStore> LabelStore::ParseTail(const std::string& blob, size_t* pos,
 
   LabelStore store;
   store.group_base_ = std::move(group_base);
-  if (*pos + 5 > blob.size()) return fail("truncated codec widths");
+  // Subtraction form, as in ReadU64: the additive check would wrap for an
+  // (unvalidated) *pos near SIZE_MAX.
+  if (blob.size() < 5 || *pos > blob.size() - 5) {
+    return fail("truncated codec widths");
+  }
   int* widths[5] = {&store.codec_.production_bits,
                     &store.codec_.position_bits, &store.codec_.cycle_bits,
                     &store.codec_.start_bits, &store.codec_.port_bits};

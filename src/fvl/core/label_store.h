@@ -9,10 +9,15 @@
 //
 //   * live sessions append labels as items are created (RunLabeler);
 //   * snapshots freeze the store by copying the arena — no re-encode
-//     (ProvenanceIndex is a frozen single-group store);
+//     (ProvenanceIndex is a frozen single-group store); because the arena
+//     is append-only, the labels added since the last freeze are one
+//     contiguous bit range, so ExtractDelta can freeze *incrementally* in
+//     O(delta) instead of O(run) (the §2.3 mid-run checkpointing path);
 //   * multi-run merging appends whole stores group-by-group with one bulk
 //     bit copy and integer offset rebasing — no label is re-encoded
-//     (MergedProvenanceIndex is a frozen many-group store);
+//     (MergedProvenanceIndex is a frozen many-group store; MergeStream
+//     feeds deserialized runs through AppendGroups one at a time and drops
+//     each input before the next, keeping the merge memory-bounded);
 //   * both the FVLIDX2 and FVLMRG1 blob formats share the store's
 //     serialized tail (codec widths, bit-packed offsets, arena) and its
 //     hardened ParseTail, which bounds-checks every field and verifies that
@@ -28,6 +33,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "fvl/core/data_label.h"
@@ -36,6 +42,36 @@
 #include "fvl/util/status.h"
 
 namespace fvl {
+
+class LabelStoreTestPeer;
+
+namespace internal {
+
+// Process-wide census of live LabelStore instances (relaxed atomics; a
+// member of every store, so construction, copies, and destruction are all
+// counted — moved-from stores still exist and still count). MergeStream's
+// memory-boundedness contract — at most one deserialized input store alive
+// at a time on top of the output — is asserted against this probe by
+// tests/merge_test.cc and reported by bench_merge_query as a peak-RSS
+// proxy.
+class StoreCountProbe {
+ public:
+  StoreCountProbe() { Add(1); }
+  StoreCountProbe(const StoreCountProbe&) { Add(1); }
+  StoreCountProbe& operator=(const StoreCountProbe&) = default;
+  ~StoreCountProbe() { Add(-1); }
+
+  // Stores alive right now.
+  static int live();
+  // High-water mark of live() since the last ResetPeak.
+  static int peak();
+  static void ResetPeak();
+
+ private:
+  static void Add(int delta);
+};
+
+}  // namespace internal
 
 class LabelStore {
  public:
@@ -77,8 +113,38 @@ class LabelStore {
   // Appends every group of `other` as new groups of this store: one bulk
   // bit copy of the other arena plus integer offset rebasing — no label is
   // decoded or re-encoded. Codecs must match (callers report mismatches as
-  // recoverable errors before calling).
-  void AppendGroups(const LabelStore& other);
+  // recoverable errors before calling). Fails with kInvalidArgument — and
+  // leaves this store untouched — when `other`'s offsets do not cover its
+  // whole arena: rebasing such a store would silently graft the uncovered
+  // bits onto the next appended span (live and parsed stores satisfy the
+  // invariant by construction; the check guards hand-assembled or
+  // corrupted ones in release builds too).
+  [[nodiscard]] Status AppendGroups(const LabelStore& other);
+
+  // Appends every item of `other` into this store's current *last* group
+  // (BeginGroup must have been called at least once) — the reassembly step
+  // of incremental snapshots (ProvenanceIndex::FromDeltas). Same bulk
+  // copy, codec precondition, and offset-coverage error as AppendGroups.
+  [[nodiscard]] Status AppendItems(const LabelStore& other);
+
+  // --- Incremental freezes (O(delta) snapshots) ---------------------------
+  //
+  // The arena is append-only, so everything added since the last freeze is
+  // one contiguous bit range at the end. The store tracks that freeze
+  // point as a watermark: items [0, watermark_items()) have already been
+  // extracted. The watermark is live-session state — it is not serialized,
+  // and a parsed store starts with watermark 0.
+
+  // Items frozen by previous ExtractDelta calls.
+  int watermark_items() const { return watermark_items_; }
+
+  // Returns a new single-group store holding exactly the labels appended
+  // since the last ExtractDelta (offsets rebased to start at bit 0) and
+  // advances the watermark to the current end. Cost is O(delta) — one bit
+  // copy of the new range — never O(total). Appending the extracted
+  // deltas back together (AppendItems) reproduces this store's tail bit
+  // for bit.
+  LabelStore ExtractDelta();
 
   // --- Span access (zero-copy) --------------------------------------------
 
@@ -110,20 +176,33 @@ class LabelStore {
   // fully consumed and every label span is known to decode exactly under
   // the embedded codec. `group_base` and `arena_bits` come from the
   // caller's header and must already be bounded by the blob size (counts
-  // within int range, bases monotone).
-  static Result<LabelStore> ParseTail(const std::string& blob, size_t* pos,
+  // within int range, bases monotone). The blob is only read during the
+  // call — the returned store owns its words, so callers may stream
+  // borrowed buffers through without copying them into std::strings.
+  static Result<LabelStore> ParseTail(std::string_view blob, size_t* pos,
                                       std::vector<int64_t> group_base,
                                       uint64_t arena_bits);
 
-  // Little-endian u64 helpers shared with the format headers.
+  // Little-endian u64 helpers shared with the format headers. ReadU64
+  // tolerates any `pos`, including values near SIZE_MAX: a position that
+  // does not leave 8 readable bytes returns false (no wraparound, no
+  // out-of-bounds read) and leaves *pos unchanged.
   static void AppendU64(std::string* out, uint64_t value);
-  static bool ReadU64(const std::string& blob, size_t* pos, uint64_t* value);
+  static bool ReadU64(std::string_view blob, size_t* pos, uint64_t* value);
 
  private:
+  friend class ::fvl::LabelStoreTestPeer;
+
+  // Shared bulk-append core: coverage check, arena bit copy, offset
+  // rebasing. Group bookkeeping is the callers' business.
+  Status AppendArena(const LabelStore& other);
+
   LabelCodec codec_;
   std::vector<int64_t> group_base_{0};  // size num_groups + 1; [0] = 0
   std::vector<int64_t> offsets_{0};     // size total_items + 1; [0] = 0
   BitWriter arena_;
+  int watermark_items_ = 0;  // items frozen by ExtractDelta; not serialized
+  internal::StoreCountProbe probe_;
 };
 
 }  // namespace fvl

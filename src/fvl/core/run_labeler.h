@@ -35,6 +35,15 @@ class RunLabeler {
   // The live label store behind this run (one group, append-only).
   const LabelStore& store() const { return store_; }
 
+  // --- Incremental freezes (O(delta) checkpointing, §2.3) -----------------
+
+  // Items already extracted by FreezeDelta — the freeze watermark.
+  int frozen_items() const { return store_.watermark_items(); }
+  // Extracts the labels appended since the last FreezeDelta as a fresh
+  // single-group store and advances the watermark: one bit copy of the new
+  // arena range, O(delta) where a full snapshot copy is O(run).
+  LabelStore FreezeDelta() { return store_.ExtractDelta(); }
+
   // Exact encoded size of an item's label, in bits.
   int64_t LabelBits(int item) const { return store_.LabelBits(item); }
   const LabelCodec& codec() const { return store_.codec(); }

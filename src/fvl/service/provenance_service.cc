@@ -428,18 +428,24 @@ bool ProvenanceService::LabelInBounds(const DataLabel& label) const {
          side_ok(label.consumer, /*producer=*/false);
 }
 
-Status ProvenanceService::CheckIndexCompatible(
-    const ProvenanceIndex& index) const {
-  // Labels from an index built for another specification would feed
+Status ProvenanceService::CheckCodecCompatible(const LabelCodec& codec,
+                                               const char* artifact) const {
+  // Labels from an artifact built for another specification would feed
   // out-of-range production/cycle ids into the decoder's matrices. The
   // codec widths are derived from the production graph, so a mismatch
-  // catches any index whose grammar differs structurally.
-  if (!(index.codec() == LabelCodec(*pg_))) {
+  // catches any artifact whose grammar differs structurally.
+  if (!(codec == LabelCodec(*pg_))) {
     return Status::Error(
         ErrorCode::kInvalidArgument,
-        "index was not built for this service's specification");
+        std::string(artifact) +
+            " was not built for this service's specification");
   }
   return Status::Ok();
+}
+
+Status ProvenanceService::CheckIndexCompatible(
+    const ProvenanceIndex& index) const {
+  return CheckCodecCompatible(index.codec(), "index");
 }
 
 Status ProvenanceService::CheckIndexCompatible(
@@ -447,12 +453,7 @@ Status ProvenanceService::CheckIndexCompatible(
   // An empty merge (zero runs) carries no labels at all, so it is
   // vacuously compatible; queries against it can only return empty results.
   if (index.num_runs() == 0) return Status::Ok();
-  if (!(index.codec() == LabelCodec(*pg_))) {
-    return Status::Error(
-        ErrorCode::kInvalidArgument,
-        "merged index was not built for this service's specification");
-  }
-  return Status::Ok();
+  return CheckCodecCompatible(index.codec(), "merged index");
 }
 
 Result<std::vector<bool>> ProvenanceService::SweepVisibility(
@@ -502,6 +503,28 @@ Result<std::vector<bool>> ProvenanceService::VisibilitySweep(
   return SweepVisibility(
       handle, index.total_items(), mode,
       [&index](int item) { return index.LabelByGlobalId(item); });
+}
+
+Result<MergedProvenanceIndex> ProvenanceService::MergeRunsStreamed(
+    std::span<const std::string_view> blobs) {
+  MergeStream stream;
+  for (size_t b = 0; b < blobs.size(); ++b) {
+    if (Status status = stream.Append(blobs[b]); !status.ok()) {
+      return Status::Error(status.code(), "blob " + std::to_string(b) + ": " +
+                                              status.message());
+    }
+    // Mutually consistent runs of a *foreign* specification still must not
+    // feed this service's decoder. The stream pins every later blob to run
+    // 0's codec, so checking once after the first append rejects a foreign
+    // batch after one blob instead of paying the full merge first.
+    if (b == 0) {
+      if (Status status = CheckCodecCompatible(stream.codec(), "run 0");
+          !status.ok()) {
+        return status;
+      }
+    }
+  }
+  return std::move(stream).Finish();
 }
 
 // --- ProvenanceSession -----------------------------------------------------
@@ -567,6 +590,13 @@ ProvenanceIndex ProvenanceSession::Snapshot() const {
   // The session's live store already holds every label encoded; freezing is
   // a copy of the arena and offset tables, not a re-encode.
   return ProvenanceIndex(labeler_.store());
+}
+
+ProvenanceIndex ProvenanceSession::SnapshotDelta() {
+  // The live arena is append-only, so the labels since the last freeze are
+  // one contiguous bit range at its end: extracting them costs O(delta),
+  // which is what makes mid-run checkpointing of long executions viable.
+  return ProvenanceIndex(labeler_.FreezeDelta());
 }
 
 }  // namespace fvl

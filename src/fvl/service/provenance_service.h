@@ -48,6 +48,7 @@
 #include <mutex>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -155,6 +156,14 @@ class ProvenanceService
   // keeps batches on the calling thread; higher values parallelize only
   // batches large enough to amortize the fork-join (decode tables are
   // per-call and read-only, so answers are identical at any setting).
+  //
+  // Contract: non-positive values are clamped to 1 — a batch always runs
+  // on at least the calling thread, so `set_query_threads(0)` (e.g. a
+  // miscomputed hardware_concurrency() derivation) can never wedge or
+  // reject queries, and query_threads() is always >= 1. Values above the
+  // machine's core count are accepted and merely oversubscribe; the
+  // per-shard grain (util/thread_pool.h) bounds the workers actually
+  // spawned.
   void set_query_threads(int threads) {
     query_threads_.store(threads < 1 ? 1 : threads,
                          std::memory_order_relaxed);
@@ -245,6 +254,21 @@ class ProvenanceService
       ViewHandle handle, const MergedProvenanceIndex& index,
       ViewLabelMode mode = ViewLabelMode::kQueryEfficient);
 
+  // Memory-bounded merge of serialized run snapshots (FVLIDX2 blobs, in
+  // run order): each blob is deserialized and appended one at a time via
+  // MergeStream (core/index.h), so peak memory is O(largest run + output)
+  // instead of O(sum of runs) — the way to combine many long-execution
+  // checkpoint files without materializing them all. The result is
+  // bit-identical to deserializing everything and calling
+  // ProvenanceIndex::Merge, and is verified against this service's
+  // specification so it is immediately queryable. Error taxonomy: a blob
+  // that does not parse or decode is kMalformedBlob; runs of mismatched
+  // specifications (between blobs, or against this service) are
+  // kInvalidArgument; an empty span yields an empty merged index. Never
+  // aborts on untrusted input.
+  Result<MergedProvenanceIndex> MergeRunsStreamed(
+      std::span<const std::string_view> blobs);
+
  private:
   struct ViewEntry {
     // Exactly one of regular/grouped is set; the registry dedups regular
@@ -267,6 +291,13 @@ class ProvenanceService
   // it once, so internal code never locks twice).
   Result<const ViewEntry*> EntryOf(ViewHandle handle) const;
   Result<ViewEntry*> EntryOf(ViewHandle handle);
+  // The one compatibility criterion between this service and any labeled
+  // artifact (indexes, merged indexes, streamed-merge inputs): the
+  // artifact's codec must equal the grammar's. Every entry point that
+  // accepts untrusted artifacts funnels through it, so tightening the
+  // criterion cannot miss a path.
+  Status CheckCodecCompatible(const LabelCodec& codec,
+                              const char* artifact) const;
   Status CheckIndexCompatible(const ProvenanceIndex& index) const;
   Status CheckIndexCompatible(const MergedProvenanceIndex& index) const;
   // Shared decode-once batch cores behind DependsMany / QueryAcrossRuns and
@@ -340,8 +371,24 @@ class ProvenanceSession {
   // Freezes the labels assigned so far into a position-independent,
   // serializable snapshot: the session's live LabelStore is copied (one
   // arena memcpy — no label is re-encoded). The session may keep deriving
-  // afterwards.
+  // afterwards. Cost is O(run); Snapshot() does not move the incremental
+  // freeze watermark.
   ProvenanceIndex Snapshot() const;
+
+  // Incremental counterpart of Snapshot() for mid-run checkpointing of
+  // long executions (§2.3): freezes only the labels appended since the
+  // previous SnapshotDelta into a partial index and advances the freeze
+  // watermark — O(delta) work and space where Snapshot() is O(run). Item i
+  // of the returned delta is run item `w + i`, where w was frozen_items()
+  // before the call; ProvenanceIndex::FromDeltas reassembles consecutive
+  // deltas into an index bit-identical to a full Snapshot() taken at the
+  // same point. A call with no new labels yields an empty (zero-item)
+  // delta.
+  ProvenanceIndex SnapshotDelta();
+
+  // The freeze watermark: run items [0, frozen_items()) have already been
+  // returned by previous SnapshotDelta calls.
+  int frozen_items() const { return labeler_.frozen_items(); }
 
  private:
   friend class ProvenanceService;

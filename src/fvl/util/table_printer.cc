@@ -64,6 +64,77 @@ std::string TablePrinter::ToCsv() const {
   return out;
 }
 
+std::string TablePrinter::ToJson(const std::string& name) const {
+  auto quote = [](const std::string& text) {
+    std::string out = "\"";
+    for (char c : text) {
+      unsigned char u = static_cast<unsigned char>(c);
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (u < 0x20) {  // JSON strings may not hold raw controls
+        char escaped[8];
+        std::snprintf(escaped, sizeof(escaped), "\\u%04x", u);
+        out += escaped;
+      } else {
+        out += c;
+      }
+    }
+    out += '"';
+    return out;
+  };
+  // Numeric cells travel as JSON numbers so trackers can diff them without
+  // re-parsing. The check is JSON's own number grammar —
+  // -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)? — not strtod, which
+  // also accepts tokens JSON has no literal for (hex floats, leading '+',
+  // bare ".5", "inf"/"nan"); anything else stays a quoted string.
+  auto is_json_number = [](const std::string& text) {
+    auto digit = [](char c) { return c >= '0' && c <= '9'; };
+    size_t i = 0;
+    if (i < text.size() && text[i] == '-') ++i;
+    if (i >= text.size() || !digit(text[i])) return false;
+    if (text[i] == '0') {
+      ++i;
+    } else {
+      while (i < text.size() && digit(text[i])) ++i;
+    }
+    if (i < text.size() && text[i] == '.') {
+      ++i;
+      if (i >= text.size() || !digit(text[i])) return false;
+      while (i < text.size() && digit(text[i])) ++i;
+    }
+    if (i < text.size() && (text[i] == 'e' || text[i] == 'E')) {
+      ++i;
+      if (i < text.size() && (text[i] == '+' || text[i] == '-')) ++i;
+      if (i >= text.size() || !digit(text[i])) return false;
+      while (i < text.size() && digit(text[i])) ++i;
+    }
+    return i == text.size();
+  };
+  auto value = [&](const std::string& cell) {
+    return is_json_number(cell) ? cell : quote(cell);
+  };
+  std::string out = "{\"table\": " + quote(name) + ", \"columns\": [";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    if (c > 0) out += ", ";
+    out += quote(header_[c]);
+  }
+  out += "], \"rows\": [";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) out += ", ";
+    out += '{';
+    for (size_t c = 0; c < header_.size(); ++c) {
+      if (c > 0) out += ", ";
+      out += quote(header_[c]);
+      out += ": ";
+      out += value(rows_[r][c]);
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
 void TablePrinter::Print(const std::string& title) const {
   std::printf("== %s ==\n%s\ncsv:\n%s\n", title.c_str(), ToString().c_str(),
               ToCsv().c_str());

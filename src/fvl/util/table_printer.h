@@ -24,7 +24,12 @@ class TablePrinter {
   std::string ToString() const;
   // Renders a CSV block (one line per row, comma-separated).
   std::string ToCsv() const;
-  // Prints both to stdout, with `title` above.
+  // Renders one JSON object — {"table": name, "columns": [...], "rows":
+  // [{column: value, ...}, ...]} — for the machine-readable bench results
+  // CI archives (BENCH_*.json). Cells that parse fully as numbers are
+  // emitted as JSON numbers, everything else as escaped strings.
+  std::string ToJson(const std::string& name) const;
+  // Prints the table and CSV to stdout, with `title` above.
   void Print(const std::string& title) const;
 
  private:

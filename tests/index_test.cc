@@ -339,6 +339,34 @@ TEST_F(IndexTest, RandomizedCorruptionCorpusUnifiedTail) {
   EXPECT_GT(rejected_merged, 50);
 }
 
+// ReadU64 is the primitive every header field of both blob formats goes
+// through; a position check written as `*pos + 8 > blob.size()` wraps
+// around for adversarial positions near SIZE_MAX and admits an
+// out-of-bounds read. The subtraction form must refuse any position that
+// does not leave 8 readable bytes — part of the blob-corruption corpus.
+TEST(IndexEdgeCases, ReadU64RefusesAdversarialPositions) {
+  const std::string blob(16, '\x5A');
+  uint64_t value = 0;
+  for (size_t bad : {SIZE_MAX, SIZE_MAX - 1, SIZE_MAX - 7, SIZE_MAX - 8,
+                     blob.size() - 7, blob.size(), blob.size() + 1}) {
+    size_t pos = bad;
+    EXPECT_FALSE(LabelStore::ReadU64(blob, &pos, &value)) << "pos=" << bad;
+    EXPECT_EQ(pos, bad);  // a refused read must not advance the cursor
+  }
+  // Short blobs refuse every position, including 0 (the size() - 8 form
+  // must not itself wrap).
+  for (size_t short_size : {size_t{0}, size_t{7}}) {
+    size_t pos = 0;
+    EXPECT_FALSE(
+        LabelStore::ReadU64(blob.substr(0, short_size), &pos, &value));
+  }
+  // In-bounds reads still work, up to and including the last full word.
+  size_t pos = blob.size() - 8;
+  ASSERT_TRUE(LabelStore::ReadU64(blob, &pos, &value));
+  EXPECT_EQ(pos, blob.size());
+  EXPECT_EQ(value, 0x5A5A5A5A5A5A5A5AULL);
+}
+
 TEST(IndexEdgeCases, EmptyIndex) {
   PaperExample ex = MakePaperExample();
   ProductionGraph pg(&ex.spec.grammar);

@@ -16,6 +16,21 @@
 #include "test_util.h"
 
 namespace fvl {
+
+// Test-only backdoor for invariants the public API maintains by
+// construction: the coverage regression needs a store whose offsets do
+// *not* cover its arena, which no public path can produce.
+class LabelStoreTestPeer {
+ public:
+  // Uncovers the final arena bit: offsets_.back() < arena_bits().
+  static void UncoverLastArenaBit(LabelStore* store) {
+    FVL_CHECK(store->arena_bits() > 0);
+    for (auto& offset : store->offsets_) {
+      if (offset == store->arena_bits()) --offset;
+    }
+  }
+};
+
 namespace {
 
 class LabelStoreTest : public ::testing::Test {
@@ -133,8 +148,8 @@ TEST_F(LabelStoreTest, AppendGroupsMatchesPerLabelAppend) {
   auto b = Session(25, 8);
 
   LabelStore bulk(codec_);
-  bulk.AppendGroups(a->labeler().store());
-  bulk.AppendGroups(b->labeler().store());
+  ASSERT_TRUE(bulk.AppendGroups(a->labeler().store()).ok());
+  ASSERT_TRUE(bulk.AppendGroups(b->labeler().store()).ok());
 
   LabelStore manual(codec_);
   manual.BeginGroup();
@@ -190,6 +205,132 @@ TEST_F(LabelStoreTest, TailRoundTripsThroughParseTail) {
               ErrorCode::kMalformedBlob)
         << "cut=" << cut;
   }
+}
+
+// A store whose offsets do not cover its arena would, if bulk-appended,
+// graft the uncovered bits onto the next span and silently corrupt every
+// rebased offset. The guard must hold in *release* builds too (it used to
+// be a debug-only FVL_DCHECK), surfacing as a recoverable error at the
+// merge entry points rather than corrupting or aborting.
+TEST_F(LabelStoreTest, UncoveredArenaIsARecoverableAppendError) {
+  auto session = Session(30, 11);
+  LabelStore corrupt = session->labeler().store();  // covered copy
+  LabelStoreTestPeer::UncoverLastArenaBit(&corrupt);
+
+  LabelStore out(codec_);
+  Status groups = out.AppendGroups(corrupt);
+  ASSERT_FALSE(groups.ok());
+  EXPECT_EQ(groups.code(), ErrorCode::kInvalidArgument);
+  out.BeginGroup();
+  Status items = out.AppendItems(corrupt);
+  ASSERT_FALSE(items.ok());
+  EXPECT_EQ(items.code(), ErrorCode::kInvalidArgument);
+  // The failed appends left the destination untouched and usable.
+  EXPECT_EQ(out.total_items(), 0);
+  EXPECT_EQ(out.arena_bits(), 0);
+  ASSERT_TRUE(out.AppendItems(session->labeler().store()).ok());
+  EXPECT_EQ(out.total_items(), session->num_items());
+
+  // The same violation surfaces recoverably from Merge and FromDeltas.
+  std::vector<ProvenanceIndex> runs;
+  runs.push_back(ProvenanceIndex(corrupt));
+  EXPECT_EQ(ProvenanceIndex::Merge(runs).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(ProvenanceIndex::FromDeltas(runs).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(LabelStoreTest, AppendItemsMatchesPerLabelAppend) {
+  // The single-group bulk path (FromDeltas' building block) must produce
+  // exactly the store that per-label appends produce.
+  auto a = Session(40, 12);
+  auto b = Session(25, 13);
+
+  LabelStore bulk(codec_);
+  bulk.BeginGroup();
+  ASSERT_TRUE(bulk.AppendItems(a->labeler().store()).ok());
+  ASSERT_TRUE(bulk.AppendItems(b->labeler().store()).ok());
+
+  LabelStore manual(codec_);
+  manual.BeginGroup();
+  for (int item = 0; item < a->num_items(); ++item) {
+    manual.Append(a->Label(item));
+  }
+  for (int item = 0; item < b->num_items(); ++item) {
+    manual.Append(b->Label(item));
+  }
+
+  ASSERT_EQ(bulk.num_groups(), 1);
+  ASSERT_EQ(bulk.total_items(), manual.total_items());
+  std::string bulk_tail, manual_tail;
+  bulk.AppendTail(&bulk_tail);
+  manual.AppendTail(&manual_tail);
+  EXPECT_EQ(bulk_tail, manual_tail);
+}
+
+TEST_F(LabelStoreTest, ExtractDeltaPartitionsTheArena) {
+  auto session = Session(60, 14);
+  const LabelStore& source = session->labeler().store();
+
+  // Rebuild the session's store live, extracting deltas at uneven points.
+  LabelStore live(codec_);
+  live.BeginGroup();
+  std::vector<LabelStore> deltas;
+  const int cuts[] = {1, 7, 8, 23, source.total_items()};
+  int appended = 0;
+  for (int cut : cuts) {
+    for (; appended < cut; ++appended) live.Append(session->Label(appended));
+    EXPECT_EQ(live.watermark_items(), deltas.empty() ? 0 : cuts[deltas.size() - 1]);
+    deltas.push_back(live.ExtractDelta());
+    EXPECT_EQ(live.watermark_items(), cut);
+  }
+
+  // Each delta holds exactly its range, rebased to bit 0.
+  int base = 0;
+  for (size_t d = 0; d < deltas.size(); ++d) {
+    ASSERT_EQ(deltas[d].num_groups(), 1);
+    ASSERT_EQ(deltas[d].total_items(), cuts[d] - base);
+    for (int item = 0; item < deltas[d].total_items(); ++item) {
+      EXPECT_EQ(deltas[d].DecodeLabel(item), session->Label(base + item))
+          << "delta " << d << " item " << item;
+      EXPECT_EQ(deltas[d].LabelBits(item), session->LabelBits(base + item));
+    }
+    base = cuts[d];
+  }
+
+  // Extracting with nothing new yields an empty delta and moves nothing.
+  LabelStore empty_delta = live.ExtractDelta();
+  EXPECT_EQ(empty_delta.total_items(), 0);
+  EXPECT_EQ(empty_delta.arena_bits(), 0);
+  EXPECT_EQ(live.watermark_items(), source.total_items());
+
+  // Concatenating the deltas reproduces the source store's tail bit for
+  // bit — the property FromDeltas' golden reassembly rests on.
+  LabelStore rebuilt(codec_);
+  rebuilt.BeginGroup();
+  for (const LabelStore& delta : deltas) {
+    ASSERT_TRUE(rebuilt.AppendItems(delta).ok());
+  }
+  std::string rebuilt_tail, source_tail;
+  rebuilt.AppendTail(&rebuilt_tail);
+  source.AppendTail(&source_tail);
+  EXPECT_EQ(rebuilt_tail, source_tail);
+}
+
+TEST_F(LabelStoreTest, StoreCountProbeTracksLifetimes) {
+  const int base = internal::StoreCountProbe::live();
+  internal::StoreCountProbe::ResetPeak();
+  EXPECT_EQ(internal::StoreCountProbe::peak(), base);
+  {
+    LabelStore a(codec_);
+    EXPECT_EQ(internal::StoreCountProbe::live(), base + 1);
+    LabelStore b = a;  // copies count
+    EXPECT_EQ(internal::StoreCountProbe::live(), base + 2);
+    LabelStore c = std::move(b);  // moved-from stores still exist
+    EXPECT_EQ(internal::StoreCountProbe::live(), base + 3);
+    EXPECT_EQ(internal::StoreCountProbe::peak(), base + 3);
+  }
+  EXPECT_EQ(internal::StoreCountProbe::live(), base);
+  EXPECT_EQ(internal::StoreCountProbe::peak(), base + 3);
 }
 
 // The serialized layout is a compatibility contract: this blob was produced

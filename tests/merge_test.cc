@@ -8,9 +8,13 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "fvl/core/index.h"
+#include "fvl/core/label_store.h"
 #include "fvl/run/provenance_oracle.h"
 #include "fvl/service/provenance_service.h"
 #include "fvl/util/random.h"
@@ -362,6 +366,286 @@ TEST(MergeEdgeCases, EmptyInputsGiveEmptyResultsNotErrors) {
       MergedProvenanceIndex::Deserialize(empty->Serialize());
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   EXPECT_EQ(restored->num_runs(), 0);
+}
+
+// ----- Incremental snapshots (SnapshotDelta / FromDeltas). -----
+
+// Applies up to `steps` random derivation steps to a live session (random
+// frontier instance, random applicable production — the policy of
+// examples/streaming_provenance.cc).
+void ApplyRandomSteps(ProvenanceSession& session, Rng& rng, int steps) {
+  const Grammar& grammar = session.service()->grammar();
+  for (int s = 0; s < steps && !session.complete(); ++s) {
+    const std::vector<int>& frontier = session.run().Frontier();
+    int instance = frontier[rng.NextBounded(frontier.size())];
+    ModuleId type = session.run().instance(instance).type;
+    const auto& productions = grammar.ProductionsOf(type);
+    ProductionId production = productions[rng.NextBounded(productions.size())];
+    ASSERT_TRUE(session.Apply(instance, production).ok());
+  }
+}
+
+TEST(SnapshotDelta, RandomizedFreezePointsReassembleBitIdentically) {
+  // Randomized sessions frozen at arbitrary points: the FromDeltas
+  // reassembly must equal a full Snapshot() *bit for bit* (serialized
+  // golden comparison), and its answers must match the full snapshot's and
+  // the ground-truth oracle's across all three label modes.
+  PaperExample ex = MakePaperExample();
+  auto service = ProvenanceService::Create(ex.spec).value();
+  ViewHandle grey = service->RegisterView(ex.grey_view).value();
+
+  Rng rng(909);
+  for (int trial = 0; trial < 6; ++trial) {
+    auto session = service->BeginRun();
+    std::vector<ProvenanceIndex> deltas;
+    // A fresh session already has the start module's boundary items; the
+    // first delta may therefore be non-empty before any Apply.
+    if (trial % 2 == 0) deltas.push_back(session->SnapshotDelta());
+    while (!session->complete()) {
+      ApplyRandomSteps(*session, rng, 1 + static_cast<int>(rng.NextBounded(9)));
+      if (rng.NextBounded(2) == 0) {
+        int watermark = session->frozen_items();
+        deltas.push_back(session->SnapshotDelta());
+        EXPECT_EQ(session->frozen_items(),
+                  watermark + deltas.back().num_items());
+      }
+    }
+    deltas.push_back(session->SnapshotDelta());  // tail of the run
+    ASSERT_GE(deltas.size(), 2u);
+
+    ProvenanceIndex full = session->Snapshot();
+    Result<ProvenanceIndex> reassembled = ProvenanceIndex::FromDeltas(deltas);
+    ASSERT_TRUE(reassembled.ok()) << reassembled.status().ToString();
+    ASSERT_EQ(reassembled->num_items(), full.num_items());
+    EXPECT_EQ(reassembled->Serialize(), full.Serialize()) << "trial " << trial;
+
+    // Differential: reassembled ≡ full ≡ oracle, every mode, both views.
+    for (ViewHandle view : {service->default_view(), grey}) {
+      const CompiledView& compiled =
+          *service->CompiledRegularView(view).value();
+      ProvenanceOracle oracle(session->run(), compiled);
+      std::vector<std::pair<int, int>> queries;
+      for (int q = 0; q < 120; ++q) {
+        queries.push_back({rng.NextInt(0, full.num_items() - 1),
+                           rng.NextInt(0, full.num_items() - 1)});
+      }
+      for (ViewLabelMode mode : kAllModes) {
+        std::vector<bool> from_deltas =
+            service->DependsMany(view, *reassembled, queries, mode).value();
+        std::vector<bool> from_full =
+            service->DependsMany(view, full, queries, mode).value();
+        ASSERT_EQ(from_deltas, from_full)
+            << "trial " << trial << " mode " << static_cast<int>(mode);
+        for (size_t q = 0; q < queries.size(); ++q) {
+          auto [d1, d2] = queries[q];
+          if (!oracle.ItemVisible(d1) || !oracle.ItemVisible(d2)) continue;
+          ASSERT_EQ(from_deltas[q], oracle.Depends(d1, d2))
+              << "trial " << trial << " d1=" << d1 << " d2=" << d2;
+        }
+      }
+    }
+  }
+}
+
+TEST(SnapshotDelta, DeltaErrorsAndEdgeCases) {
+  auto paper = ProvenanceService::Create(MakePaperExample().spec).value();
+  auto bioaid = ProvenanceService::Create(MakeBioAid(2012).spec).value();
+
+  // Empty span: no codec to infer.
+  std::vector<ProvenanceIndex> none;
+  EXPECT_EQ(ProvenanceIndex::FromDeltas(none).code(),
+            ErrorCode::kInvalidArgument);
+
+  // Mixed specifications are rejected, same taxonomy as Merge.
+  std::vector<ProvenanceIndex> mixed;
+  mixed.push_back(paper
+                      ->GenerateLabeledRun(
+                          RunGeneratorOptions{.target_items = 40, .seed = 1})
+                      ->Snapshot());
+  mixed.push_back(bioaid
+                      ->GenerateLabeledRun(
+                          RunGeneratorOptions{.target_items = 40, .seed = 2})
+                      ->Snapshot());
+  EXPECT_EQ(ProvenanceIndex::FromDeltas(mixed).code(),
+            ErrorCode::kInvalidArgument);
+
+  // SnapshotDelta with nothing new yields an empty delta; reassembly
+  // tolerates it (the empty arena range appends as a no-op).
+  auto session = paper->GenerateLabeledRun(
+      RunGeneratorOptions{.target_items = 50, .seed = 3});
+  std::vector<ProvenanceIndex> deltas;
+  deltas.push_back(session->SnapshotDelta());
+  deltas.push_back(session->SnapshotDelta());  // empty: watermark at end
+  EXPECT_EQ(deltas[1].num_items(), 0);
+  Result<ProvenanceIndex> reassembled = ProvenanceIndex::FromDeltas(deltas);
+  ASSERT_TRUE(reassembled.ok()) << reassembled.status().ToString();
+  EXPECT_EQ(reassembled->Serialize(), session->Snapshot().Serialize());
+
+  // A delta round-trips through serialization like any single-run index.
+  Result<ProvenanceIndex> restored =
+      ProvenanceIndex::Deserialize(deltas[0].Serialize());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->num_items(), deltas[0].num_items());
+}
+
+// ----- Streamed k-way merge (MergeStream / MergeRunsStreamed). -----
+
+TEST(MergeStreamTest, BitIdenticalToMaterializedMerge) {
+  auto service = ProvenanceService::Create(MakePaperExample().spec).value();
+  MergedRuns runs = MakeRuns(service, 4, 110, 23);
+
+  std::vector<std::string> blobs;
+  for (const ProvenanceIndex& snapshot : runs.snapshots) {
+    blobs.push_back(snapshot.Serialize());
+  }
+
+  MergeStream stream;
+  for (const std::string& blob : blobs) {
+    ASSERT_TRUE(stream.Append(blob).ok());
+  }
+  EXPECT_EQ(stream.num_runs(), 4);
+  MergedProvenanceIndex streamed = std::move(stream).Finish().value();
+
+  // The streaming path and the materialized path are one artifact: byte
+  // for byte equal blobs, equal addressing, equal answers.
+  EXPECT_EQ(streamed.Serialize(), runs.merged.Serialize());
+
+  std::vector<std::string_view> views(blobs.begin(), blobs.end());
+  MergedProvenanceIndex via_service =
+      service->MergeRunsStreamed(views).value();
+  EXPECT_EQ(via_service.Serialize(), runs.merged.Serialize());
+
+  Rng rng(77);
+  std::vector<std::pair<RunItem, RunItem>> queries;
+  for (int q = 0; q < 200; ++q) {
+    RunItem a{rng.NextInt(0, 3), 0}, b{rng.NextInt(0, 3), 0};
+    a.item = rng.NextInt(0, streamed.num_items(a.run) - 1);
+    b.item = rng.NextInt(0, streamed.num_items(b.run) - 1);
+    queries.push_back({a, b});
+  }
+  ViewHandle view = service->default_view();
+  EXPECT_EQ(service->QueryAcrossRuns(view, streamed, queries).value(),
+            service->QueryAcrossRuns(view, runs.merged, queries).value());
+}
+
+TEST(MergeStreamTest, HoldsAtMostOneInputStoreAtATime) {
+  // The memory-boundedness contract, asserted via the store-count probe:
+  // the stream's peak live-store count is a small constant — the output
+  // plus the one input being appended (plus bounded move transients) —
+  // *independent of the number of runs*, while the materialized path holds
+  // every deserialized input simultaneously.
+  auto service = ProvenanceService::Create(MakePaperExample().spec).value();
+
+  auto make_blobs = [&](int num_runs) {
+    std::vector<std::string> blobs;
+    for (int r = 0; r < num_runs; ++r) {
+      blobs.push_back(
+          service
+              ->GenerateLabeledRun(RunGeneratorOptions{
+                  .target_items = 80, .seed = 400 + static_cast<uint64_t>(r)})
+              ->Snapshot()
+              .Serialize());
+    }
+    return blobs;
+  };
+
+  auto streamed_peak = [&](const std::vector<std::string>& blobs) {
+    const int base = internal::StoreCountProbe::live();
+    internal::StoreCountProbe::ResetPeak();
+    MergeStream stream;
+    for (const std::string& blob : blobs) {
+      EXPECT_TRUE(stream.Append(blob).ok());
+      // Between appends, only the stream's own output store is alive.
+      EXPECT_EQ(internal::StoreCountProbe::live(), base + 1);
+    }
+    MergedProvenanceIndex merged = std::move(stream).Finish().value();
+    EXPECT_GT(merged.total_items(), 0);
+    return internal::StoreCountProbe::peak() - base;
+  };
+
+  std::vector<std::string> blobs4 = make_blobs(4);
+  std::vector<std::string> blobs16 = make_blobs(16);
+  int peak4 = streamed_peak(blobs4);
+  int peak16 = streamed_peak(blobs16);
+  // One output + one deserialized input + the parse/move transients inside
+  // Deserialize — and no growth whatsoever with the number of runs.
+  EXPECT_LE(peak16, 8);
+  EXPECT_EQ(peak16, peak4);
+
+  // The materialized baseline necessarily holds all inputs at once.
+  {
+    const int base = internal::StoreCountProbe::live();
+    internal::StoreCountProbe::ResetPeak();
+    std::vector<ProvenanceIndex> materialized;
+    for (const std::string& blob : blobs16) {
+      materialized.push_back(ProvenanceIndex::Deserialize(blob).value());
+    }
+    MergedProvenanceIndex merged =
+        ProvenanceIndex::Merge(materialized).value();
+    EXPECT_GT(merged.total_items(), 0);
+    EXPECT_GE(internal::StoreCountProbe::peak() - base, 16);
+  }
+}
+
+TEST(MergeStreamTest, ErrorTaxonomyNeverAborts) {
+  auto paper = ProvenanceService::Create(MakePaperExample().spec).value();
+  auto bioaid = ProvenanceService::Create(MakeBioAid(2012).spec).value();
+  std::string paper_blob =
+      paper
+          ->GenerateLabeledRun(RunGeneratorOptions{.target_items = 60,
+                                                   .seed = 5})
+          ->Snapshot()
+          .Serialize();
+  std::string bioaid_blob =
+      bioaid
+          ->GenerateLabeledRun(RunGeneratorOptions{.target_items = 60,
+                                                   .seed = 6})
+          ->Snapshot()
+          .Serialize();
+
+  // Corrupt blob: kMalformedBlob, and the stream survives to accept more.
+  MergeStream stream;
+  std::string corrupt = paper_blob;
+  corrupt[3] = 'X';
+  Status bad_magic = stream.Append(corrupt);
+  EXPECT_EQ(bad_magic.code(), ErrorCode::kMalformedBlob);
+  EXPECT_EQ(stream.num_runs(), 0);
+  ASSERT_TRUE(stream.Append(paper_blob).ok());
+  EXPECT_EQ(stream.Append(paper_blob.substr(0, paper_blob.size() / 2)).code(),
+            ErrorCode::kMalformedBlob);
+  // Codec mismatch against the runs already appended: kInvalidArgument.
+  EXPECT_EQ(stream.Append(bioaid_blob).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(stream.num_runs(), 1);
+  MergedProvenanceIndex merged = std::move(stream).Finish().value();
+  EXPECT_EQ(merged.num_runs(), 1);
+
+  // Service entry point: same taxonomy, with the failing blob named; a
+  // consistent batch of *foreign* blobs is rejected against the service.
+  std::vector<std::string_view> mixed = {paper_blob, bioaid_blob};
+  Result<MergedProvenanceIndex> rejected = paper->MergeRunsStreamed(mixed);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(rejected.status().message().find("blob 1"), std::string::npos);
+
+  std::vector<std::string_view> with_corrupt = {paper_blob, corrupt};
+  EXPECT_EQ(paper->MergeRunsStreamed(with_corrupt).code(),
+            ErrorCode::kMalformedBlob);
+
+  std::vector<std::string_view> foreign = {bioaid_blob, bioaid_blob};
+  EXPECT_EQ(paper->MergeRunsStreamed(foreign).code(),
+            ErrorCode::kInvalidArgument);
+
+  // Empty span: empty merged index, not an error (as Merge).
+  std::vector<std::string_view> none;
+  Result<MergedProvenanceIndex> empty = paper->MergeRunsStreamed(none);
+  ASSERT_TRUE(empty.ok()) << empty.status().ToString();
+  EXPECT_EQ(empty->num_runs(), 0);
+
+  // A merged (FVLMRG1) blob is not a single-run input: rejected cleanly.
+  MergedRuns runs = MakeRuns(paper, 2, 50, 31);
+  MergeStream wrong_format;
+  EXPECT_EQ(wrong_format.Append(runs.merged.Serialize()).code(),
+            ErrorCode::kMalformedBlob);
 }
 
 TEST(MergeEdgeCases, ZeroItemRunsMergeCleanly) {

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <memory>
 #include <thread>
 #include <utility>
@@ -519,6 +520,44 @@ TEST(ServiceThreads, ShardedBatchesMatchSerialAnswers) {
     EXPECT_EQ(service->VisibilitySweep(grey, merged).value(), serial_sweep)
         << threads << " threads";
   }
+  service->set_query_threads(1);
+}
+
+TEST(ServiceThreads, NonPositiveQueryThreadsClampToOne) {
+  // Contract (provenance_service.h): set_query_threads clamps n < 1 to 1 —
+  // a batch always runs on at least the calling thread — so a miscomputed
+  // thread count can neither wedge batch queries nor corrupt their answers.
+  PaperExample ex = MakePaperExample();
+  auto service = ProvenanceService::Create(ex.spec).value();
+  EXPECT_EQ(service->query_threads(), 1);  // the default
+
+  ProvenanceIndex snapshot =
+      service
+          ->GenerateLabeledRun(RunGeneratorOptions{.target_items = 200,
+                                                   .seed = 9})
+          ->Snapshot();
+  std::vector<std::pair<int, int>> queries;
+  Rng rng(17);
+  for (int q = 0; q < 200; ++q) {
+    queries.push_back({rng.NextInt(0, snapshot.num_items() - 1),
+                       rng.NextInt(0, snapshot.num_items() - 1)});
+  }
+  std::vector<bool> baseline =
+      service->DependsMany(service->default_view(), snapshot, queries)
+          .value();
+
+  for (int bad : {0, -1, -64, std::numeric_limits<int>::min()}) {
+    service->set_query_threads(bad);
+    EXPECT_EQ(service->query_threads(), 1) << "requested " << bad;
+    EXPECT_EQ(
+        service->DependsMany(service->default_view(), snapshot, queries)
+            .value(),
+        baseline)
+        << "requested " << bad;
+  }
+  // Positive values pass through unchanged.
+  service->set_query_threads(6);
+  EXPECT_EQ(service->query_threads(), 6);
   service->set_query_threads(1);
 }
 
