@@ -87,15 +87,24 @@ class JsonReport {
     tables_ += table.ToJson(table_name);
   }
 
+  // Exits nonzero if the artifact can't be written in full: a CI step
+  // that consumes BENCH_*.json must fail at the producing bench, not at a
+  // downstream parse of a truncated file (the open in the constructor
+  // catches bad paths; this catches ENOSPC-style failures at flush).
   void Write() {
     if (file_ == nullptr) return;
-    std::fprintf(file_,
-                 "{\n  \"benchmark\": \"%s\",\n  \"quick\": %s,\n"
-                 "  \"tables\": [\n    %s\n  ]\n}\n",
-                 benchmark_.c_str(), quick_ ? "true" : "false",
-                 tables_.c_str());
-    std::fclose(file_);
+    int printed = std::fprintf(file_,
+                               "{\n  \"benchmark\": \"%s\",\n  \"quick\": %s,\n"
+                               "  \"tables\": [\n    %s\n  ]\n}\n",
+                               benchmark_.c_str(), quick_ ? "true" : "false",
+                               tables_.c_str());
+    bool flushed = std::fflush(file_) == 0;
+    bool closed = std::fclose(file_) == 0;
     file_ = nullptr;
+    if (printed < 0 || !flushed || !closed) {
+      std::fprintf(stderr, "cannot write --json artifact %s\n", path_.c_str());
+      std::exit(1);
+    }
     std::printf("json results written to %s\n", path_.c_str());
   }
 

@@ -1,0 +1,632 @@
+#include "fvl/net/server.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "fvl/core/index.h"
+#include "fvl/net/socket.h"
+#include "fvl/net/wire.h"
+
+namespace fvl::net {
+namespace {
+
+Status NotFound(const char* what, uint64_t id) {
+  return Status::Error(ErrorCode::kNotFound, std::string("unknown ") + what +
+                                                 " id " + std::to_string(id));
+}
+
+// One queued point query awaiting a shared decode pass. Owned by its
+// connection thread; the batcher only touches it between enqueue and the
+// done_ handshake.
+struct PointQuery {
+  DependsRequest request;
+  // Filled by the batcher.
+  Status status;
+  bool answer = false;
+  bool done = false;
+};
+
+// Prebuilt `u64 len | kOkByte | bool` response frames — every point-query
+// answer is one of these two constants, appended without allocation.
+const std::string& OkBoolFrame(bool answer) {
+  static const std::string kTrue = [] {
+    std::string out;
+    AppendFrame(&out, OkResponse(std::string(1, '\x01')));
+    return out;
+  }();
+  static const std::string kFalse = [] {
+    std::string out;
+    AppendFrame(&out, OkResponse(std::string(1, '\x00')));
+    return out;
+  }();
+  return answer ? kTrue : kFalse;
+}
+
+}  // namespace
+
+class ProvenanceServer::Impl {
+ public:
+  Impl(std::shared_ptr<ProvenanceService> service, Socket listener, int port)
+      : service_(std::move(service)),
+        listener_(std::move(listener)),
+        port_(port) {}
+
+  void StartThreads() {
+    batcher_ = std::thread([this] { BatcherLoop(); });
+    acceptor_ = std::thread([this] { AcceptLoop(); });
+  }
+
+  int port() const { return port_; }
+
+  ServerStats stats() const {
+    ServerStats stats;
+    stats.point_queries = point_queries_.load(std::memory_order_relaxed);
+    stats.point_batches = point_batches_.load(std::memory_order_relaxed);
+    stats.frames = frames_.load(std::memory_order_relaxed);
+    stats.connections = connections_accepted_.load(std::memory_order_relaxed);
+    return stats;
+  }
+
+  void Stop() {
+    if (stopping_.exchange(true)) {
+      // A concurrent/second Stop still waits for the first drain to finish
+      // (destructor-vs-explicit-Stop race).
+      std::lock_guard<std::mutex> lock(stop_mu_);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    // 1. No new connections.
+    listener_.ShutdownBoth();
+    if (acceptor_.joinable()) acceptor_.join();
+    // 2. Drain: wake every parked reader but keep write sides open, so
+    // responses to requests already received still go out.
+    {
+      std::lock_guard<std::mutex> conns_lock(conns_mu_);
+      for (auto& conn : connections_) conn->socket.ShutdownRead();
+    }
+    for (auto& conn : connections_) {
+      if (conn->thread.joinable()) conn->thread.join();
+    }
+    // 3. The batcher exits once the queue is dry (connection threads are
+    // gone, so nothing re-fills it).
+    {
+      std::lock_guard<std::mutex> batch_lock(batch_mu_);
+      batch_stopping_ = true;
+    }
+    batch_cv_.notify_all();
+    if (batcher_.joinable()) batcher_.join();
+  }
+
+ private:
+  struct Connection {
+    Socket socket;
+    std::thread thread;
+  };
+
+  struct SessionEntry {
+    std::mutex mu;  // sessions are single-writer; serialize wire mutations
+    std::shared_ptr<ProvenanceSession> session;
+  };
+
+  // --- Accept loop --------------------------------------------------------
+
+  void AcceptLoop() {
+    for (;;) {
+      Result<Socket> accepted = Accept(listener_);
+      if (!accepted.ok()) return;  // listener shut down (or hard failure)
+      if (stopping_.load()) return;
+      connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+      auto conn = std::make_unique<Connection>();
+      conn->socket = std::move(accepted).value();
+      Connection* raw = conn.get();
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (stopping_.load()) return;  // raced Stop; drop the connection
+      // Connection slots live until Stop joins them — bounded by the
+      // process's connection churn, which is fine for a benchmark/test
+      // server; a reaper is the upgrade if churn ever matters.
+      connections_.push_back(std::move(conn));
+      raw->thread = std::thread([this, raw] { ServeConnection(raw); });
+    }
+  }
+
+  // --- Connection loop ----------------------------------------------------
+
+  void ServeConnection(Connection* conn) {
+    std::string buffer;
+    char chunk[1 << 16];
+    for (;;) {
+      size_t frame_size = 0;
+      std::string_view payload;
+      FrameStatus status = TryExtractFrame(buffer, &frame_size, &payload);
+      if (status == FrameStatus::kBad) {
+        // Framing violation: no resynchronization point. Final error
+        // frame, then close.
+        std::string out;
+        AppendFrame(&out, ErrorResponse(Status::Error(
+                              ErrorCode::kMalformedBlob,
+                              "bad frame length (zero or oversize)")));
+        (void)WriteAll(conn->socket, out);
+        break;
+      }
+      if (status == FrameStatus::kNeedMore) {
+        Result<ReadOutcome> outcome =
+            ReadSome(conn->socket, chunk, sizeof(chunk));
+        if (!outcome.ok() || outcome->eof) break;
+        buffer.append(chunk, outcome->n);
+        continue;
+      }
+      frames_.fetch_add(1, std::memory_order_relaxed);
+      // Hot path first: a well-formed point query skips the Request bag
+      // (whose vectors would be constructed and destroyed per frame) and
+      // goes straight to the batcher.
+      DependsRequest point;
+      if (DecodeDependsRequest(payload, &point)) {
+        if (!ServePointQueryRun(conn, point, frame_size, &buffer)) break;
+        continue;
+      }
+      Result<Request> request = DecodeRequest(payload);
+      buffer.erase(0, frame_size);
+      if (!request.ok()) {
+        // Framing stayed intact — answer the error, keep the connection.
+        std::string out;
+        AppendFrame(&out, ErrorResponse(request.status()));
+        if (!WriteAll(conn->socket, out).ok()) break;
+        continue;
+      }
+      std::string out;
+      AppendFrame(&out, HandleRequest(*request));
+      if (!WriteAll(conn->socket, out).ok()) break;
+    }
+    conn->socket.Close();
+  }
+
+  // Greedily drains the run of already-buffered point-query frames that
+  // starts with `first` (already decoded, `first_size` bytes at the front
+  // of *buffer), queues the whole run on the shared batcher, and writes
+  // the answers in request order. Pipelined clients land many frames per
+  // socket read, so the run length — and with it the batch the decoder
+  // amortizes over — grows with load, not with a tuning knob.
+  // Returns false when the connection must close.
+  bool ServePointQueryRun(Connection* conn, const DependsRequest& first,
+                          size_t first_size, std::string* buffer) {
+    std::deque<PointQuery> run;  // deque: stable addresses for the queue
+    run.emplace_back();
+    run.back().request = first;
+    size_t pos = first_size;  // consumed prefix; erased once at the end
+    bool close_after = false;
+    for (;;) {
+      size_t frame_size = 0;
+      std::string_view payload;
+      FrameStatus status = TryExtractFrame(
+          std::string_view(*buffer).substr(pos), &frame_size, &payload);
+      if (status == FrameStatus::kNeedMore) {
+        // Top up without blocking: take what the socket already holds,
+        // but never stall the queries we owe answers for.
+        char chunk[1 << 16];
+        Result<ReadOutcome> outcome = ReadSome(
+            conn->socket, chunk, sizeof(chunk), /*non_blocking=*/true);
+        if (!outcome.ok()) {
+          close_after = true;
+          break;
+        }
+        if (outcome->would_block || outcome->eof) break;
+        buffer->append(chunk, outcome->n);
+        continue;
+      }
+      if (status == FrameStatus::kBad) break;  // main loop reports + closes
+      // A complete frame: only a decodable point query joins the run;
+      // anything else stays buffered for the main loop.
+      PointQuery query;
+      if (!DecodeDependsRequest(payload, &query.request)) break;
+      frames_.fetch_add(1, std::memory_order_relaxed);
+      run.push_back(query);
+      pos += frame_size;
+    }
+    buffer->erase(0, pos);
+
+    ExecuteThroughBatcher(run);
+
+    std::string out;
+    out.reserve(run.size() * 18);
+    for (const PointQuery& query : run) {
+      if (query.status.ok()) {
+        out.append(OkBoolFrame(query.answer));
+      } else {
+        AppendFrame(&out, ErrorResponse(query.status));
+      }
+    }
+    if (!WriteAll(conn->socket, out).ok()) return false;
+    return !close_after;
+  }
+
+  // --- Point-query batcher ------------------------------------------------
+
+  void ExecuteThroughBatcher(std::deque<PointQuery>& run) {
+    {
+      std::lock_guard<std::mutex> lock(batch_mu_);
+      for (PointQuery& query : run) queue_.push_back(&query);
+    }
+    batch_cv_.notify_one();
+    std::unique_lock<std::mutex> lock(batch_mu_);
+    done_cv_.wait(lock, [&run] {
+      for (const PointQuery& query : run) {
+        if (!query.done) return false;
+      }
+      return true;
+    });
+  }
+
+  void BatcherLoop() {
+    std::unique_lock<std::mutex> lock(batch_mu_);
+    for (;;) {
+      batch_cv_.wait(lock,
+                     [this] { return !queue_.empty() || batch_stopping_; });
+      if (queue_.empty()) {
+        if (batch_stopping_) return;
+        continue;
+      }
+      // Take everything queued right now — the pop IS the coalescing
+      // window: while one decode pass runs, new arrivals pile up for the
+      // next, so batch size tracks concurrency with zero added latency.
+      std::vector<PointQuery*> batch;
+      batch.swap(queue_);
+      lock.unlock();
+      ExecuteBatch(batch);
+      lock.lock();
+      for (PointQuery* query : batch) query->done = true;
+      done_cv_.notify_all();
+    }
+  }
+
+  void ExecuteBatch(const std::vector<PointQuery*>& batch) {
+    point_queries_.fetch_add(batch.size(), std::memory_order_relaxed);
+    // Group by (view, index, mode): one DependsMany decode pass each. A
+    // batch almost always holds runs of one group (clients hammer one
+    // index), so the map is only consulted when the key changes.
+    std::map<std::tuple<uint64_t, uint64_t, int>, std::vector<PointQuery*>>
+        groups;
+    std::tuple<uint64_t, uint64_t, int> last_key;
+    std::vector<PointQuery*>* last_group = nullptr;
+    for (PointQuery* query : batch) {
+      std::tuple<uint64_t, uint64_t, int> key{
+          query->request.view_id, query->request.index_id,
+          static_cast<int>(query->request.mode)};
+      if (last_group == nullptr || key != last_key) {
+        last_group = &groups[key];
+        last_key = key;
+      }
+      last_group->push_back(query);
+    }
+    for (auto& [key, group] : groups) {
+      point_batches_.fetch_add(1, std::memory_order_relaxed);
+      auto fail = [&group](const Status& status) {
+        for (PointQuery* query : group) query->status = status;
+      };
+      Result<ViewHandle> handle = LookupView(std::get<0>(key));
+      if (!handle.ok()) {
+        fail(handle.status());
+        continue;
+      }
+      std::shared_ptr<const ProvenanceIndex> index =
+          LookupIndex(std::get<1>(key));
+      if (index == nullptr) {
+        fail(NotFound("index", std::get<1>(key)));
+        continue;
+      }
+      std::vector<std::pair<int, int>> queries;
+      queries.reserve(group.size());
+      for (PointQuery* query : group) {
+        queries.push_back({static_cast<int>(query->request.d1),
+                           static_cast<int>(query->request.d2)});
+      }
+      Result<std::vector<bool>> answers = service_->DependsMany(
+          *handle, *index, queries, group.front()->request.mode);
+      if (!answers.ok()) {
+        fail(answers.status());
+        continue;
+      }
+      for (size_t i = 0; i < group.size(); ++i) {
+        group[i]->answer = (*answers)[i];
+      }
+    }
+  }
+
+  // --- Request dispatch ---------------------------------------------------
+
+  std::string HandleRequest(const Request& request) {
+    switch (request.type) {
+      case MsgType::kPing: {
+        std::string body;
+        AppendU64(&body, kProtocolVersion);
+        return OkResponse(body);
+      }
+      case MsgType::kRegisterView:
+        return HandleRegisterView(request);
+      case MsgType::kBeginRun:
+        return HandleBeginRun();
+      case MsgType::kApply:
+        return HandleApply(request);
+      case MsgType::kSnapshot:
+      case MsgType::kSnapshotDelta:
+        return HandleSnapshot(request);
+      case MsgType::kDependsMany:
+        return HandleDependsMany(request);
+      case MsgType::kVisibilitySweep:
+        return HandleVisibilitySweep(request);
+      case MsgType::kMergeRuns:
+        return HandleMergeRuns(request);
+      case MsgType::kQueryAcrossRuns:
+        return HandleQueryAcrossRuns(request);
+      case MsgType::kStats: {
+        ServerStats snapshot = stats();
+        std::string body;
+        AppendU64(&body, snapshot.point_queries);
+        AppendU64(&body, snapshot.point_batches);
+        AppendU64(&body, snapshot.frames);
+        AppendU64(&body, snapshot.connections);
+        return OkResponse(body);
+      }
+      case MsgType::kDepends:
+        break;  // handled by the fast-path batcher route, never here
+    }
+    return ErrorResponse(
+        Status::Error(ErrorCode::kInvalidArgument, "unroutable request"));
+  }
+
+  std::string HandleRegisterView(const Request& request) {
+    Result<ViewHandle> handle = service_->RegisterView(request.view);
+    if (!handle.ok()) return ErrorResponse(handle.status());
+    std::lock_guard<std::mutex> lock(state_mu_);
+    // The service dedups structurally equal views; mirror that on the wire
+    // so re-registration returns a stable id.
+    for (size_t i = 0; i < views_.size(); ++i) {
+      if (views_[i] == *handle) {
+        std::string body;
+        AppendU64(&body, i);
+        return OkResponse(body);
+      }
+    }
+    views_.push_back(*handle);
+    std::string body;
+    AppendU64(&body, views_.size() - 1);
+    return OkResponse(body);
+  }
+
+  std::string HandleBeginRun() {
+    auto entry = std::make_shared<SessionEntry>();
+    entry->session = service_->BeginRun();
+    std::lock_guard<std::mutex> lock(state_mu_);
+    uint64_t id = next_session_id_++;
+    sessions_[id] = std::move(entry);
+    std::string body;
+    AppendU64(&body, id);
+    return OkResponse(body);
+  }
+
+  std::string HandleApply(const Request& request) {
+    std::shared_ptr<SessionEntry> entry = LookupSession(request.session_id);
+    if (entry == nullptr) {
+      return ErrorResponse(NotFound("session", request.session_id));
+    }
+    std::lock_guard<std::mutex> lock(entry->mu);
+    Result<DerivationStep> step =
+        entry->session->Apply(static_cast<int>(request.instance),
+                              static_cast<int>(request.production));
+    if (!step.ok()) return ErrorResponse(step.status());
+    std::string body;
+    AppendU64(&body, static_cast<uint64_t>(step->index));
+    AppendU64(&body, static_cast<uint64_t>(step->instance));
+    AppendU64(&body, static_cast<uint64_t>(step->production));
+    AppendU64(&body, static_cast<uint64_t>(step->first_child));
+    AppendU64(&body, static_cast<uint64_t>(step->first_item));
+    AppendU64(&body, static_cast<uint64_t>(step->num_items));
+    return OkResponse(body);
+  }
+
+  std::string HandleSnapshot(const Request& request) {
+    std::shared_ptr<SessionEntry> entry = LookupSession(request.session_id);
+    if (entry == nullptr) {
+      return ErrorResponse(NotFound("session", request.session_id));
+    }
+    std::unique_lock<std::mutex> session_lock(entry->mu);
+    ProvenanceIndex index = request.type == MsgType::kSnapshotDelta
+                                ? entry->session->SnapshotDelta()
+                                : entry->session->Snapshot();
+    int frozen = entry->session->frozen_items();
+    session_lock.unlock();
+    int num_items = index.num_items();
+    uint64_t id;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      id = next_index_id_++;
+      indexes_[id] =
+          std::make_shared<const ProvenanceIndex>(std::move(index));
+    }
+    std::string body;
+    AppendU64(&body, id);
+    AppendU64(&body, static_cast<uint64_t>(num_items));
+    AppendU64(&body, static_cast<uint64_t>(frozen));
+    return OkResponse(body);
+  }
+
+  std::string HandleDependsMany(const Request& request) {
+    Result<ViewHandle> handle = LookupView(request.view_id);
+    if (!handle.ok()) return ErrorResponse(handle.status());
+    std::shared_ptr<const ProvenanceIndex> index =
+        LookupIndex(request.index_id);
+    if (index == nullptr) {
+      return ErrorResponse(NotFound("index", request.index_id));
+    }
+    Result<std::vector<bool>> answers =
+        service_->DependsMany(*handle, *index, request.pairs, request.mode);
+    if (!answers.ok()) return ErrorResponse(answers.status());
+    std::string body;
+    AppendBools(&body, *answers);
+    return OkResponse(body);
+  }
+
+  std::string HandleVisibilitySweep(const Request& request) {
+    Result<ViewHandle> handle = LookupView(request.view_id);
+    if (!handle.ok()) return ErrorResponse(handle.status());
+    std::shared_ptr<const ProvenanceIndex> index =
+        LookupIndex(request.index_id);
+    if (index == nullptr) {
+      return ErrorResponse(NotFound("index", request.index_id));
+    }
+    Result<std::vector<bool>> visible =
+        service_->VisibilitySweep(*handle, *index, request.mode);
+    if (!visible.ok()) return ErrorResponse(visible.status());
+    std::string body;
+    AppendBools(&body, *visible);
+    return OkResponse(body);
+  }
+
+  std::string HandleMergeRuns(const Request& request) {
+    // Serialize each snapshot and feed the memory-bounded streamed merge —
+    // the same path a file-backed archive would take, so the wire op
+    // inherits its O(largest run + output) bound and error taxonomy.
+    std::vector<std::string> blobs;
+    blobs.reserve(request.index_ids.size());
+    for (uint64_t id : request.index_ids) {
+      std::shared_ptr<const ProvenanceIndex> index = LookupIndex(id);
+      if (index == nullptr) return ErrorResponse(NotFound("index", id));
+      blobs.push_back(index->Serialize());
+    }
+    std::vector<std::string_view> views(blobs.begin(), blobs.end());
+    Result<MergedProvenanceIndex> merged = service_->MergeRunsStreamed(views);
+    if (!merged.ok()) return ErrorResponse(merged.status());
+    int num_runs = merged->num_runs();
+    int total_items = merged->total_items();
+    uint64_t id;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      id = next_merged_id_++;
+      merged_[id] = std::make_shared<const MergedProvenanceIndex>(
+          std::move(merged).value());
+    }
+    std::string body;
+    AppendU64(&body, id);
+    AppendU64(&body, static_cast<uint64_t>(num_runs));
+    AppendU64(&body, static_cast<uint64_t>(total_items));
+    return OkResponse(body);
+  }
+
+  std::string HandleQueryAcrossRuns(const Request& request) {
+    Result<ViewHandle> handle = LookupView(request.view_id);
+    if (!handle.ok()) return ErrorResponse(handle.status());
+    std::shared_ptr<const MergedProvenanceIndex> merged =
+        LookupMerged(request.index_id);
+    if (merged == nullptr) {
+      return ErrorResponse(NotFound("merged index", request.index_id));
+    }
+    Result<std::vector<bool>> answers = service_->QueryAcrossRuns(
+        *handle, *merged, request.run_pairs, request.mode);
+    if (!answers.ok()) return ErrorResponse(answers.status());
+    std::string body;
+    AppendBools(&body, *answers);
+    return OkResponse(body);
+  }
+
+  // --- Registry lookups ---------------------------------------------------
+
+  Result<ViewHandle> LookupView(uint64_t view_id) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (view_id >= views_.size()) return NotFound("view", view_id);
+    return views_[view_id];
+  }
+
+  std::shared_ptr<SessionEntry> LookupSession(uint64_t session_id) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    auto it = sessions_.find(session_id);
+    return it == sessions_.end() ? nullptr : it->second;
+  }
+
+  std::shared_ptr<const ProvenanceIndex> LookupIndex(uint64_t index_id) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    auto it = indexes_.find(index_id);
+    return it == indexes_.end() ? nullptr : it->second;
+  }
+
+  std::shared_ptr<const MergedProvenanceIndex> LookupMerged(
+      uint64_t merged_id) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    auto it = merged_.find(merged_id);
+    return it == merged_.end() ? nullptr : it->second;
+  }
+
+  // --- State --------------------------------------------------------------
+
+  std::shared_ptr<ProvenanceService> service_;
+  Socket listener_;
+  int port_;
+
+  std::thread acceptor_;
+  std::thread batcher_;
+  std::atomic<bool> stopping_{false};
+  std::mutex stop_mu_;  // serializes concurrent Stop calls
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  // Wire-visible registries.
+  std::mutex state_mu_;
+  std::vector<ViewHandle> views_;
+  std::unordered_map<uint64_t, std::shared_ptr<SessionEntry>> sessions_;
+  std::unordered_map<uint64_t, std::shared_ptr<const ProvenanceIndex>>
+      indexes_;
+  std::unordered_map<uint64_t, std::shared_ptr<const MergedProvenanceIndex>>
+      merged_;
+  uint64_t next_session_id_ = 1;
+  uint64_t next_index_id_ = 1;
+  uint64_t next_merged_id_ = 1;
+
+  // Coalescing queue.
+  std::mutex batch_mu_;
+  std::condition_variable batch_cv_;  // wakes the batcher
+  std::condition_variable done_cv_;   // wakes waiting connection threads
+  std::vector<PointQuery*> queue_;
+  bool batch_stopping_ = false;
+
+  std::atomic<uint64_t> point_queries_{0};
+  std::atomic<uint64_t> point_batches_{0};
+  std::atomic<uint64_t> frames_{0};
+  std::atomic<uint64_t> connections_accepted_{0};
+};
+
+ProvenanceServer::ProvenanceServer(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+ProvenanceServer::~ProvenanceServer() { Stop(); }
+
+Result<std::unique_ptr<ProvenanceServer>> ProvenanceServer::Start(
+    std::shared_ptr<ProvenanceService> service, const ServerOptions& options) {
+  FVL_CHECK(service != nullptr);
+  Result<Socket> listener = TcpListen(options.port, options.backlog);
+  if (!listener.ok()) return listener.status();
+  Result<int> port = LocalPort(*listener);
+  if (!port.ok()) return port.status();
+  auto impl = std::make_unique<Impl>(std::move(service),
+                                     std::move(listener).value(), *port);
+  impl->StartThreads();
+  return std::unique_ptr<ProvenanceServer>(
+      new ProvenanceServer(std::move(impl)));
+}
+
+int ProvenanceServer::port() const { return impl_->port(); }
+
+void ProvenanceServer::Stop() { impl_->Stop(); }
+
+ServerStats ProvenanceServer::stats() const { return impl_->stats(); }
+
+}  // namespace fvl::net

@@ -1,0 +1,90 @@
+// Minimal RAII wrappers over POSIX loopback TCP — just enough socket for
+// the provenance server and client, with every fallible call surfaced as a
+// Status instead of errno spelunking at the call sites.
+//
+// Scope decisions: IPv4 loopback only (the server fronts an in-process
+// service; cross-host deployment would add name resolution here, nothing
+// above this layer changes), blocking I/O plus one non-blocking receive
+// used by the server's greedy frame coalescing, TCP_NODELAY everywhere
+// (the protocol is request/response; Nagle would serialize pipelined point
+// queries), and MSG_NOSIGNAL so a peer that vanished mid-write is a Status,
+// not a SIGPIPE.
+
+#ifndef FVL_NET_SOCKET_H_
+#define FVL_NET_SOCKET_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "fvl/util/status.h"
+
+namespace fvl::net {
+
+// Owning file-descriptor handle (move-only).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  void Close();
+  // shutdown(SHUT_RDWR): unblocks any thread parked in recv/accept on this
+  // socket without racing the descriptor's lifetime (Close alone would).
+  void ShutdownBoth();
+  // shutdown(SHUT_RD) only: wakes a parked reader while keeping the write
+  // side open, so responses to already-received requests still go out —
+  // the drain half of ProvenanceServer::Stop.
+  void ShutdownRead();
+  // shutdown(SHUT_WR) only: signals EOF to the peer while keeping our read
+  // side open to drain whatever it still sends.
+  void ShutdownWrite();
+
+ private:
+  int fd_ = -1;
+};
+
+// Listening socket bound to 127.0.0.1:port (port 0 picks an ephemeral
+// port; read it back with LocalPort).
+Result<Socket> TcpListen(int port, int backlog = 64);
+Result<int> LocalPort(const Socket& socket);
+
+// Blocking connect to 127.0.0.1:port with TCP_NODELAY set.
+Result<Socket> TcpConnect(int port);
+
+// Blocking accept; TCP_NODELAY is set on the returned socket.
+// kUnavailable when the listener was shut down.
+Result<Socket> Accept(const Socket& listener);
+
+// Writes all of `bytes` (retrying short writes and EINTR).
+Status WriteAll(const Socket& socket, std::string_view bytes);
+
+// One receive into buf[0, capacity). eof is set when the peer closed;
+// would_block only when non_blocking and no data was ready. n is 0 in both
+// of those cases. Transport errors (reset, shutdown) are kUnavailable.
+struct ReadOutcome {
+  size_t n = 0;
+  bool eof = false;
+  bool would_block = false;
+};
+Result<ReadOutcome> ReadSome(const Socket& socket, char* buf, size_t capacity,
+                             bool non_blocking = false);
+
+}  // namespace fvl::net
+
+#endif  // FVL_NET_SOCKET_H_

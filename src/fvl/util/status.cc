@@ -30,6 +30,8 @@ const char* ToString(ErrorCode code) {
       return "invalid-group";
     case ErrorCode::kMalformedBlob:
       return "malformed-blob";
+    case ErrorCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

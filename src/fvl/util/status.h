@@ -54,6 +54,9 @@ enum class ErrorCode : unsigned char {
   kInvalidGroup,
   // A serialized blob fails to parse.
   kMalformedBlob,
+  // A transport endpoint is gone: connection refused/reset, a peer that
+  // closed mid-exchange, a server already stopped (src/fvl/net).
+  kUnavailable,
 };
 
 // Short stable identifier, e.g. "unsafe-view".

@@ -1,0 +1,61 @@
+#include "fvl/workload/key_generator.h"
+
+#include <cmath>
+
+#include "fvl/util/check.h"
+
+namespace fvl {
+
+const char* ToString(KeyDistribution dist) {
+  switch (dist) {
+    case KeyDistribution::kUniform:
+      return "uniform";
+    case KeyDistribution::kZipfian:
+      return "zipfian";
+  }
+  return "unknown";
+}
+
+namespace {
+
+double Zeta(int64_t n, double theta) {
+  double sum = 0.0;
+  for (int64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(i, theta);
+  return sum;
+}
+
+}  // namespace
+
+KeyGenerator::KeyGenerator(KeyDistribution dist, int64_t num_keys,
+                           double theta)
+    : dist_(dist), num_keys_(num_keys) {
+  FVL_CHECK(num_keys_ >= 1);
+  if (dist_ != KeyDistribution::kZipfian) return;
+  FVL_CHECK(theta > 0.0 && theta < 1.0);
+  theta_ = theta;
+  zetan_ = Zeta(num_keys_, theta_);
+  double zeta2 = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(num_keys_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+int64_t KeyGenerator::Next(Rng& rng) const {
+  if (dist_ == KeyDistribution::kUniform) {
+    return static_cast<int64_t>(
+        rng.NextBounded(static_cast<uint64_t>(num_keys_)));
+  }
+  // Gray et al.'s quantile transform: O(1) per draw, exact zipfian ranks.
+  double u = rng.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  int64_t rank = static_cast<int64_t>(
+      static_cast<double>(num_keys_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (rank < 0) rank = 0;
+  if (rank >= num_keys_) rank = num_keys_ - 1;
+  return rank;
+}
+
+}  // namespace fvl

@@ -1,0 +1,52 @@
+// Key-choice distributions for the multi-client workload drivers
+// (bench/ycsb_driver.cc): uniform and zipfian selection over a key space
+// [0, n), the two access patterns every YCSB-style benchmark ships.
+//
+// The zipfian generator is the standard Gray et al. rejection-free
+// construction used by YCSB: P(rank k) ∝ 1/k^theta, with the zeta
+// normalization constant precomputed once per (n, theta). Rank 0 is the
+// hottest key; callers that want hot keys scattered across the key space
+// should compose with a hash, which KeyGenerator does NOT do — drivers
+// index pre-generated query pools, where rank order is as good as any.
+
+#ifndef FVL_WORKLOAD_KEY_GENERATOR_H_
+#define FVL_WORKLOAD_KEY_GENERATOR_H_
+
+#include <cstdint>
+
+#include "fvl/util/random.h"
+
+namespace fvl {
+
+enum class KeyDistribution { kUniform, kZipfian };
+
+const char* ToString(KeyDistribution dist);
+
+class KeyGenerator {
+ public:
+  // Keys are drawn from [0, num_keys); num_keys must be >= 1. theta is the
+  // zipfian skew (ignored for uniform): 0.99 — the YCSB default — sends
+  // roughly half of all draws to the hottest ~2% of keys at n=10^4.
+  KeyGenerator(KeyDistribution dist, int64_t num_keys, double theta = 0.99);
+
+  // The next key under the configured distribution, using the caller's RNG
+  // (generators hold no RNG state, so one generator may serve many
+  // deterministic per-thread streams).
+  int64_t Next(Rng& rng) const;
+
+  KeyDistribution distribution() const { return dist_; }
+  int64_t num_keys() const { return num_keys_; }
+
+ private:
+  KeyDistribution dist_;
+  int64_t num_keys_;
+  double theta_ = 0.0;
+  // Precomputed zipfian constants (Gray et al. / YCSB ZipfianGenerator).
+  double zetan_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+};
+
+}  // namespace fvl
+
+#endif  // FVL_WORKLOAD_KEY_GENERATOR_H_

@@ -488,6 +488,51 @@ TEST(SnapshotDelta, DeltaErrorsAndEdgeCases) {
   EXPECT_EQ(restored->num_items(), deltas[0].num_items());
 }
 
+TEST(SnapshotDelta, EmptyDeltaMidSequenceReassemblesBitIdentically) {
+  // Regression: an empty delta in the MIDDLE of a delta sequence (a
+  // freeze immediately followed by another freeze with zero labels
+  // appended in between, then more derivation). The empty delta's arena
+  // range is zero-width but its codec and frame metadata must still
+  // splice cleanly between its non-empty neighbours — both when the
+  // deltas are reassembled in memory and after every delta round-trips
+  // through Serialize/Deserialize.
+  PaperExample ex = MakePaperExample();
+  auto service = ProvenanceService::Create(ex.spec).value();
+
+  Rng rng(4242);
+  auto session = service->BeginRun();
+  std::vector<ProvenanceIndex> deltas;
+  deltas.push_back(session->SnapshotDelta());  // boundary items of the start
+  deltas.push_back(session->SnapshotDelta());  // immediately again: empty
+  EXPECT_EQ(deltas.back().num_items(), 0);
+  while (!session->complete()) {
+    ApplyRandomSteps(*session, rng, 1 + static_cast<int>(rng.NextBounded(6)));
+    deltas.push_back(session->SnapshotDelta());
+    deltas.push_back(session->SnapshotDelta());  // empty twin after each freeze
+    EXPECT_EQ(deltas.back().num_items(), 0);
+  }
+  ASSERT_GE(deltas.size(), 4u);
+
+  const std::string golden = session->Snapshot().Serialize();
+  Result<ProvenanceIndex> in_memory = ProvenanceIndex::FromDeltas(deltas);
+  ASSERT_TRUE(in_memory.ok()) << in_memory.status().ToString();
+  EXPECT_EQ(in_memory->Serialize(), golden);
+
+  // The same sequence with every delta (including the empty ones) pushed
+  // through the blob format first.
+  std::vector<ProvenanceIndex> round_tripped;
+  for (const ProvenanceIndex& delta : deltas) {
+    Result<ProvenanceIndex> restored =
+        ProvenanceIndex::Deserialize(delta.Serialize());
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    EXPECT_EQ(restored->num_items(), delta.num_items());
+    round_tripped.push_back(std::move(restored).value());
+  }
+  Result<ProvenanceIndex> from_blobs = ProvenanceIndex::FromDeltas(round_tripped);
+  ASSERT_TRUE(from_blobs.ok()) << from_blobs.status().ToString();
+  EXPECT_EQ(from_blobs->Serialize(), golden);
+}
+
 // ----- Streamed k-way merge (MergeStream / MergeRunsStreamed). -----
 
 TEST(MergeStreamTest, BitIdenticalToMaterializedMerge) {

@@ -1,0 +1,340 @@
+// fvl::net wire protocol: the decoders are total. A seeded corpus of valid
+// frames is byte-flipped, truncated at every prefix, fed through oversized
+// lengths and arbitrary split points, and every mutation must come back as
+// a clean decode, a recoverable kMalformedBlob, or a framing rejection —
+// never a crash, an over-read, or an attacker-sized allocation (run under
+// ASan/UBSan, where any of those is fatal). A live-server section then
+// replays the same hostility over a real socket and checks the error-frame
+// -or-close contract plus server survival.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "fvl/net/client.h"
+#include "fvl/net/server.h"
+#include "fvl/net/socket.h"
+#include "fvl/net/wire.h"
+#include "fvl/util/random.h"
+#include "fvl/workload/bioaid.h"
+#include "fvl/workload/view_generator.h"
+
+namespace fvl::net {
+namespace {
+
+// The corpus: one well-formed payload per message type (frames are added
+// by the harness where framing is under test).
+std::vector<std::string> ValidRequestPayloads() {
+  Workload bio = MakeBioAid(2012);
+  View view = GenerateSafeView(bio, ViewGeneratorOptions{.num_expandable = 8,
+                                                          .seed = 8})
+                  .view();
+  std::vector<std::pair<int, int>> pairs = {{0, 1}, {7, 3}, {2, 2}};
+  std::vector<std::pair<RunItem, RunItem>> run_pairs = {
+      {{0, 4}, {1, 9}}, {{1, 0}, {0, 0}}};
+  std::vector<uint64_t> ids = {1, 2, 3};
+  return {
+      EncodePingRequest(),
+      EncodeRegisterViewRequest(view),
+      EncodeBeginRunRequest(),
+      EncodeApplyRequest(1, 0, 2),
+      EncodeSnapshotRequest(1, /*delta=*/false),
+      EncodeSnapshotRequest(1, /*delta=*/true),
+      EncodeDependsRequest(0, 1, ViewLabelMode::kQueryEfficient, 3, 5),
+      EncodeDependsManyRequest(0, 1, ViewLabelMode::kDefault, pairs),
+      EncodeVisibilitySweepRequest(0, 1, ViewLabelMode::kSpaceEfficient),
+      EncodeMergeRunsRequest(ids),
+      EncodeQueryAcrossRunsRequest(0, 1, ViewLabelMode::kQueryEfficient,
+                                   run_pairs),
+      EncodeStatsRequest(),
+  };
+}
+
+// ----- Baseline: the corpus itself decodes. -----
+
+TEST(NetProtocol, CorpusDecodesCleanly) {
+  for (const std::string& payload : ValidRequestPayloads()) {
+    Result<Request> request = DecodeRequest(payload);
+    ASSERT_TRUE(request.ok()) << request.status().message();
+  }
+}
+
+TEST(NetProtocol, FramingRoundTrips) {
+  for (const std::string& payload : ValidRequestPayloads()) {
+    std::string stream;
+    AppendFrame(&stream, payload);
+    size_t frame_size = 0;
+    std::string_view extracted;
+    ASSERT_EQ(TryExtractFrame(stream, &frame_size, &extracted),
+              FrameStatus::kFrame);
+    EXPECT_EQ(frame_size, stream.size());
+    EXPECT_EQ(extracted, payload);
+  }
+}
+
+// ----- Truncation: every proper prefix of every payload. -----
+
+TEST(NetProtocol, EveryPayloadPrefixRejected) {
+  for (const std::string& payload : ValidRequestPayloads()) {
+    for (size_t cut = 0; cut < payload.size(); ++cut) {
+      Result<Request> request =
+          DecodeRequest(std::string_view(payload).substr(0, cut));
+      // A prefix of one message type may parse as a complete shorter
+      // message only if the type byte still matches a no-body type; the
+      // corpus has distinct bodies, so every proper prefix must fail.
+      ASSERT_FALSE(request.ok()) << "payload prefix len " << cut;
+      EXPECT_EQ(request.code(), ErrorCode::kMalformedBlob);
+    }
+  }
+}
+
+TEST(NetProtocol, EveryFramePrefixNeedsMoreOrRejects) {
+  for (const std::string& payload : ValidRequestPayloads()) {
+    std::string stream;
+    AppendFrame(&stream, payload);
+    for (size_t cut = 0; cut < stream.size(); ++cut) {
+      size_t frame_size = 0;
+      std::string_view extracted;
+      FrameStatus status = TryExtractFrame(
+          std::string_view(stream).substr(0, cut), &frame_size, &extracted);
+      // A prefix of a valid frame is by definition incomplete, never bad.
+      EXPECT_EQ(status, FrameStatus::kNeedMore) << "frame prefix " << cut;
+    }
+  }
+}
+
+// ----- Byte flips: seeded, deterministic, every result classified. -----
+
+TEST(NetProtocol, SeededByteFlipsNeverCrashTheDecoder) {
+  Rng rng(2012);
+  int mutations = 0;
+  for (const std::string& payload : ValidRequestPayloads()) {
+    for (int round = 0; round < 400; ++round) {
+      std::string mutant = payload;
+      int flips = 1 + rng.NextInt(0, 2);
+      for (int f = 0; f < flips; ++f) {
+        size_t at = static_cast<size_t>(
+            rng.NextInt(0, static_cast<int>(mutant.size()) - 1));
+        mutant[at] = static_cast<char>(rng.NextInt(0, 255));
+      }
+      Result<Request> request = DecodeRequest(mutant);
+      if (!request.ok()) {
+        EXPECT_EQ(request.code(), ErrorCode::kMalformedBlob);
+      }
+      ++mutations;
+    }
+  }
+  EXPECT_GE(mutations, 4000);
+}
+
+TEST(NetProtocol, SeededByteFlipsNeverCrashTheResponseParser) {
+  std::vector<std::string> responses = {
+      OkResponse(),
+      OkResponse(std::string(9, '\x07')),
+      ErrorResponse(Status::Error(ErrorCode::kNotFound, "unknown view id 9")),
+      ErrorResponse(Status::Error(ErrorCode::kUnavailable, "")),
+  };
+  Rng rng(77);
+  for (const std::string& payload : responses) {
+    for (int round = 0; round < 400; ++round) {
+      std::string mutant = payload;
+      size_t at = static_cast<size_t>(
+          rng.NextInt(0, static_cast<int>(mutant.size()) - 1));
+      mutant[at] = static_cast<char>(rng.NextInt(0, 255));
+      Result<std::string_view> body = ParseResponse(mutant);
+      if (!body.ok()) {
+        // Either the reconstructed wire error or a malformed-response
+        // rejection; both are Status, neither is a crash.
+        EXPECT_NE(body.code(), ErrorCode::kOk);
+      }
+    }
+    for (size_t cut = 0; cut < payload.size(); ++cut) {
+      (void)ParseResponse(std::string_view(payload).substr(0, cut));
+    }
+  }
+}
+
+// ----- Oversize and zero lengths: framing must refuse, not allocate. -----
+
+TEST(NetProtocol, OversizeLengthIsBadNotAnAllocation) {
+  std::string stream;
+  AppendU64(&stream, kMaxFramePayload + 1);
+  stream.append("x");
+  size_t frame_size = 0;
+  std::string_view payload;
+  EXPECT_EQ(TryExtractFrame(stream, &frame_size, &payload), FrameStatus::kBad);
+
+  std::string huge;
+  AppendU64(&huge, ~uint64_t{0});  // 2^64-1: a wrapped/attacked length
+  EXPECT_EQ(TryExtractFrame(huge, &frame_size, &payload), FrameStatus::kBad);
+}
+
+TEST(NetProtocol, ZeroLengthFrameIsBad) {
+  std::string stream;
+  AppendU64(&stream, 0);
+  size_t frame_size = 0;
+  std::string_view payload;
+  EXPECT_EQ(TryExtractFrame(stream, &frame_size, &payload), FrameStatus::kBad);
+}
+
+TEST(NetProtocol, HostileCountsInsideBodiesRejected) {
+  // A kDependsMany whose count field claims 2^61 pairs in a 40-byte body:
+  // the decoder must reject on arithmetic, not trust-then-allocate.
+  std::string payload(1, static_cast<char>(MsgType::kDependsMany));
+  AppendU64(&payload, 0);  // view
+  AppendU64(&payload, 0);  // index
+  AppendU64(&payload, 0);  // mode
+  AppendU64(&payload, uint64_t{1} << 61);  // count
+  Result<Request> request = DecodeRequest(payload);
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(request.code(), ErrorCode::kMalformedBlob);
+
+  // Same attack through the bit-packed bool count.
+  std::string bools;
+  AppendU64(&bools, uint64_t{1} << 60);
+  std::vector<bool> bits;
+  size_t pos = 0;
+  EXPECT_FALSE(DecodeBools(bools, &pos, &bits));
+}
+
+TEST(NetProtocol, TrailingBytesRejected) {
+  for (const std::string& payload : ValidRequestPayloads()) {
+    std::string padded = payload + '\x00';
+    Result<Request> request = DecodeRequest(padded);
+    ASSERT_FALSE(request.ok());
+    EXPECT_EQ(request.code(), ErrorCode::kMalformedBlob);
+  }
+}
+
+// ----- Split reads: frame extraction is position-independent. -----
+
+TEST(NetProtocol, SplitReadsReassembleIdentically) {
+  std::vector<std::string> payloads = ValidRequestPayloads();
+  std::string stream;
+  for (const std::string& payload : payloads) AppendFrame(&stream, payload);
+
+  Rng rng(31);
+  for (int round = 0; round < 50; ++round) {
+    // Feed the stream in random-sized chunks through a reassembly buffer.
+    std::string buffer;
+    size_t fed = 0;
+    std::vector<std::string> extracted;
+    while (extracted.size() < payloads.size()) {
+      size_t frame_size = 0;
+      std::string_view payload;
+      FrameStatus status = TryExtractFrame(buffer, &frame_size, &payload);
+      ASSERT_NE(status, FrameStatus::kBad);
+      if (status == FrameStatus::kFrame) {
+        extracted.emplace_back(payload);
+        buffer.erase(0, frame_size);
+        continue;
+      }
+      ASSERT_LT(fed, stream.size()) << "ran dry mid-frame";
+      size_t chunk = 1 + static_cast<size_t>(rng.NextInt(0, 13));
+      chunk = std::min(chunk, stream.size() - fed);
+      buffer.append(stream, fed, chunk);
+      fed += chunk;
+    }
+    ASSERT_EQ(extracted.size(), payloads.size());
+    for (size_t i = 0; i < payloads.size(); ++i) {
+      EXPECT_EQ(extracted[i], payloads[i]) << "frame " << i;
+    }
+  }
+}
+
+// ----- Live server: hostility over a real socket. -----
+
+class LiveServerFuzz : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Workload bio = MakeBioAid(2012);
+    auto service = ProvenanceService::Create(std::move(bio.spec)).value();
+    server_ = ProvenanceServer::Start(std::move(service)).value();
+  }
+
+  // The survival probe: a fresh connection must still get a ping through.
+  void ExpectServerAlive() {
+    Result<ProvenanceClient> client = ProvenanceClient::Connect(server_->port());
+    ASSERT_TRUE(client.ok());
+    Result<uint64_t> version = client->Ping();
+    ASSERT_TRUE(version.ok()) << version.status().message();
+    EXPECT_EQ(*version, kProtocolVersion);
+  }
+
+  std::unique_ptr<ProvenanceServer> server_;
+};
+
+TEST_F(LiveServerFuzz, MalformedPayloadsGetErrorFramesConnectionSurvives) {
+  ProvenanceClient client =
+      ProvenanceClient::Connect(server_->port()).value();
+  Rng rng(404);
+  for (const std::string& payload : ValidRequestPayloads()) {
+    std::string mutant = payload;
+    size_t at = static_cast<size_t>(
+        rng.NextInt(0, static_cast<int>(mutant.size()) - 1));
+    mutant[at] = static_cast<char>(rng.NextInt(0, 255));
+    Result<std::string> frame = client.RoundTripRaw(mutant);
+    ASSERT_TRUE(frame.ok()) << frame.status().message();
+    // Whatever came back is a well-formed response frame: either the
+    // mutation stayed decodable (ok/error from the service) or the
+    // decoder rejected it (error frame) — same conversation either way.
+    Result<std::string_view> body = ParseResponse(*frame);
+    if (!body.ok()) {
+      EXPECT_NE(body.code(), ErrorCode::kOk);
+    }
+  }
+  // The connection that sent all that garbage is still serviceable.
+  EXPECT_TRUE(client.Ping().ok());
+  ExpectServerAlive();
+}
+
+TEST_F(LiveServerFuzz, OversizeLengthClosesTheConnection) {
+  Socket raw = TcpConnect(server_->port()).value();
+  std::string stream;
+  AppendU64(&stream, ~uint64_t{0});
+  stream.append("garbage");
+  ASSERT_TRUE(WriteAll(raw, stream).ok());
+  // The server sends at most one final error frame, then closes: drain
+  // until EOF. Nothing here may hang or crash either endpoint.
+  char buf[4096];
+  for (;;) {
+    Result<ReadOutcome> outcome = ReadSome(raw, buf, sizeof(buf));
+    if (!outcome.ok() || outcome->eof) break;
+  }
+  ExpectServerAlive();
+}
+
+TEST_F(LiveServerFuzz, RandomGarbageStreamsNeverKillTheServer) {
+  Rng rng(1999);
+  for (int round = 0; round < 30; ++round) {
+    Socket raw = TcpConnect(server_->port()).value();
+    std::string garbage;
+    int len = 1 + rng.NextInt(0, 200);
+    for (int i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.NextInt(0, 255)));
+    }
+    if (!WriteAll(raw, garbage).ok()) continue;  // server already closed us
+    if (rng.NextInt(0, 1) == 0) {
+      raw.Close();  // abrupt disconnect, possibly mid-frame
+    } else {
+      // EOF the write side first: if the garbage parsed as an incomplete
+      // frame the server is waiting for its remainder, and only our EOF
+      // releases it — without this the drain below would deadlock.
+      raw.ShutdownWrite();
+      char buf[4096];
+      for (int reads = 0; reads < 8; ++reads) {
+        Result<ReadOutcome> outcome = ReadSome(raw, buf, sizeof(buf));
+        if (!outcome.ok() || outcome->eof) break;
+      }
+    }
+  }
+  ExpectServerAlive();
+}
+
+}  // namespace
+}  // namespace fvl::net

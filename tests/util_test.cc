@@ -2,8 +2,10 @@
 
 #include "fvl/util/bitstream.h"
 #include "fvl/util/boolean_matrix.h"
+#include "fvl/util/histogram.h"
 #include "fvl/util/random.h"
 #include "fvl/util/table_printer.h"
+#include "fvl/workload/key_generator.h"
 #include "test_util.h"
 
 namespace fvl {
@@ -230,6 +232,108 @@ TEST(TablePrinter, AlignedOutput) {
 TEST(TablePrinter, NumFormatting) {
   EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
   EXPECT_EQ(TablePrinter::Num(2.0, 0), "2");
+}
+
+TEST(LatencyHistogram, EmptyAndSingleSample) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+
+  h.Record(1234);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 1234);
+  EXPECT_EQ(h.max(), 1234);
+  EXPECT_EQ(h.mean(), 1234.0);
+  // Percentile(0)/Percentile(1) report the exact extremes, un-quantized.
+  EXPECT_EQ(h.Percentile(0.0), 1234);
+  EXPECT_EQ(h.Percentile(1.0), 1234);
+}
+
+TEST(LatencyHistogram, PercentilesWithinBucketResolution) {
+  // Uniform samples 1..10000: pXX must land within the ~3% (2^-5) bucket
+  // resolution of the exact order statistic.
+  LatencyHistogram h;
+  for (int64_t v = 1; v <= 10000; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 10000);
+  for (double q : {0.50, 0.95, 0.99}) {
+    int64_t exact = static_cast<int64_t>(q * 10000);
+    int64_t got = h.Percentile(q);
+    EXPECT_NEAR(static_cast<double>(got), static_cast<double>(exact),
+                0.04 * exact)
+        << "q=" << q;
+  }
+  EXPECT_EQ(h.Percentile(0.0), 1);
+  EXPECT_EQ(h.Percentile(1.0), 10000);
+}
+
+TEST(LatencyHistogram, NegativeClampsAndMergeAddsUp) {
+  LatencyHistogram a, b;
+  a.Record(-5);  // clamps to 0
+  a.Record(100);
+  b.Record(1000000);
+  b.Record(50);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4);
+  EXPECT_EQ(a.min(), 0);
+  EXPECT_EQ(a.max(), 1000000);
+  // Merging an empty histogram is a no-op.
+  LatencyHistogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 4);
+}
+
+TEST(KeyGenerator, UniformCoversTheKeySpace) {
+  KeyGenerator keys(KeyDistribution::kUniform, 64);
+  Rng rng(5);
+  std::vector<int64_t> counts(64, 0);
+  for (int i = 0; i < 64 * 200; ++i) {
+    int64_t k = keys.Next(rng);
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, 64);
+    ++counts[k];
+  }
+  for (int64_t c : counts) EXPECT_GT(c, 0);
+  // No key grossly over-represented (expected 200 each).
+  for (int64_t c : counts) EXPECT_LT(c, 400);
+}
+
+TEST(KeyGenerator, ZipfianIsSkewedTowardLowRanks) {
+  // theta=0.99 over 10^4 keys: the YCSB rule of thumb is ~half of all
+  // draws landing on the hottest ~2% of keys. Assert loose brackets so
+  // the test pins the skew without overfitting the constant.
+  const int64_t n = 10000;
+  KeyGenerator keys(KeyDistribution::kZipfian, n);
+  Rng rng(6);
+  const int draws = 200000;
+  int hot = 0;    // rank < 2% of n
+  int64_t max_seen = 0;
+  for (int i = 0; i < draws; ++i) {
+    int64_t k = keys.Next(rng);
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, n);
+    if (k < n / 50) ++hot;
+    max_seen = std::max(max_seen, k);
+  }
+  double hot_fraction = static_cast<double>(hot) / draws;
+  EXPECT_GT(hot_fraction, 0.35);
+  EXPECT_LT(hot_fraction, 0.75);
+  // The tail is still reachable.
+  EXPECT_GT(max_seen, n / 2);
+}
+
+TEST(KeyGenerator, SingleKeyAndDeterministicStreams) {
+  KeyGenerator one(KeyDistribution::kZipfian, 1);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(one.Next(rng), 0);
+
+  // Generators hold no RNG state: two equal-seeded streams through one
+  // generator must coincide.
+  KeyGenerator keys(KeyDistribution::kZipfian, 1000);
+  Rng r1(42), r2(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(keys.Next(r1), keys.Next(r2));
 }
 
 }  // namespace

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Perf-trend gate over the BENCH_*.json artifacts.
+
+Compares the current commit's benchmark artifacts against the previous
+commit's (any directory of BENCH_*.json files — in CI, the restored
+baseline cache) and fails when a tracked metric regresses by more than
+the threshold. Rows are matched across commits by their identity columns
+(everything that is not a tracked metric), so adding a new row size or
+mix is never itself a "regression" — only a matched row moving the wrong
+way is.
+
+Tracked metrics (direction matters):
+  merged_qps          higher is better   (bench_merge_query)
+  snapshot_delta_ms   lower is better    (bench_service_throughput)
+  stream_peak_stores  lower is better    (bench_merge_query)
+  p99_us              lower is better    (ycsb_driver, table "ycsb")
+
+Usage:
+  tools/bench_trend.py --current . --baseline bench-baseline [--threshold 20]
+
+Exit codes: 0 ok (including "no baseline yet"), 1 regression, 2 bad input.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+# metric -> True when higher is better.
+TRACKED = {
+    "merged_qps": True,
+    "snapshot_delta_ms": False,
+    "stream_peak_stores": False,
+    "p99_us": False,
+}
+
+# Columns that identify a row's configuration across commits. Everything
+# else in a row is a measured value and would never reproduce exactly, so
+# it must not take part in row matching.
+ID_COLUMNS = {"runs", "total_items", "run_size", "checkpoints", "queries",
+              "mix", "dist", "threads"}
+
+
+def load_artifacts(directory):
+    """{basename: parsed json} for every BENCH_*.json under directory."""
+    artifacts = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        try:
+            with open(path) as f:
+                artifacts[os.path.basename(path)] = json.load(f)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"bench_trend: cannot parse {path}: {error}")
+            sys.exit(2)
+    return artifacts
+
+
+def indexed_rows(document):
+    """{(table, row-identity): {metric: value}} for one artifact.
+
+    Row identity is the tuple of (column, value) pairs over the
+    configuration columns — ID_COLUMNS plus any string-valued cell, e.g.
+    ("mix", "read_heavy"), ("dist", "zipfian"), ("threads", 8).
+    """
+    rows = {}
+    for table in document.get("tables", []):
+        name = table.get("table", "?")
+        for row in table.get("rows", []):
+            identity = tuple(
+                sorted((k, v) for k, v in row.items()
+                       if k in ID_COLUMNS or isinstance(v, str))
+            )
+            metrics = {
+                k: v
+                for k, v in row.items()
+                if k in TRACKED and isinstance(v, (int, float))
+            }
+            if metrics:
+                rows[(name, identity)] = metrics
+    return rows
+
+
+def describe(identity):
+    return ", ".join(f"{k}={v}" for k, v in identity)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", default=".",
+                        help="directory holding this commit's BENCH_*.json")
+    parser.add_argument("--baseline", required=True,
+                        help="directory holding the previous commit's artifacts")
+    parser.add_argument("--threshold", type=float, default=20.0,
+                        help="allowed regression in percent (default 20)")
+    args = parser.parse_args()
+
+    current = load_artifacts(args.current)
+    if not current:
+        print(f"bench_trend: no BENCH_*.json under {args.current}")
+        sys.exit(2)
+    if not os.path.isdir(args.baseline):
+        print(f"bench_trend: no baseline at {args.baseline} — first run, "
+              "nothing to compare against")
+        sys.exit(0)
+    baseline = load_artifacts(args.baseline)
+    if not baseline:
+        print(f"bench_trend: baseline {args.baseline} holds no artifacts — "
+              "nothing to compare against")
+        sys.exit(0)
+
+    regressions = []
+    compared = 0
+    for filename, document in sorted(current.items()):
+        if filename not in baseline:
+            print(f"bench_trend: {filename}: new artifact, no baseline")
+            continue
+        old_rows = indexed_rows(baseline[filename])
+        for key, metrics in sorted(indexed_rows(document).items()):
+            table, identity = key
+            old_metrics = old_rows.get(key)
+            if old_metrics is None:
+                continue  # new row shape (e.g. a new size point)
+            for metric, value in sorted(metrics.items()):
+                old = old_metrics.get(metric)
+                if old is None or old == 0:
+                    continue
+                higher_is_better = TRACKED[metric]
+                change = 100.0 * (value - old) / old
+                regressed = (change < -args.threshold if higher_is_better
+                             else change > args.threshold)
+                compared += 1
+                marker = "REGRESSION" if regressed else "ok"
+                print(f"  [{marker:>10}] {filename} {table} "
+                      f"({describe(identity)}) {metric}: "
+                      f"{old:g} -> {value:g} ({change:+.1f}%)")
+                if regressed:
+                    regressions.append((filename, table, identity, metric,
+                                        old, value, change))
+
+    print(f"bench_trend: compared {compared} metric value(s), "
+          f"{len(regressions)} regression(s) beyond {args.threshold:g}%")
+    if regressions:
+        for filename, table, identity, metric, old, value, change in regressions:
+            print(f"bench_trend: FAIL {filename} {table} "
+                  f"({describe(identity)}) {metric} {old:g} -> {value:g} "
+                  f"({change:+.1f}%, threshold {args.threshold:g}%)")
+        sys.exit(1)
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()
