@@ -15,7 +15,7 @@
 // and amortized after one batch. Merged throughput should beat
 // one_at_a_time by the usual 2-4x decode-amortization factor and stay close
 // to the per-run batch path (it pays a RunOf partition and a larger decode
-// table for the single-call, single-artifact interface). B_per_label is the
+// table for the single-call, single-artifact interface). bytes_per_label is the
 // merged store's bytes per item (shared arena + grouped offsets); the
 // merged_t2/t4 columns shard the decode loop across the service's
 // fork-join query workers (set_query_threads) — identical answers,
@@ -67,7 +67,7 @@ void Main(const BenchConfig& config) {
   TablePrinter stream_table({"runs", "total_items", "mat_merge_ms",
                              "mat_peak_stores", "stream_merge_ms",
                              "stream_peak_stores"});
-  TablePrinter table({"runs", "total_items", "merge_ms", "B_per_label",
+  TablePrinter table({"runs", "total_items", "merge_ms", "bytes_per_label",
                       "queries", "one_at_a_time_qps", "per_run_batched_qps",
                       "merged_qps", "merged_t2_qps", "merged_t4_qps",
                       "speedup_vs_loop"});

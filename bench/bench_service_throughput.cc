@@ -10,7 +10,7 @@
 // beats one-at-a-time on every run size, with the gap growing as Q/N grows.
 //
 // Also reported per row:
-//   * B_per_label — LabelStore bytes per item in the frozen snapshot
+//   * bytes_per_label — LabelStore bytes per item in the frozen snapshot
 //     (arena + offsets), the space side of the shared-arena story;
 //   * locked_qps — service->Depends one at a time, which takes the view
 //     registry's internal mutex on every call: its gap to one_at_a_time_qps
@@ -55,7 +55,7 @@ void Main(const BenchConfig& config) {
   const ViewLabel& label =
       *service->LabelOf(view, ViewLabelMode::kQueryEfficient).value();
 
-  TablePrinter table({"run_size", "queries", "B_per_label",
+  TablePrinter table({"run_size", "queries", "bytes_per_label",
                       "one_at_a_time_qps", "locked_qps", "batched_qps",
                       "batched_t2_qps", "batched_t4_qps", "speedup"});
   for (int size : config.run_sizes()) {

@@ -90,7 +90,7 @@ class ProvenanceIndex {
   // returned index never aborts in its accessors. The blob is only read
   // during the call (the index owns its storage), so borrowed buffers can
   // be streamed through without copying (MergeStream relies on this).
-  static Result<ProvenanceIndex> Deserialize(std::string_view blob);
+  [[nodiscard]] static Result<ProvenanceIndex> Deserialize(std::string_view blob);
 
   // Reassembles incremental snapshots (ProvenanceSession::SnapshotDelta)
   // into the index one full Snapshot() would have produced at the same
@@ -99,7 +99,7 @@ class ProvenanceIndex {
   // one codec; a codec mismatch, an empty span (no codec to infer), an
   // item-count overflow, or an internally inconsistent delta store is
   // kInvalidArgument.
-  static Result<ProvenanceIndex> FromDeltas(
+  [[nodiscard]] static Result<ProvenanceIndex> FromDeltas(
       std::span<const ProvenanceIndex> deltas);
 
   // Combines per-run snapshots of the *same* specification into one
@@ -109,7 +109,7 @@ class ProvenanceIndex {
   // disagree (i.e. snapshots of structurally different grammars) are
   // rejected with kInvalidArgument; an empty span yields an empty merged
   // index rather than an error.
-  static Result<MergedProvenanceIndex> Merge(
+  [[nodiscard]] static Result<MergedProvenanceIndex> Merge(
       std::span<const ProvenanceIndex> runs);
 
  private:
@@ -166,7 +166,7 @@ class MergedProvenanceIndex {
   // Same contract as the single-run pair: stable little-endian format,
   // kMalformedBlob on any parse or decode inconsistency.
   std::string Serialize() const;
-  static Result<MergedProvenanceIndex> Deserialize(std::string_view blob);
+  [[nodiscard]] static Result<MergedProvenanceIndex> Deserialize(std::string_view blob);
 
  private:
   LabelStore store_;
@@ -195,7 +195,7 @@ class MergeStream {
   // the runs appended before it (a snapshot of a structurally different
   // grammar) or the merge would exceed the supported item count. On error
   // the stream is unchanged and may keep appending other blobs.
-  Status Append(std::string_view blob);
+  [[nodiscard]] Status Append(std::string_view blob);
 
   // Runs / items appended so far.
   int num_runs() const { return store_.num_groups(); }
@@ -209,7 +209,7 @@ class MergeStream {
   // Freezes the appended runs into the merged artifact (an empty stream
   // yields an empty index, exactly like Merge over an empty span); the
   // stream is consumed.
-  Result<MergedProvenanceIndex> Finish() &&;
+  [[nodiscard]] Result<MergedProvenanceIndex> Finish() &&;
 
  private:
   bool have_codec_ = false;

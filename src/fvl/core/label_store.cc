@@ -8,6 +8,12 @@ namespace fvl {
 
 namespace internal {
 
+// Lock-free by design, not by accident: the probe is read from test threads
+// while arenas are created/destroyed on others, so it uses relaxed atomics
+// with a CAS loop for the peak instead of a mutex. `peak` is monotone
+// between ResetPeak calls; concurrent Add/ResetPeak may interleave, which is
+// fine — the probe is a test observability hook, not a correctness input.
+// (TSan exercises this path via tests/concurrency_stress_test.cc.)
 namespace {
 std::atomic<int> live_stores{0};
 std::atomic<int> peak_stores{0};

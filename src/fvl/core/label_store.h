@@ -179,7 +179,7 @@ class LabelStore {
   // within int range, bases monotone). The blob is only read during the
   // call — the returned store owns its words, so callers may stream
   // borrowed buffers through without copying them into std::strings.
-  static Result<LabelStore> ParseTail(std::string_view blob, size_t* pos,
+  [[nodiscard]] static Result<LabelStore> ParseTail(std::string_view blob, size_t* pos,
                                       std::vector<int64_t> group_base,
                                       uint64_t arena_bits);
 
@@ -195,7 +195,7 @@ class LabelStore {
 
   // Shared bulk-append core: coverage check, arena bit copy, offset
   // rebasing. Group bookkeeping is the callers' business.
-  Status AppendArena(const LabelStore& other);
+  [[nodiscard]] Status AppendArena(const LabelStore& other);
 
   LabelCodec codec_;
   std::vector<int64_t> group_base_{0};  // size num_groups + 1; [0] = 0

@@ -60,6 +60,7 @@ Result<std::string> ProvenanceClient::ReadResponseFrame() {
 }
 
 Result<std::string> ProvenanceClient::Call(std::string_view request_payload) {
+  internal::SingleWriterScope caller(&call_guard_);
   std::string out;
   AppendFrame(&out, request_payload);
   Status written = WriteAll(socket_, out);
@@ -222,11 +223,13 @@ Result<ServerStats> ProvenanceClient::Stats() {
 void ProvenanceClient::QueueDepends(uint64_t view_id, uint64_t index_id,
                                     ViewLabelMode mode, uint64_t d1,
                                     uint64_t d2) {
+  internal::SingleWriterScope caller(&call_guard_);
   AppendDependsRequestFrame(&write_buffer_, view_id, index_id, mode, d1, d2);
   ++pending_;
 }
 
 Status ProvenanceClient::Flush() {
+  internal::SingleWriterScope caller(&call_guard_);
   if (write_buffer_.empty()) return Status::Ok();
   Status written = WriteAll(socket_, write_buffer_);
   write_buffer_.clear();
@@ -234,6 +237,7 @@ Status ProvenanceClient::Flush() {
 }
 
 Result<bool> ProvenanceClient::NextDependsAnswer() {
+  internal::SingleWriterScope caller(&call_guard_);
   if (pending_ == 0) {
     return Status::Error(ErrorCode::kInvalidArgument,
                          "no pipelined query pending");
@@ -274,6 +278,7 @@ Result<bool> ProvenanceClient::NextDependsAnswer() {
 }
 
 Result<std::string> ProvenanceClient::RoundTripRaw(std::string_view payload) {
+  internal::SingleWriterScope caller(&call_guard_);
   std::string out;
   AppendFrame(&out, payload);
   Status written = WriteAll(socket_, out);

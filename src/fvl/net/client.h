@@ -15,7 +15,10 @@
 // arrive as the original Status (code + message) reconstructed from the
 // error frame. A client is single-threaded by contract — share a
 // connection across threads and the interleaved frames will corrupt the
-// conversation (each bench/test thread opens its own client).
+// conversation (each bench/test thread opens its own client). The contract
+// is enforced: every call entry point holds a SingleWriterScope, so two
+// threads inside the client at once fail a check with a message instead of
+// silently desyncing the frame stream.
 
 #ifndef FVL_NET_CLIENT_H_
 #define FVL_NET_CLIENT_H_
@@ -31,6 +34,7 @@
 #include "fvl/net/wire.h"
 #include "fvl/run/run.h"
 #include "fvl/service/provenance_service.h"
+#include "fvl/util/single_writer.h"
 #include "fvl/util/status.h"
 #include "fvl/workflow/view.h"
 
@@ -54,33 +58,33 @@ struct MergeInfo {
 class ProvenanceClient {
  public:
   // Connects to 127.0.0.1:port.
-  static Result<ProvenanceClient> Connect(int port);
+  [[nodiscard]] static Result<ProvenanceClient> Connect(int port);
 
   ProvenanceClient(ProvenanceClient&&) = default;
   ProvenanceClient& operator=(ProvenanceClient&&) = default;
 
   // --- Synchronous calls (one request, one response) ---
 
-  Result<uint64_t> Ping();  // returns the protocol version
-  Result<uint64_t> RegisterView(const View& view);
-  Result<uint64_t> BeginRun();
-  Result<DerivationStep> Apply(uint64_t session_id, uint64_t instance,
+  [[nodiscard]] Result<uint64_t> Ping();  // returns the protocol version
+  [[nodiscard]] Result<uint64_t> RegisterView(const View& view);
+  [[nodiscard]] Result<uint64_t> BeginRun();
+  [[nodiscard]] Result<DerivationStep> Apply(uint64_t session_id, uint64_t instance,
                                uint64_t production);
-  Result<SnapshotInfo> Snapshot(uint64_t session_id);
-  Result<SnapshotInfo> SnapshotDelta(uint64_t session_id);
-  Result<bool> Depends(uint64_t view_id, uint64_t index_id, ViewLabelMode mode,
+  [[nodiscard]] Result<SnapshotInfo> Snapshot(uint64_t session_id);
+  [[nodiscard]] Result<SnapshotInfo> SnapshotDelta(uint64_t session_id);
+  [[nodiscard]] Result<bool> Depends(uint64_t view_id, uint64_t index_id, ViewLabelMode mode,
                        uint64_t d1, uint64_t d2);
-  Result<std::vector<bool>> DependsMany(
+  [[nodiscard]] Result<std::vector<bool>> DependsMany(
       uint64_t view_id, uint64_t index_id, ViewLabelMode mode,
       std::span<const std::pair<int, int>> queries);
-  Result<std::vector<bool>> VisibilitySweep(uint64_t view_id,
+  [[nodiscard]] Result<std::vector<bool>> VisibilitySweep(uint64_t view_id,
                                             uint64_t index_id,
                                             ViewLabelMode mode);
-  Result<MergeInfo> MergeRuns(std::span<const uint64_t> index_ids);
-  Result<std::vector<bool>> QueryAcrossRuns(
+  [[nodiscard]] Result<MergeInfo> MergeRuns(std::span<const uint64_t> index_ids);
+  [[nodiscard]] Result<std::vector<bool>> QueryAcrossRuns(
       uint64_t view_id, uint64_t merged_id, ViewLabelMode mode,
       std::span<const std::pair<RunItem, RunItem>> queries);
-  Result<ServerStats> Stats();
+  [[nodiscard]] Result<ServerStats> Stats();
 
   // --- Pipelined point queries ---
   //
@@ -94,26 +98,27 @@ class ProvenanceClient {
 
   void QueueDepends(uint64_t view_id, uint64_t index_id, ViewLabelMode mode,
                     uint64_t d1, uint64_t d2);
-  Status Flush();
-  Result<bool> NextDependsAnswer();
+  [[nodiscard]] Status Flush();
+  [[nodiscard]] Result<bool> NextDependsAnswer();
   size_t pending() const { return pending_; }
 
   // Ships raw bytes as one frame payload and returns the raw response
   // payload — the fuzz harness's hook for sending what no encoder would.
-  Result<std::string> RoundTripRaw(std::string_view payload);
+  [[nodiscard]] Result<std::string> RoundTripRaw(std::string_view payload);
 
  private:
   explicit ProvenanceClient(Socket socket) : socket_(std::move(socket)) {}
 
   // One framed request, one framed response, parsed to its body.
-  Result<std::string> Call(std::string_view request_payload);
+  [[nodiscard]] Result<std::string> Call(std::string_view request_payload);
   // Reads exactly one frame payload (blocking).
-  Result<std::string> ReadResponseFrame();
+  [[nodiscard]] Result<std::string> ReadResponseFrame();
   // Advances the read cursor past a consumed frame, compacting the buffer
   // once fully drained.
   void ConsumeRead(size_t frame_size);
 
   Socket socket_;
+  internal::SingleWriterGuard call_guard_;  // enforces one-thread-at-a-time
   std::string read_buffer_;
   size_t read_pos_ = 0;       // consumed prefix of read_buffer_ (answers are
                               // popped by cursor; one erase per drained buffer

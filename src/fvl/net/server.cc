@@ -1,11 +1,9 @@
 #include "fvl/net/server.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -17,6 +15,7 @@
 #include "fvl/core/index.h"
 #include "fvl/net/socket.h"
 #include "fvl/net/wire.h"
+#include "fvl/util/thread_annotations.h"
 
 namespace fvl::net {
 namespace {
@@ -28,7 +27,9 @@ Status NotFound(const char* what, uint64_t id) {
 
 // One queued point query awaiting a shared decode pass. Owned by its
 // connection thread; the batcher only touches it between enqueue and the
-// done_ handshake.
+// done handshake. The handshake fields (status/answer/done) are guarded by
+// the server's batch_mu_ — they live outside Impl, so the guard is the
+// enqueue/done protocol (checked by TSan) rather than an FVL_GUARDED_BY.
 struct PointQuery {
   DependsRequest request;
   // Filled by the batcher.
@@ -78,33 +79,36 @@ class ProvenanceServer::Impl {
     return stats;
   }
 
-  void Stop() {
+  void Stop() FVL_EXCLUDES(stop_mu_, conns_mu_, batch_mu_) {
     if (stopping_.exchange(true)) {
       // A concurrent/second Stop still waits for the first drain to finish
       // (destructor-vs-explicit-Stop race).
-      std::lock_guard<std::mutex> lock(stop_mu_);
+      MutexLock lock(&stop_mu_);
       return;
     }
-    std::lock_guard<std::mutex> lock(stop_mu_);
+    MutexLock lock(&stop_mu_);
     // 1. No new connections.
     listener_.ShutdownBoth();
     if (acceptor_.joinable()) acceptor_.join();
     // 2. Drain: wake every parked reader but keep write sides open, so
-    // responses to requests already received still go out.
+    // responses to requests already received still go out. The join runs
+    // under conns_mu_ too — the acceptor (the only other writer of
+    // connections_) is already joined, and connection threads never take
+    // conns_mu_, so holding it across the joins cannot deadlock.
     {
-      std::lock_guard<std::mutex> conns_lock(conns_mu_);
+      MutexLock conns_lock(&conns_mu_);
       for (auto& conn : connections_) conn->socket.ShutdownRead();
-    }
-    for (auto& conn : connections_) {
-      if (conn->thread.joinable()) conn->thread.join();
+      for (auto& conn : connections_) {
+        if (conn->thread.joinable()) conn->thread.join();
+      }
     }
     // 3. The batcher exits once the queue is dry (connection threads are
     // gone, so nothing re-fills it).
     {
-      std::lock_guard<std::mutex> batch_lock(batch_mu_);
+      MutexLock batch_lock(&batch_mu_);
       batch_stopping_ = true;
     }
-    batch_cv_.notify_all();
+    batch_cv_.NotifyAll();
     if (batcher_.joinable()) batcher_.join();
   }
 
@@ -115,13 +119,15 @@ class ProvenanceServer::Impl {
   };
 
   struct SessionEntry {
-    std::mutex mu;  // sessions are single-writer; serialize wire mutations
-    std::shared_ptr<ProvenanceSession> session;
+    Mutex mu;  // sessions are single-writer; serialize wire mutations
+    // The pointer is written once before the entry is published in
+    // sessions_; the *session object* behind it is what mu guards.
+    std::shared_ptr<ProvenanceSession> session FVL_PT_GUARDED_BY(mu);
   };
 
   // --- Accept loop --------------------------------------------------------
 
-  void AcceptLoop() {
+  void AcceptLoop() FVL_EXCLUDES(conns_mu_) {
     for (;;) {
       Result<Socket> accepted = Accept(listener_);
       if (!accepted.ok()) return;  // listener shut down (or hard failure)
@@ -130,7 +136,7 @@ class ProvenanceServer::Impl {
       auto conn = std::make_unique<Connection>();
       conn->socket = std::move(accepted).value();
       Connection* raw = conn.get();
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      MutexLock lock(&conns_mu_);
       if (stopping_.load()) return;  // raced Stop; drop the connection
       // Connection slots live until Stop joins them — bounded by the
       // process's connection churn, which is fine for a benchmark/test
@@ -188,7 +194,12 @@ class ProvenanceServer::Impl {
       AppendFrame(&out, HandleRequest(*request));
       if (!WriteAll(conn->socket, out).ok()) break;
     }
-    conn->socket.Close();
+    // Tear down the conversation but do NOT close: Stop() may still call
+    // ShutdownRead() on this socket, and close() here would free the fd
+    // number out from under it (racing the read, and worse, the number can
+    // be reused by an unrelated descriptor). The fd is released when the
+    // Connection slot is destroyed, after Stop has joined this thread.
+    conn->socket.ShutdownBoth();
   }
 
   // Greedily drains the run of already-buffered point-query frames that
@@ -252,41 +263,44 @@ class ProvenanceServer::Impl {
 
   // --- Point-query batcher ------------------------------------------------
 
-  void ExecuteThroughBatcher(std::deque<PointQuery>& run) {
+  void ExecuteThroughBatcher(std::deque<PointQuery>& run)
+      FVL_EXCLUDES(batch_mu_) {
     {
-      std::lock_guard<std::mutex> lock(batch_mu_);
+      MutexLock lock(&batch_mu_);
       for (PointQuery& query : run) queue_.push_back(&query);
     }
-    batch_cv_.notify_one();
-    std::unique_lock<std::mutex> lock(batch_mu_);
-    done_cv_.wait(lock, [&run] {
+    batch_cv_.NotifyOne();
+    MutexLock lock(&batch_mu_);
+    for (;;) {
+      bool all_done = true;
       for (const PointQuery& query : run) {
-        if (!query.done) return false;
+        if (!query.done) {
+          all_done = false;
+          break;
+        }
       }
-      return true;
-    });
+      if (all_done) return;
+      done_cv_.Wait(&batch_mu_);
+    }
   }
 
-  void BatcherLoop() {
-    std::unique_lock<std::mutex> lock(batch_mu_);
+  void BatcherLoop() FVL_EXCLUDES(batch_mu_) {
+    batch_mu_.Lock();
     for (;;) {
-      batch_cv_.wait(lock,
-                     [this] { return !queue_.empty() || batch_stopping_; });
-      if (queue_.empty()) {
-        if (batch_stopping_) return;
-        continue;
-      }
+      while (queue_.empty() && !batch_stopping_) batch_cv_.Wait(&batch_mu_);
+      if (queue_.empty()) break;  // batch_stopping_ and nothing left to serve
       // Take everything queued right now — the pop IS the coalescing
       // window: while one decode pass runs, new arrivals pile up for the
       // next, so batch size tracks concurrency with zero added latency.
       std::vector<PointQuery*> batch;
       batch.swap(queue_);
-      lock.unlock();
+      batch_mu_.Unlock();
       ExecuteBatch(batch);
-      lock.lock();
+      batch_mu_.Lock();
       for (PointQuery* query : batch) query->done = true;
-      done_cv_.notify_all();
+      done_cv_.NotifyAll();
     }
+    batch_mu_.Unlock();
   }
 
   void ExecuteBatch(const std::vector<PointQuery*>& batch) {
@@ -384,10 +398,11 @@ class ProvenanceServer::Impl {
         Status::Error(ErrorCode::kInvalidArgument, "unroutable request"));
   }
 
-  std::string HandleRegisterView(const Request& request) {
+  std::string HandleRegisterView(const Request& request)
+      FVL_EXCLUDES(state_mu_) {
     Result<ViewHandle> handle = service_->RegisterView(request.view);
     if (!handle.ok()) return ErrorResponse(handle.status());
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(&state_mu_);
     // The service dedups structurally equal views; mirror that on the wire
     // so re-registration returns a stable id.
     for (size_t i = 0; i < views_.size(); ++i) {
@@ -403,10 +418,10 @@ class ProvenanceServer::Impl {
     return OkResponse(body);
   }
 
-  std::string HandleBeginRun() {
+  std::string HandleBeginRun() FVL_EXCLUDES(state_mu_) {
     auto entry = std::make_shared<SessionEntry>();
     entry->session = service_->BeginRun();
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(&state_mu_);
     uint64_t id = next_session_id_++;
     sessions_[id] = std::move(entry);
     std::string body;
@@ -414,12 +429,12 @@ class ProvenanceServer::Impl {
     return OkResponse(body);
   }
 
-  std::string HandleApply(const Request& request) {
+  std::string HandleApply(const Request& request) FVL_EXCLUDES(state_mu_) {
     std::shared_ptr<SessionEntry> entry = LookupSession(request.session_id);
     if (entry == nullptr) {
       return ErrorResponse(NotFound("session", request.session_id));
     }
-    std::lock_guard<std::mutex> lock(entry->mu);
+    MutexLock lock(&entry->mu);
     Result<DerivationStep> step =
         entry->session->Apply(static_cast<int>(request.instance),
                               static_cast<int>(request.production));
@@ -434,21 +449,22 @@ class ProvenanceServer::Impl {
     return OkResponse(body);
   }
 
-  std::string HandleSnapshot(const Request& request) {
+  std::string HandleSnapshot(const Request& request)
+      FVL_EXCLUDES(state_mu_) {
     std::shared_ptr<SessionEntry> entry = LookupSession(request.session_id);
     if (entry == nullptr) {
       return ErrorResponse(NotFound("session", request.session_id));
     }
-    std::unique_lock<std::mutex> session_lock(entry->mu);
+    entry->mu.Lock();
     ProvenanceIndex index = request.type == MsgType::kSnapshotDelta
                                 ? entry->session->SnapshotDelta()
                                 : entry->session->Snapshot();
     int frozen = entry->session->frozen_items();
-    session_lock.unlock();
+    entry->mu.Unlock();
     int num_items = index.num_items();
     uint64_t id;
     {
-      std::lock_guard<std::mutex> lock(state_mu_);
+      MutexLock lock(&state_mu_);
       id = next_index_id_++;
       indexes_[id] =
           std::make_shared<const ProvenanceIndex>(std::move(index));
@@ -492,7 +508,8 @@ class ProvenanceServer::Impl {
     return OkResponse(body);
   }
 
-  std::string HandleMergeRuns(const Request& request) {
+  std::string HandleMergeRuns(const Request& request)
+      FVL_EXCLUDES(state_mu_) {
     // Serialize each snapshot and feed the memory-bounded streamed merge —
     // the same path a file-backed archive would take, so the wire op
     // inherits its O(largest run + output) bound and error taxonomy.
@@ -510,7 +527,7 @@ class ProvenanceServer::Impl {
     int total_items = merged->total_items();
     uint64_t id;
     {
-      std::lock_guard<std::mutex> lock(state_mu_);
+      MutexLock lock(&state_mu_);
       id = next_merged_id_++;
       merged_[id] = std::make_shared<const MergedProvenanceIndex>(
           std::move(merged).value());
@@ -540,27 +557,29 @@ class ProvenanceServer::Impl {
 
   // --- Registry lookups ---------------------------------------------------
 
-  Result<ViewHandle> LookupView(uint64_t view_id) {
-    std::lock_guard<std::mutex> lock(state_mu_);
+  Result<ViewHandle> LookupView(uint64_t view_id) FVL_EXCLUDES(state_mu_) {
+    MutexLock lock(&state_mu_);
     if (view_id >= views_.size()) return NotFound("view", view_id);
     return views_[view_id];
   }
 
-  std::shared_ptr<SessionEntry> LookupSession(uint64_t session_id) {
-    std::lock_guard<std::mutex> lock(state_mu_);
+  std::shared_ptr<SessionEntry> LookupSession(uint64_t session_id)
+      FVL_EXCLUDES(state_mu_) {
+    MutexLock lock(&state_mu_);
     auto it = sessions_.find(session_id);
     return it == sessions_.end() ? nullptr : it->second;
   }
 
-  std::shared_ptr<const ProvenanceIndex> LookupIndex(uint64_t index_id) {
-    std::lock_guard<std::mutex> lock(state_mu_);
+  std::shared_ptr<const ProvenanceIndex> LookupIndex(uint64_t index_id)
+      FVL_EXCLUDES(state_mu_) {
+    MutexLock lock(&state_mu_);
     auto it = indexes_.find(index_id);
     return it == indexes_.end() ? nullptr : it->second;
   }
 
   std::shared_ptr<const MergedProvenanceIndex> LookupMerged(
-      uint64_t merged_id) {
-    std::lock_guard<std::mutex> lock(state_mu_);
+      uint64_t merged_id) FVL_EXCLUDES(state_mu_) {
+    MutexLock lock(&state_mu_);
     auto it = merged_.find(merged_id);
     return it == merged_.end() ? nullptr : it->second;
   }
@@ -574,29 +593,31 @@ class ProvenanceServer::Impl {
   std::thread acceptor_;
   std::thread batcher_;
   std::atomic<bool> stopping_{false};
-  std::mutex stop_mu_;  // serializes concurrent Stop calls
+  Mutex stop_mu_;  // serializes concurrent Stop calls
 
-  std::mutex conns_mu_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  Mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_
+      FVL_GUARDED_BY(conns_mu_);
 
   // Wire-visible registries.
-  std::mutex state_mu_;
-  std::vector<ViewHandle> views_;
-  std::unordered_map<uint64_t, std::shared_ptr<SessionEntry>> sessions_;
+  Mutex state_mu_;
+  std::vector<ViewHandle> views_ FVL_GUARDED_BY(state_mu_);
+  std::unordered_map<uint64_t, std::shared_ptr<SessionEntry>> sessions_
+      FVL_GUARDED_BY(state_mu_);
   std::unordered_map<uint64_t, std::shared_ptr<const ProvenanceIndex>>
-      indexes_;
+      indexes_ FVL_GUARDED_BY(state_mu_);
   std::unordered_map<uint64_t, std::shared_ptr<const MergedProvenanceIndex>>
-      merged_;
-  uint64_t next_session_id_ = 1;
-  uint64_t next_index_id_ = 1;
-  uint64_t next_merged_id_ = 1;
+      merged_ FVL_GUARDED_BY(state_mu_);
+  uint64_t next_session_id_ FVL_GUARDED_BY(state_mu_) = 1;
+  uint64_t next_index_id_ FVL_GUARDED_BY(state_mu_) = 1;
+  uint64_t next_merged_id_ FVL_GUARDED_BY(state_mu_) = 1;
 
   // Coalescing queue.
-  std::mutex batch_mu_;
-  std::condition_variable batch_cv_;  // wakes the batcher
-  std::condition_variable done_cv_;   // wakes waiting connection threads
-  std::vector<PointQuery*> queue_;
-  bool batch_stopping_ = false;
+  Mutex batch_mu_;
+  CondVar batch_cv_;  // wakes the batcher
+  CondVar done_cv_;   // wakes waiting connection threads
+  std::vector<PointQuery*> queue_ FVL_GUARDED_BY(batch_mu_);
+  bool batch_stopping_ FVL_GUARDED_BY(batch_mu_) = false;
 
   std::atomic<uint64_t> point_queries_{0};
   std::atomic<uint64_t> point_batches_{0};

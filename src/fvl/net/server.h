@@ -69,7 +69,7 @@ class ProvenanceServer {
  public:
   // Binds 127.0.0.1:options.port, spawns the accept and batcher threads.
   // kUnavailable if the socket cannot be bound.
-  static Result<std::unique_ptr<ProvenanceServer>> Start(
+  [[nodiscard]] static Result<std::unique_ptr<ProvenanceServer>> Start(
       std::shared_ptr<ProvenanceService> service,
       const ServerOptions& options = {});
 

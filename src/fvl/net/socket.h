@@ -23,6 +23,15 @@
 namespace fvl::net {
 
 // Owning file-descriptor handle (move-only).
+//
+// Thread contract: the Shutdown* calls only read the descriptor and may be
+// made from another thread to unblock a parked reader/writer (that is their
+// whole point). Close() and the move operations write it, so they must be
+// reserved to the owning thread, after any thread that might touch the
+// socket has been joined — close() frees the fd *number*, which the kernel
+// can immediately reuse for an unrelated descriptor. net/server.cc's
+// shutdown-then-join-then-destroy sequence is the canonical pattern; the
+// field stays a plain int deliberately so TSan flags any violation.
 class Socket {
  public:
   Socket() = default;
@@ -61,18 +70,18 @@ class Socket {
 
 // Listening socket bound to 127.0.0.1:port (port 0 picks an ephemeral
 // port; read it back with LocalPort).
-Result<Socket> TcpListen(int port, int backlog = 64);
-Result<int> LocalPort(const Socket& socket);
+[[nodiscard]] Result<Socket> TcpListen(int port, int backlog = 64);
+[[nodiscard]] Result<int> LocalPort(const Socket& socket);
 
 // Blocking connect to 127.0.0.1:port with TCP_NODELAY set.
-Result<Socket> TcpConnect(int port);
+[[nodiscard]] Result<Socket> TcpConnect(int port);
 
 // Blocking accept; TCP_NODELAY is set on the returned socket.
 // kUnavailable when the listener was shut down.
-Result<Socket> Accept(const Socket& listener);
+[[nodiscard]] Result<Socket> Accept(const Socket& listener);
 
 // Writes all of `bytes` (retrying short writes and EINTR).
-Status WriteAll(const Socket& socket, std::string_view bytes);
+[[nodiscard]] Status WriteAll(const Socket& socket, std::string_view bytes);
 
 // One receive into buf[0, capacity). eof is set when the peer closed;
 // would_block only when non_blocking and no data was ready. n is 0 in both
@@ -82,7 +91,7 @@ struct ReadOutcome {
   bool eof = false;
   bool would_block = false;
 };
-Result<ReadOutcome> ReadSome(const Socket& socket, char* buf, size_t capacity,
+[[nodiscard]] Result<ReadOutcome> ReadSome(const Socket& socket, char* buf, size_t capacity,
                              bool non_blocking = false);
 
 }  // namespace fvl::net

@@ -99,7 +99,7 @@ struct Request {
 // Total decoder: kMalformedBlob on any violation (unknown type, truncated
 // body, counts that exceed the bytes present, fields outside their domain,
 // trailing bytes).
-Result<Request> DecodeRequest(std::string_view payload);
+[[nodiscard]] Result<Request> DecodeRequest(std::string_view payload);
 
 // Allocation-free fast path for the hottest message. A point query is one
 // fixed-shape 41-byte payload; the general decoder routes it through the
@@ -150,7 +150,7 @@ std::string ErrorResponse(const Status& status);
 
 // Splits a response payload: the body on success, the reconstructed error
 // Status for an error response, kMalformedBlob for anything else.
-Result<std::string_view> ParseResponse(std::string_view payload);
+[[nodiscard]] Result<std::string_view> ParseResponse(std::string_view payload);
 
 // --- Shared field codecs ---------------------------------------------------
 

@@ -31,7 +31,7 @@ class FvlScheme {
   // Checked construction with a structured error code per Thm.-8
   // precondition. The caller keeps ownership of *spec, which must outlive
   // the scheme (legacy contract — ProvenanceService::Create owns its spec).
-  static Result<FvlScheme> Create(const Specification* spec);
+  [[nodiscard]] static Result<FvlScheme> Create(const Specification* spec);
 
   const Specification& spec() const { return service_->spec(); }
   const Grammar& grammar() const { return service_->grammar(); }

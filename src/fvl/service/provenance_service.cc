@@ -67,21 +67,24 @@ Result<std::shared_ptr<ProvenanceService>> ProvenanceService::Finish(
   return service;
 }
 
+int ProvenanceService::FindRegularViewLocked(const View& wanted) const {
+  for (int id = 0; id < static_cast<int>(views_.size()); ++id) {
+    if (views_[id]->regular.has_value() &&
+        views_[id]->regular->view() == wanted) {
+      return id;
+    }
+  }
+  return -1;
+}
+
 Result<ViewHandle> ProvenanceService::RegisterView(View view) {
   // Registry hit: structurally equal views share one entry, so compilation
   // and labeling happen once.
-  auto find_existing = [this](const View& wanted) {
-    for (int id = 0; id < static_cast<int>(views_.size()); ++id) {
-      if (views_[id]->regular.has_value() &&
-          views_[id]->regular->view() == wanted) {
-        return id;
-      }
-    }
-    return -1;
-  };
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (int id = find_existing(view); id >= 0) return ViewHandle(id, tag_);
+    MutexLock lock(&mu_);
+    if (int id = FindRegularViewLocked(view); id >= 0) {
+      return ViewHandle(id, tag_);
+    }
   }
 
   // Compile outside the lock — an arbitrary view compilation must not
@@ -90,10 +93,10 @@ Result<ViewHandle> ProvenanceService::RegisterView(View view) {
       CompiledView::Compile(spec_->grammar, std::move(view));
   if (!compiled.ok()) return compiled.status();
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Re-scan: another thread may have registered the same view meanwhile
   // (the loser's compilation is discarded, keeping handles deduplicated).
-  if (int id = find_existing(compiled->view()); id >= 0) {
+  if (int id = FindRegularViewLocked(compiled->view()); id >= 0) {
     return ViewHandle(id, tag_);
   }
   auto entry = std::make_unique<ViewEntry>();
@@ -108,7 +111,7 @@ Result<ViewHandle> ProvenanceService::RegisterGroupedView(
       GroupedView::Compile(spec_->grammar, std::move(base), std::move(groups));
   if (!compiled.ok()) return compiled.status();
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto entry = std::make_unique<ViewEntry>();
   entry->grouped = std::move(compiled).value();
   views_.push_back(std::move(entry));
@@ -148,7 +151,7 @@ const ViewLabel& ProvenanceService::BuildLabel(ViewEntry& entry,
 
 Result<const ViewLabel*> ProvenanceService::LabelOf(ViewHandle handle,
                                                     ViewLabelMode mode) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Result<ViewEntry*> entry = EntryOf(handle);
   if (!entry.ok()) return entry.status();
   return &BuildLabel(**entry, mode);
@@ -156,7 +159,7 @@ Result<const ViewLabel*> ProvenanceService::LabelOf(ViewHandle handle,
 
 Result<const Decoder*> ProvenanceService::DecoderOf(ViewHandle handle,
                                                     ViewLabelMode mode) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Result<ViewEntry*> entry = EntryOf(handle);
   if (!entry.ok()) return entry.status();
   auto& slot = (*entry)->decoders[static_cast<int>(mode)];
@@ -168,7 +171,7 @@ Result<const Decoder*> ProvenanceService::DecoderOf(ViewHandle handle,
 
 Result<const CompiledView*> ProvenanceService::CompiledRegularView(
     ViewHandle handle) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Result<const ViewEntry*> entry = EntryOf(handle);
   if (!entry.ok()) return entry.status();
   if (!(*entry)->regular.has_value()) {
@@ -295,7 +298,7 @@ Result<std::vector<bool>> ProvenanceService::MergedBatch(
   // Validate the handle up front: it must be reported (kNotFound) even when
   // every pair crosses runs and the decoder is never consulted.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (Result<const ViewEntry*> entry = std::as_const(*this).EntryOf(handle);
         !entry.ok()) {
       return entry.status();
@@ -545,6 +548,9 @@ ProvenanceSession::ProvenanceSession(
 
 Result<DerivationStep> ProvenanceSession::Apply(int instance,
                                                 ProductionId production) {
+  // Single-writer contract: a concurrent Apply/SnapshotDelta on this
+  // session aborts here instead of corrupting the run.
+  internal::SingleWriterScope writer(&write_guard_);
   if (instance < 0 || instance >= run_.num_instances()) {
     return Status::Error(
         ErrorCode::kInvalidArgument,
@@ -593,6 +599,9 @@ ProvenanceIndex ProvenanceSession::Snapshot() const {
 }
 
 ProvenanceIndex ProvenanceSession::SnapshotDelta() {
+  // Moves the freeze watermark — a write, under the single-writer contract
+  // like Apply (net/server.cc holds its per-session mutex around both).
+  internal::SingleWriterScope writer(&write_guard_);
   // The live arena is append-only, so the labels since the last freeze are
   // one contiguous bit range at its end: extracting them costs O(delta),
   // which is what makes mid-run checkpointing of long executions viable.

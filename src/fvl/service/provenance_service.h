@@ -45,7 +45,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string_view>
@@ -57,7 +56,9 @@
 #include "fvl/core/run_labeler.h"
 #include "fvl/core/view_label.h"
 #include "fvl/run/run_generator.h"
+#include "fvl/util/single_writer.h"
 #include "fvl/util/status.h"
+#include "fvl/util/thread_annotations.h"
 
 namespace fvl {
 
@@ -101,11 +102,11 @@ class ProvenanceService
   // specification. Error codes: kInvalidSpecification, kImproperGrammar,
   // kNotStrictlyLinearRecursive, kUnsafeSpecification,
   // kIncompleteAssignment — one per rejected-specification class.
-  static Result<std::shared_ptr<ProvenanceService>> Create(Specification spec);
+  [[nodiscard]] static Result<std::shared_ptr<ProvenanceService>> Create(Specification spec);
 
   // Legacy adapter for callers that keep the specification elsewhere:
   // *spec must outlive the service. Prefer Create.
-  static Result<std::shared_ptr<ProvenanceService>> CreateUnowned(
+  [[nodiscard]] static Result<std::shared_ptr<ProvenanceService>> CreateUnowned(
       const Specification* spec);
 
   ProvenanceService(const ProvenanceService&) = delete;
@@ -122,32 +123,36 @@ class ProvenanceService
   // Compiles and registers a view. Registering a structurally equal view
   // again returns the existing handle — compilation, view labeling and
   // decoder construction happen once per registered view (per mode).
-  Result<ViewHandle> RegisterView(View view);
+  [[nodiscard]] Result<ViewHandle> RegisterView(View view) FVL_EXCLUDES(mu_);
 
   // §5 user-defined (grouped) views. Not deduplicated.
-  Result<ViewHandle> RegisterGroupedView(View base,
-                                         std::vector<ModuleGroup> groups);
+  [[nodiscard]] Result<ViewHandle> RegisterGroupedView(View base,
+                                         std::vector<ModuleGroup> groups)
+      FVL_EXCLUDES(mu_);
 
   // The default view (Δ, λ), registered at construction.
   ViewHandle default_view() const { return default_view_; }
-  int num_views() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  int num_views() const FVL_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return static_cast<int>(views_.size());
   }
 
   // The cached φv(U) for a handle; computed on first request per mode. The
   // pointer is stable for the service's lifetime.
-  Result<const ViewLabel*> LabelOf(ViewHandle handle, ViewLabelMode mode);
+  [[nodiscard]] Result<const ViewLabel*> LabelOf(ViewHandle handle, ViewLabelMode mode)
+      FVL_EXCLUDES(mu_);
   // The cached decoding predicate π for a handle.
-  Result<const Decoder*> DecoderOf(ViewHandle handle, ViewLabelMode mode);
+  [[nodiscard]] Result<const Decoder*> DecoderOf(ViewHandle handle, ViewLabelMode mode)
+      FVL_EXCLUDES(mu_);
   // The compiled form of a registered regular view (kInvalidArgument for
   // grouped handles); used by oracles and projections.
-  Result<const CompiledView*> CompiledRegularView(ViewHandle handle) const;
+  [[nodiscard]] Result<const CompiledView*> CompiledRegularView(ViewHandle handle) const
+      FVL_EXCLUDES(mu_);
 
   // Number of ViewLabeler::Label executions performed so far — observable
   // cache-effectiveness metric (asserted by tests/service_test.cc).
-  int64_t view_labelings_performed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  int64_t view_labelings_performed() const FVL_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return view_labelings_performed_;
   }
 
@@ -199,7 +204,7 @@ class ProvenanceService
   // --- Queries ------------------------------------------------------------
 
   // π(φr(d1), φr(d2), φv(U)) through the cached decoder.
-  Result<bool> Depends(ViewHandle handle, const DataLabel& d1,
+  [[nodiscard]] Result<bool> Depends(ViewHandle handle, const DataLabel& d1,
                        const DataLabel& d2,
                        ViewLabelMode mode = ViewLabelMode::kQueryEfficient);
 
@@ -209,14 +214,14 @@ class ProvenanceService
   // bench/bench_service_throughput.cc). Fails with kInvalidArgument if any
   // item id is out of range or the index was built for a different
   // specification (its codec disagrees with this service's grammar).
-  Result<std::vector<bool>> DependsMany(
+  [[nodiscard]] Result<std::vector<bool>> DependsMany(
       ViewHandle handle, const ProvenanceIndex& index,
       std::span<const std::pair<int, int>> queries,
       ViewLabelMode mode = ViewLabelMode::kQueryEfficient);
 
   // Visibility sweep (§5): per item of `index`, whether it is visible in
   // the view's projection of the run.
-  Result<std::vector<bool>> VisibilitySweep(
+  [[nodiscard]] Result<std::vector<bool>> VisibilitySweep(
       ViewHandle handle, const ProvenanceIndex& index,
       ViewLabelMode mode = ViewLabelMode::kQueryEfficient);
 
@@ -235,7 +240,7 @@ class ProvenanceService
   // is out of range or the merged index was built for a different
   // specification; an empty query span (or an empty merged index with no
   // queries) returns an empty vector rather than erroring.
-  Result<std::vector<bool>> QueryAcrossRuns(
+  [[nodiscard]] Result<std::vector<bool>> QueryAcrossRuns(
       ViewHandle handle, const MergedProvenanceIndex& index,
       std::span<const std::pair<RunItem, RunItem>> queries,
       ViewLabelMode mode = ViewLabelMode::kQueryEfficient);
@@ -243,14 +248,14 @@ class ProvenanceService
   // Merged-index overload of DependsMany: query sides are flat item ids
   // (MergedProvenanceIndex::GlobalId) into the merged arena; pairs whose
   // ids fall in different runs answer false, as in QueryAcrossRuns.
-  Result<std::vector<bool>> DependsMany(
+  [[nodiscard]] Result<std::vector<bool>> DependsMany(
       ViewHandle handle, const MergedProvenanceIndex& index,
       std::span<const std::pair<int, int>> queries,
       ViewLabelMode mode = ViewLabelMode::kQueryEfficient);
 
   // Merged-index overload of VisibilitySweep: one entry per item across all
   // merged runs, in flat-id order.
-  Result<std::vector<bool>> VisibilitySweep(
+  [[nodiscard]] Result<std::vector<bool>> VisibilitySweep(
       ViewHandle handle, const MergedProvenanceIndex& index,
       ViewLabelMode mode = ViewLabelMode::kQueryEfficient);
 
@@ -266,7 +271,7 @@ class ProvenanceService
   // specifications (between blobs, or against this service) are
   // kInvalidArgument; an empty span yields an empty merged index. Never
   // aborts on untrusted input.
-  Result<MergedProvenanceIndex> MergeRunsStreamed(
+  [[nodiscard]] Result<MergedProvenanceIndex> MergeRunsStreamed(
       std::span<const std::string_view> blobs);
 
  private:
@@ -284,35 +289,41 @@ class ProvenanceService
   ProvenanceService();
 
   // Shared Thm.-8 validation + default-view registration.
-  static Result<std::shared_ptr<ProvenanceService>> Finish(
+  [[nodiscard]] static Result<std::shared_ptr<ProvenanceService>> Finish(
       std::shared_ptr<const Specification> spec);
 
   // Registry lookups; `mu_` must be held (every public entry point takes
-  // it once, so internal code never locks twice).
-  Result<const ViewEntry*> EntryOf(ViewHandle handle) const;
-  Result<ViewEntry*> EntryOf(ViewHandle handle);
+  // it once, so internal code never locks twice) — machine-checked via
+  // FVL_REQUIRES in the thread-safety CI lane.
+  [[nodiscard]] Result<const ViewEntry*> EntryOf(ViewHandle handle) const
+      FVL_REQUIRES(mu_);
+  [[nodiscard]] Result<ViewEntry*> EntryOf(ViewHandle handle) FVL_REQUIRES(mu_);
+  // Linear dedup scan of the registered regular views (RegisterView runs
+  // it before and after compiling, so a racing equal registration loses
+  // cleanly); -1 when absent.
+  int FindRegularViewLocked(const View& wanted) const FVL_REQUIRES(mu_);
   // The one compatibility criterion between this service and any labeled
   // artifact (indexes, merged indexes, streamed-merge inputs): the
   // artifact's codec must equal the grammar's. Every entry point that
   // accepts untrusted artifacts funnels through it, so tightening the
   // criterion cannot miss a path.
-  Status CheckCodecCompatible(const LabelCodec& codec,
+  [[nodiscard]] Status CheckCodecCompatible(const LabelCodec& codec,
                               const char* artifact) const;
-  Status CheckIndexCompatible(const ProvenanceIndex& index) const;
-  Status CheckIndexCompatible(const MergedProvenanceIndex& index) const;
+  [[nodiscard]] Status CheckIndexCompatible(const ProvenanceIndex& index) const;
+  [[nodiscard]] Status CheckIndexCompatible(const MergedProvenanceIndex& index) const;
   // Shared decode-once batch cores behind DependsMany / QueryAcrossRuns and
   // the visibility sweeps; `label_of` abstracts over the single-run and
   // merged item spaces (ids are pre-validated against num_items).
-  Result<std::vector<bool>> BatchDepends(
+  [[nodiscard]] Result<std::vector<bool>> BatchDepends(
       ViewHandle handle, int num_items,
       std::span<const std::pair<int, int>> queries, ViewLabelMode mode,
       const std::function<DataLabel(int)>& label_of);
   // Merged-index batch core over pre-validated flat id pairs: answers
   // same-run pairs through BatchDepends and cross-run pairs as false.
-  Result<std::vector<bool>> MergedBatch(
+  [[nodiscard]] Result<std::vector<bool>> MergedBatch(
       ViewHandle handle, const MergedProvenanceIndex& index,
       std::span<const std::pair<int, int>> flat, ViewLabelMode mode);
-  Result<std::vector<bool>> SweepVisibility(
+  [[nodiscard]] Result<std::vector<bool>> SweepVisibility(
       ViewHandle handle, int num_items, ViewLabelMode mode,
       const std::function<DataLabel(int)>& label_of);
   // Whether every decoded field indexes inside this grammar's tables; the
@@ -322,7 +333,8 @@ class ProvenanceService
   // cycle/start fields are validated against the *module they apply to* and
   // the port against that module's own arity — not just the global maxima.
   bool LabelInBounds(const DataLabel& label) const;
-  const ViewLabel& BuildLabel(ViewEntry& entry, ViewLabelMode mode);
+  const ViewLabel& BuildLabel(ViewEntry& entry, ViewLabelMode mode)
+      FVL_REQUIRES(mu_);
 
   std::shared_ptr<const Specification> spec_;
   std::unique_ptr<ProductionGraph> pg_;  // refers into *spec_
@@ -330,18 +342,30 @@ class ProvenanceService
 
   // Guards the view registry: `views_` growth, the lazy label/decoder
   // slots, and the labeling counter. Immutable state (spec_, pg_,
-  // true_full_, tag_) is lock-free; entry pointers are stable once
-  // published, so queries only hold the lock for registry lookups.
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<ViewEntry>> views_;
+  // true_full_, tag_, default_view_ — all written before the service is
+  // published) is lock-free; entry pointers are stable once published, so
+  // queries only hold the lock for registry lookups. The lazy slots inside
+  // a ViewEntry are mutated under mu_ too, but live one indirection away
+  // from this class, so the guard there is convention plus TSan rather
+  // than an annotation.
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<ViewEntry>> views_ FVL_GUARDED_BY(mu_);
   ViewHandle default_view_;
-  int64_t view_labelings_performed_ = 0;
+  int64_t view_labelings_performed_ FVL_GUARDED_BY(mu_) = 0;
   uint64_t tag_;  // process-unique issuer tag stamped into handles
   std::atomic<int> query_threads_{1};
 };
 
 // One run labeled online (Def. 10). Obtained from
 // ProvenanceService::BeginRun; keeps its service alive.
+//
+// Sessions are single-writer: concurrent mutating calls (Apply,
+// SnapshotDelta) on one session require external synchronization — the
+// server's per-session mutex (net/server.cc SessionEntry) is the canonical
+// shape. The contract is *enforced*, not just documented: overlapping
+// writers hit a SingleWriterGuard FVL_CHECK, so the misuse aborts
+// deterministically instead of corrupting the run
+// (tests/concurrency_stress_test.cc).
 class ProvenanceSession {
  public:
   const Run& run() const { return run_; }
@@ -362,10 +386,10 @@ class ProvenanceSession {
   // kInvalidArgument (instead of aborting like Run::Apply) when the
   // instance/production pair is not applicable. Returns the recorded step
   // by value — references into the growing run do not survive later steps.
-  Result<DerivationStep> Apply(int instance, ProductionId production);
+  [[nodiscard]] Result<DerivationStep> Apply(int instance, ProductionId production);
 
   // Constant-time query from labels alone, against a registered view.
-  Result<bool> Depends(ViewHandle view, int item1, int item2,
+  [[nodiscard]] Result<bool> Depends(ViewHandle view, int item1, int item2,
                        ViewLabelMode mode = ViewLabelMode::kQueryEfficient);
 
   // Freezes the labels assigned so far into a position-independent,
@@ -402,6 +426,8 @@ class ProvenanceSession {
   std::shared_ptr<ProvenanceService> service_;
   Run run_;
   RunLabeler labeler_;
+  // Aborts when two unsynchronized writers overlap (see class comment).
+  internal::SingleWriterGuard write_guard_;
 };
 
 }  // namespace fvl

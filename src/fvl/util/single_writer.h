@@ -1,0 +1,62 @@
+// Dynamic misuse detection for single-writer objects.
+//
+// ProvenanceSession's contract is single-writer: concurrent Apply /
+// SnapshotDelta calls on one session require external synchronization
+// (net/server.cc's SessionEntry mutex is the canonical example). That
+// contract used to be documentation only — a racing caller got silent
+// corruption, and TSan only complained if the interleaving happened to
+// collide on the same bytes during the run. SingleWriterGuard turns the
+// misuse into a deterministic FVL_CHECK abort the moment two writers
+// overlap at all, whether or not their byte accesses collide.
+//
+// The guard is two relaxed atomic ops per guarded call — noise against the
+// labeling work a write performs — so it stays on in release builds, where
+// the contract matters most (tests/concurrency_stress_test.cc and
+// tests/util_test.cc cover both the quiet path and the detection).
+
+#ifndef FVL_UTIL_SINGLE_WRITER_H_
+#define FVL_UTIL_SINGLE_WRITER_H_
+
+#include <atomic>
+
+#include "fvl/util/check.h"
+
+namespace fvl::internal {
+
+class SingleWriterGuard {
+ public:
+  SingleWriterGuard() = default;
+  // Guard state is per-object identity, not data: copies/moves of the
+  // guarded object start unheld.
+  SingleWriterGuard(const SingleWriterGuard&) {}
+  SingleWriterGuard& operator=(const SingleWriterGuard&) { return *this; }
+
+  void Enter() {
+    FVL_CHECK(!writing_.exchange(true, std::memory_order_acquire) &&
+              "single-writer contract violated: two unsynchronized writers "
+              "overlapped on one object");
+  }
+  void Exit() { writing_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> writing_{false};
+};
+
+// Scoped Enter/Exit.
+class SingleWriterScope {
+ public:
+  explicit SingleWriterScope(SingleWriterGuard* guard) : guard_(guard) {
+    guard_->Enter();
+  }
+  ~SingleWriterScope() { guard_->Exit(); }
+
+  SingleWriterScope(const SingleWriterScope&) = delete;
+  SingleWriterScope& operator=(const SingleWriterScope&) = delete;
+
+ private:
+  SingleWriterGuard* guard_;
+};
+
+}  // namespace fvl::internal
+
+#endif  // FVL_UTIL_SINGLE_WRITER_H_

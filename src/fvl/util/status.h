@@ -66,8 +66,8 @@ class [[nodiscard]] Status {
  public:
   Status() = default;  // OK
 
-  static Status Ok() { return Status(); }
-  static Status Error(ErrorCode code, std::string message) {
+  [[nodiscard]] static Status Ok() { return Status(); }
+  [[nodiscard]] static Status Error(ErrorCode code, std::string message) {
     FVL_DCHECK(code != ErrorCode::kOk);
     Status status;
     status.code_ = code;

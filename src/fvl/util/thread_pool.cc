@@ -1,8 +1,7 @@
 #include "fvl/util/thread_pool.h"
 
 #include <algorithm>
-#include <thread>
-#include <vector>
+#include <utility>
 
 namespace fvl {
 
@@ -27,6 +26,84 @@ void ParallelFor(int64_t n, int threads,
   }
   body(0, std::min(n, per_shard));
   for (std::thread& worker : workers) worker.join();
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int count = std::max(threads, 1);
+  workers_.reserve(count);
+  for (int t = 0; t < count; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Stop(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  {
+    MutexLock lock(&mu_);
+    if (stopping_) return false;
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.NotifyOne();
+  return true;
+}
+
+void ThreadPool::Wait() {
+  mu_.Lock();
+  while (!queue_.empty() || running_ > 0) idle_cv_.Wait(&mu_);
+  mu_.Unlock();
+}
+
+void ThreadPool::Stop() {
+  {
+    MutexLock lock(&mu_);
+    stopping_ = true;
+    // Drain before tearing down: tasks accepted before the stop still run
+    // (WorkerLoop keeps popping a non-empty queue even while stopping).
+    while (!queue_.empty() || running_ > 0) idle_cv_.Wait(&mu_);
+  }
+  work_cv_.NotifyAll();
+  // Serialized joinable()/join() pass: concurrent Stops (including the
+  // destructor racing an explicit Stop) all block here until every worker
+  // has exited, so no caller returns while threads still touch members.
+  MutexLock join_lock(&join_mu_);
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+int64_t ThreadPool::tasks_completed() const {
+  MutexLock lock(&mu_);
+  return tasks_completed_;
+}
+
+int64_t ThreadPool::exceptions_swallowed() const {
+  MutexLock lock(&mu_);
+  return exceptions_swallowed_;
+}
+
+void ThreadPool::WorkerLoop() {
+  mu_.Lock();
+  for (;;) {
+    while (queue_.empty() && !stopping_) work_cv_.Wait(&mu_);
+    if (queue_.empty()) break;  // stopping_ and fully drained
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++running_;
+    mu_.Unlock();
+    bool threw = false;
+    try {
+      task();
+    } catch (...) {
+      threw = true;  // caller code; contained at the worker boundary
+    }
+    mu_.Lock();
+    --running_;
+    ++tasks_completed_;
+    if (threw) ++exceptions_swallowed_;
+    if (queue_.empty() && running_ == 0) idle_cv_.NotifyAll();
+  }
+  mu_.Unlock();
 }
 
 }  // namespace fvl

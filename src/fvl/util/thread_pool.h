@@ -1,29 +1,44 @@
-// Fork-join sharding for read-only batch loops (the decode stages of
-// DependsMany / VisibilitySweep).
+// Worker-thread utilities: fork-join sharding for read-only batch loops
+// (ParallelFor, the decode stages of DependsMany / VisibilitySweep) and a
+// persistent ThreadPool for long-lived submit-style work.
 //
 // ParallelFor splits [0, n) into contiguous shards and runs them on up to
 // `threads` workers, the calling thread included. The body must be safe to
 // run concurrently on disjoint ranges; results are joined before return, so
 // callers need no synchronization afterwards. threads <= 1, tiny n, or a
 // grain larger than n degrade to one serial call on the current thread —
-// the overhead-free path batch queries take by default.
+// the overhead-free path batch queries take by default. Workers are spawned
+// per call and joined before return: the kParallelForGrain floor keeps the
+// spawn cost — tens of microseconds — amortized over at least ~1k decodes
+// per extra worker. The body must not throw: the library is exception-free
+// (docs/DESIGN.md §4), and an exception escaping a ParallelFor worker would
+// std::terminate.
 //
-// Workers are spawned per call and joined before return (fork-join, not a
-// persistent pool): the kParallelForGrain floor keeps the spawn cost — tens
-// of microseconds — amortized over at least ~1k decodes per extra worker.
-// A lazily-started persistent pool is the upgrade path if per-call spawn
-// ever shows up in bench_service_throughput.
-//
-// The body must not throw. The library is exception-free (docs/DESIGN.md
-// §4: recoverable errors travel as Status values, which the batch loops
-// collect via per-shard flags; everything else FVL_CHECK-aborts), and an
-// exception escaping a worker would std::terminate.
+// ThreadPool is the persistent counterpart for work that arrives over time
+// (background maintenance, the upcoming sharded-cache refill paths): N
+// workers drain a mutex-guarded queue until Stop(). Lifecycle contract,
+// locked down by tests/util_test.cc:
+//   * the thread count is clamped to >= 1 — ThreadPool(0) (e.g. a
+//     miscomputed hardware_concurrency() derivation) still makes progress;
+//   * Submit after Stop returns false and runs nothing, rather than
+//     wedging or aborting — racing producers see a clean refusal;
+//   * Stop() drains: every task accepted before the stop runs to
+//     completion before Stop returns; idempotent and safe to race;
+//   * a task that throws is caught and counted (exceptions_swallowed())
+//     instead of taking down the process — tasks are caller code, and one
+//     bad task must not std::terminate every worker. Library code itself
+//     stays exception-free.
 
 #ifndef FVL_UTIL_THREAD_POOL_H_
 #define FVL_UTIL_THREAD_POOL_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <thread>
+#include <vector>
+
+#include "fvl/util/thread_annotations.h"
 
 namespace fvl {
 
@@ -32,6 +47,52 @@ inline constexpr int64_t kParallelForGrain = 1024;
 
 void ParallelFor(int64_t n, int threads,
                  const std::function<void(int64_t begin, int64_t end)>& body);
+
+class ThreadPool {
+ public:
+  // Spawns max(threads, 1) workers.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();  // Stop()
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues one task; returns false (and runs nothing) once Stop has
+  // begun. Tasks may Submit further tasks, but only until the stop.
+  bool Submit(std::function<void()> task) FVL_EXCLUDES(mu_);
+
+  // Blocks until the queue is empty and no task is mid-run. Tasks
+  // submitted while Wait blocks extend the wait.
+  void Wait() FVL_EXCLUDES(mu_);
+
+  // Refuses new work, drains everything already accepted, joins the
+  // workers. Idempotent; concurrent Stop calls all block until drain and
+  // join complete. Must not be called from inside a task (a worker joining
+  // itself would deadlock).
+  void Stop() FVL_EXCLUDES(mu_, join_mu_);
+
+  int64_t tasks_completed() const FVL_EXCLUDES(mu_);
+  // Tasks whose exception was caught at the worker boundary.
+  int64_t exceptions_swallowed() const FVL_EXCLUDES(mu_);
+
+ private:
+  void WorkerLoop() FVL_EXCLUDES(mu_);
+
+  mutable Mutex mu_;
+  CondVar work_cv_;                                 // wakes idle workers
+  CondVar idle_cv_;                                 // wakes Wait/Stop
+  std::deque<std::function<void()>> queue_ FVL_GUARDED_BY(mu_);
+  bool stopping_ FVL_GUARDED_BY(mu_) = false;
+  int running_ FVL_GUARDED_BY(mu_) = 0;             // tasks mid-execution
+  int64_t tasks_completed_ FVL_GUARDED_BY(mu_) = 0;
+  int64_t exceptions_swallowed_ FVL_GUARDED_BY(mu_) = 0;
+  Mutex join_mu_;  // serializes the joinable()/join() pass across Stops
+  // The vector itself is immutable after construction (num_threads reads
+  // its size lock-free); the threads inside are joined under join_mu_.
+  std::vector<std::thread> workers_;
+};
 
 }  // namespace fvl
 

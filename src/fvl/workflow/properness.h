@@ -34,7 +34,7 @@ PropernessReport AnalyzeProperness(const Grammar& g);
 // kImproperGrammar if the language is empty (the start module is
 // unproductive) or if a unit cycle with non-identity port bijections is
 // encountered (unsupported; see docs/DESIGN.md §7).
-Result<Grammar> MakeProper(const Grammar& g);
+[[nodiscard]] Result<Grammar> MakeProper(const Grammar& g);
 
 }  // namespace fvl
 

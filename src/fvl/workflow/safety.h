@@ -32,7 +32,7 @@ namespace fvl {
 // productions are active); modules not in `composite` must have `base_deps`
 // defined if they occur in an active production. Pass nullptr to use the
 // grammar's own composite set (= safety of the specification itself).
-Result<DependencyAssignment> CheckSafety(
+[[nodiscard]] Result<DependencyAssignment> CheckSafety(
     const Grammar& grammar, const DependencyAssignment& base_deps,
     const std::vector<bool>* composite = nullptr);
 

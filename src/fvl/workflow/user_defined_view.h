@@ -54,7 +54,7 @@ class GroupedView {
   // restriction; multiple disjoint groups would compose the same way).
   // Structural grouping errors report kInvalidGroup; errors of the projected
   // regular view keep their CompiledView::Compile codes.
-  static Result<GroupedView> Compile(const Grammar& grammar, View base,
+  [[nodiscard]] static Result<GroupedView> Compile(const Grammar& grammar, View base,
                                      std::vector<ModuleGroup> groups);
 
   const Grammar& grammar() const { return *grammar_; }

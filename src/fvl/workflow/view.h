@@ -36,7 +36,7 @@ class CompiledView {
  public:
   // Fails with kInvalidView (structural errors), kImproperView,
   // kIncompleteAssignment (λ' coverage) or kUnsafeView.
-  static Result<CompiledView> Compile(const Grammar& grammar, View view);
+  [[nodiscard]] static Result<CompiledView> Compile(const Grammar& grammar, View view);
 
   const Grammar& grammar() const { return *grammar_; }
   const View& view() const { return view_; }

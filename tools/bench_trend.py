@@ -14,11 +14,20 @@ Tracked metrics (direction matters):
   snapshot_delta_ms   lower is better    (bench_service_throughput)
   stream_peak_stores  lower is better    (bench_merge_query)
   p99_us              lower is better    (ycsb_driver, table "ycsb")
+  bytes_per_label     lower is better    (bench_service_throughput,
+                                          bench_merge_query)
+
+A tracked metric that the baseline row has but the current artifact lost is
+a hard failure (exit 2), not a silent skip: a bench rename or a dropped
+column would otherwise turn the gate off without anyone noticing. The
+reverse direction — a metric present now but absent from the baseline — is
+fine; that is just a new metric phasing in.
 
 Usage:
   tools/bench_trend.py --current . --baseline bench-baseline [--threshold 20]
 
-Exit codes: 0 ok (including "no baseline yet"), 1 regression, 2 bad input.
+Exit codes: 0 ok (including "no baseline yet"), 1 regression, 2 bad input
+(including a tracked metric missing from a current row its baseline had).
 """
 
 import argparse
@@ -33,6 +42,7 @@ TRACKED = {
     "snapshot_delta_ms": False,
     "stream_peak_stores": False,
     "p99_us": False,
+    "bytes_per_label": False,
 }
 
 # Columns that identify a row's configuration across commits. Everything
@@ -40,6 +50,20 @@ TRACKED = {
 # it must not take part in row matching.
 ID_COLUMNS = {"runs", "total_items", "run_size", "checkpoints", "queries",
               "mix", "dist", "threads"}
+
+# Measured columns the gate deliberately does not track (too noisy, or
+# redundant with a tracked metric). Every column a bench emits must appear
+# in exactly one of TRACKED / ID_COLUMNS / KNOWN_UNTRACKED —
+# tools/fvl_lint.py cross-checks the bench sources against this union, so
+# adding a bench column without deciding its gating status fails CI.
+KNOWN_UNTRACKED = {
+    "one_at_a_time_qps", "locked_qps", "batched_qps", "batched_t2_qps",
+    "batched_t4_qps", "speedup", "snapshot_total_ms", "delta_speedup",
+    "reassemble_ms", "mat_merge_ms", "mat_peak_stores", "stream_merge_ms",
+    "merge_ms", "per_run_batched_qps", "merged_t2_qps", "merged_t4_qps",
+    "speedup_vs_loop", "point_ops", "qps", "p50_us", "p95_us", "mean_batch",
+    "net_pct_of_locked",
+}
 
 
 def load_artifacts(directory):
@@ -109,6 +133,7 @@ def main():
         sys.exit(0)
 
     regressions = []
+    lost_metrics = []
     compared = 0
     for filename, document in sorted(current.items()):
         if filename not in baseline:
@@ -120,9 +145,15 @@ def main():
             old_metrics = old_rows.get(key)
             if old_metrics is None:
                 continue  # new row shape (e.g. a new size point)
+            for metric in sorted(set(old_metrics) - set(metrics)):
+                # The baseline gated on this metric; losing it silently
+                # would disable the gate.
+                lost_metrics.append((filename, table, identity, metric))
             for metric, value in sorted(metrics.items()):
                 old = old_metrics.get(metric)
-                if old is None or old == 0:
+                if old is None:
+                    continue  # new metric phasing in; gated from next run
+                if old == 0:
                     continue
                 higher_is_better = TRACKED[metric]
                 change = 100.0 * (value - old) / old
@@ -139,6 +170,13 @@ def main():
 
     print(f"bench_trend: compared {compared} metric value(s), "
           f"{len(regressions)} regression(s) beyond {args.threshold:g}%")
+    if lost_metrics:
+        for filename, table, identity, metric in lost_metrics:
+            print(f"bench_trend: FAIL {filename} {table} "
+                  f"({describe(identity)}): tracked metric '{metric}' is in "
+                  "the baseline but missing from the current artifact — a "
+                  "bench stopped emitting it (rename? dropped column?)")
+        sys.exit(2)
     if regressions:
         for filename, table, identity, metric, old, value, change in regressions:
             print(f"bench_trend: FAIL {filename} {table} "

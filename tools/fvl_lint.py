@@ -1,0 +1,324 @@
+#!/usr/bin/env python3
+"""Repo invariant linter — the rules that neither the compiler nor ctest
+enforce on their own. Run from anywhere:
+
+  tools/fvl_lint.py [--root REPO] [--self-test]
+
+Rules:
+  nodiscard     Every Status/Result<T>-returning function declared in a
+                src/fvl header carries [[nodiscard]] (and the class-level
+                [[nodiscard]] on Status/Result themselves stays put). A
+                dropped error is a silently-swallowed failure.
+  parse-abort   Blob/wire parsing functions (Parse*/Decode*/Read*/
+                TryExtractFrame/Deserialize taking a string_view) in the
+                untrusted-input files must not contain FVL_CHECK/FVL_DCHECK/
+                abort(): malformed bytes from a peer must come back as a
+                Status, never take the process down. Invariant checks on
+                already-validated data (accessors) are exempt by signature.
+  naked-mutex   No std::mutex / std::condition_variable members inside
+                src/fvl outside util/thread_annotations.h — library code
+                uses the annotated fvl::Mutex/fvl::CondVar wrappers so the
+                Clang thread-safety lane sees every lock.
+  test-registry Every tests/*_test.cc is registered in FVL_TESTS in
+                tests/CMakeLists.txt and vice versa: a test that never runs
+                is worse than no test, it radiates false confidence.
+  bench-keys    Every column a JSON-emitting bench declares is a decided
+                column in tools/bench_trend.py: TRACKED, ID_COLUMNS, or
+                KNOWN_UNTRACKED. New metrics must pick a gating status.
+
+Exit codes: 0 clean, 1 violations (printed one per line), 2 bad invocation.
+--self-test seeds one violation per rule in a temp tree and fails loudly if
+any rule misses its seed — the linter lints itself.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+# --- rule: nodiscard --------------------------------------------------------
+
+DECL_RE = re.compile(
+    r"^\s*(?:\[\[nodiscard\]\]\s+)?(?:static\s+|virtual\s+)?"
+    r"(?:\[\[nodiscard\]\]\s+)?(Status|Result<.*>)\s+(\w+)\s*\(")
+
+
+def check_nodiscard(root):
+    violations = []
+    status_h = os.path.join(root, "src/fvl/util/status.h")
+    if os.path.exists(status_h):
+        text = open(status_h).read()
+        for cls in ("Status", "Result"):
+            if not re.search(r"class\s+\[\[nodiscard\]\]\s+" + cls, text):
+                violations.append(
+                    f"{status_h}: class {cls} lost its class-level "
+                    "[[nodiscard]]")
+    for dirpath, _, files in os.walk(os.path.join(root, "src/fvl")):
+        for name in sorted(files):
+            if not name.endswith(".h"):
+                continue
+            path = os.path.join(dirpath, name)
+            for lineno, line in enumerate(open(path), 1):
+                stripped = line.lstrip()
+                if stripped.startswith("//"):
+                    continue
+                match = DECL_RE.match(line)
+                if match and "[[nodiscard]]" not in line:
+                    violations.append(
+                        f"{path}:{lineno}: {match.group(1)}-returning "
+                        f"'{match.group(2)}' is missing [[nodiscard]]")
+    return violations
+
+
+# --- rule: parse-abort ------------------------------------------------------
+
+PARSE_FILES = (
+    "src/fvl/net/wire.cc",
+    "src/fvl/core/label_store.cc",
+    "src/fvl/core/index.cc",
+)
+PARSE_FN_RE = re.compile(
+    r"^[\w:<>,\s&*]*?\b((?:\w+::)?(?:Parse|Decode|Read|TryExtract|"
+    r"Deserial)\w*)\s*\(([^)]*(?:\n[^)]*)*?)\)\s*(?:const\s*)?{",
+    re.MULTILINE)
+BANNED_IN_PARSE = re.compile(r"\b(FVL_CHECK|FVL_DCHECK|abort)\s*\(")
+
+
+def function_body(text, open_brace):
+    """Returns text of the balanced {...} starting at open_brace."""
+    depth = 0
+    for i in range(open_brace, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return text[open_brace:i + 1]
+    return text[open_brace:]
+
+
+def check_parse_abort(root):
+    violations = []
+    for rel in PARSE_FILES:
+        path = os.path.join(root, rel)
+        if not os.path.exists(path):
+            continue
+        text = open(path).read()
+        for match in PARSE_FN_RE.finditer(text):
+            name, params = match.group(1), match.group(2)
+            if "string_view" not in params:
+                continue  # accessor over validated data, not a blob parser
+            body = function_body(text, match.end() - 1)
+            banned = BANNED_IN_PARSE.search(body)
+            if banned:
+                lineno = text[:match.start()].count("\n") + 1
+                violations.append(
+                    f"{path}:{lineno}: parse-path '{name}' contains "
+                    f"{banned.group(1)} — malformed input must surface as a "
+                    "Status, not abort the process")
+    return violations
+
+
+# --- rule: naked-mutex ------------------------------------------------------
+
+NAKED_RE = re.compile(r"\bstd::(mutex|condition_variable(?:_any)?)\b")
+NAKED_EXEMPT = ("src/fvl/util/thread_annotations.h",)
+
+
+def check_naked_mutex(root):
+    violations = []
+    for dirpath, _, files in os.walk(os.path.join(root, "src/fvl")):
+        for name in sorted(files):
+            if not (name.endswith(".h") or name.endswith(".cc")):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root)
+            if rel in NAKED_EXEMPT:
+                continue
+            for lineno, line in enumerate(open(path), 1):
+                if line.lstrip().startswith("//"):
+                    continue
+                match = NAKED_RE.search(line.split("//")[0])
+                if match:
+                    violations.append(
+                        f"{path}:{lineno}: naked std::{match.group(1)} — use "
+                        "the annotated fvl::Mutex/fvl::CondVar wrappers "
+                        "(fvl/util/thread_annotations.h)")
+    return violations
+
+
+# --- rule: test-registry ----------------------------------------------------
+
+def check_test_registry(root):
+    violations = []
+    cmake_path = os.path.join(root, "tests/CMakeLists.txt")
+    tests_dir = os.path.join(root, "tests")
+    if not os.path.exists(cmake_path):
+        return [f"{cmake_path}: missing"]
+    text = open(cmake_path).read()
+    match = re.search(r"set\(FVL_TESTS\s*(.*?)\)", text, re.DOTALL)
+    if not match:
+        return [f"{cmake_path}: no set(FVL_TESTS ...) block"]
+    registered = set(match.group(1).split())
+    on_disk = {name[:-3] for name in os.listdir(tests_dir)
+               if name.endswith("_test.cc")}
+    for name in sorted(on_disk - registered):
+        violations.append(
+            f"{tests_dir}/{name}.cc exists but is not in FVL_TESTS — it "
+            "never runs under ctest")
+    for name in sorted(registered - on_disk):
+        violations.append(
+            f"tests/CMakeLists.txt registers '{name}' but tests/{name}.cc "
+            "does not exist")
+    return violations
+
+
+# --- rule: bench-keys -------------------------------------------------------
+
+BENCH_JSON_SOURCES = (
+    "bench/bench_service_throughput.cc",
+    "bench/bench_merge_query.cc",
+    "bench/ycsb_driver.cc",
+)
+TABLE_CTOR_RE = re.compile(r"TablePrinter\s+\w+\s*\(\s*\{(.*?)\}\s*\)",
+                           re.DOTALL)
+STRING_RE = re.compile(r'"([^"]+)"')
+
+
+def bench_trend_columns(root):
+    """TRACKED | ID_COLUMNS | KNOWN_UNTRACKED from tools/bench_trend.py."""
+    namespace = {}
+    path = os.path.join(root, "tools/bench_trend.py")
+    source = open(path).read()
+    # Execute only the constant definitions (everything before the first
+    # def) so importing never runs main() or requires artifacts.
+    exec(source.split("\ndef ", 1)[0], namespace)  # noqa: S102
+    return (set(namespace["TRACKED"]) | set(namespace["ID_COLUMNS"])
+            | set(namespace["KNOWN_UNTRACKED"]))
+
+
+def check_bench_keys(root):
+    violations = []
+    known = bench_trend_columns(root)
+    for rel in BENCH_JSON_SOURCES:
+        path = os.path.join(root, rel)
+        if not os.path.exists(path):
+            continue
+        text = open(path).read()
+        for ctor in TABLE_CTOR_RE.finditer(text):
+            for column in STRING_RE.findall(ctor.group(1)):
+                if column not in known:
+                    lineno = text[:ctor.start()].count("\n") + 1
+                    violations.append(
+                        f"{path}:{lineno}: bench column '{column}' is "
+                        "unknown to tools/bench_trend.py — add it to "
+                        "TRACKED, ID_COLUMNS, or KNOWN_UNTRACKED")
+    return violations
+
+
+RULES = {
+    "nodiscard": check_nodiscard,
+    "parse-abort": check_parse_abort,
+    "naked-mutex": check_naked_mutex,
+    "test-registry": check_test_registry,
+    "bench-keys": check_bench_keys,
+}
+
+
+# --- self-test --------------------------------------------------------------
+
+def write(root, rel, content):
+    path = os.path.join(root, rel)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as f:
+        f.write(content)
+
+
+def seed_violation(rule, root):
+    """Builds a minimal tree under root violating exactly one rule."""
+    if rule == "nodiscard":
+        write(root, "src/fvl/util/status.h",
+              "class [[nodiscard]] Status {};\n"
+              "template <typename T> class [[nodiscard]] Result {};\n")
+        write(root, "src/fvl/core/thing.h",
+              "class Thing {\n public:\n"
+              "  Status Frob(int x);\n"  # missing [[nodiscard]]
+              "};\n")
+    elif rule == "parse-abort":
+        write(root, "src/fvl/net/wire.cc",
+              "Result<Request> DecodeRequest(std::string_view payload) {\n"
+              "  FVL_CHECK(!payload.empty());\n"
+              "  return {};\n"
+              "}\n")
+    elif rule == "naked-mutex":
+        write(root, "src/fvl/util/thing.h",
+              "class Thing {\n private:\n"
+              "  std::mutex mu_;\n"
+              "};\n")
+    elif rule == "test-registry":
+        write(root, "tests/CMakeLists.txt",
+              "set(FVL_TESTS\n  registered_test\n)\n")
+        write(root, "tests/registered_test.cc", "// fine\n")
+        write(root, "tests/orphan_test.cc", "// never runs\n")
+    elif rule == "bench-keys":
+        write(root, "tools/bench_trend.py",
+              "TRACKED = {'merged_qps': True}\n"
+              "ID_COLUMNS = {'runs'}\n"
+              "KNOWN_UNTRACKED = {'merge_ms'}\n")
+        write(root, "bench/bench_merge_query.cc",
+              'TablePrinter table({"runs", "merge_ms", "mystery_metric"});\n')
+
+
+def self_test():
+    failures = []
+    for rule, checker in RULES.items():
+        with tempfile.TemporaryDirectory(prefix=f"fvl_lint_{rule}_") as tmp:
+            seed_violation(rule, tmp)
+            found = checker(tmp)
+            if found:
+                print(f"self-test [{rule}]: caught seeded violation: "
+                      f"{found[0]}")
+            else:
+                failures.append(rule)
+                print(f"self-test [{rule}]: MISSED its seeded violation")
+    if failures:
+        print(f"fvl_lint self-test: {len(failures)} rule(s) blind: "
+              f"{', '.join(failures)}")
+        return 1
+    print(f"fvl_lint self-test: all {len(RULES)} rules catch their seeds")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule catches a seeded violation")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(os.path.join(root, "src/fvl")):
+        print(f"fvl_lint: {root} does not look like the repo root")
+        sys.exit(2)
+
+    total = 0
+    for rule, checker in RULES.items():
+        violations = checker(root)
+        for violation in violations:
+            print(f"[{rule}] {violation}")
+        total += len(violations)
+    if total:
+        print(f"fvl_lint: {total} violation(s)")
+        sys.exit(1)
+    print(f"fvl_lint: clean ({len(RULES)} rules)")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()
