@@ -21,7 +21,10 @@
 // Key choice: uniform vs zipfian(0.99) over the item space. Zipfian skew
 // concentrates queries on hot items, which the batched decode pass
 // exploits (each distinct item decodes once per batch) — expect zipfian
-// qps >= uniform qps at equal thread counts.
+// qps >= uniform qps at equal thread counts. The hit_rate column is the
+// snapshot serving cache's reachability-memo hit fraction over the cell
+// (from the server's kStats counters): near 0 for uniform keys, high for
+// zipfian, where repeated hot pairs skip decode + predicate entirely.
 //
 // Latency: every point query's latency is measured from its window's
 // flush to its answer's arrival (closed-loop pipelined clients — later
@@ -222,7 +225,7 @@ void Main(const BenchConfig& config) {
 
   TablePrinter table({"mix", "dist", "threads", "point_ops", "qps",
                       "p50_us", "p95_us", "p99_us", "mean_batch",
-                      "locked_qps", "net_pct_of_locked"});
+                      "hit_rate", "locked_qps", "net_pct_of_locked"});
   for (const Mix& mix : mixes) {
     for (KeyDistribution dist :
          {KeyDistribution::kUniform, KeyDistribution::kZipfian}) {
@@ -258,12 +261,29 @@ void Main(const BenchConfig& config) {
         double mean_batch =
             batches == 0 ? 0.0 : static_cast<double>(queries) / batches;
         double qps = point_ops / elapsed;
+        // Reachability-memo hit rate over this cell's queries. Uniform rows
+        // should stay near 0; zipfian rows are where the skew-aware cache
+        // earns its keep. Cache counters live on snapshots, so a merge op
+        // that replaces a snapshot can shrink the aggregate mid-cell; fall
+        // back to the absolute count rather than underflowing.
+        uint64_t reach_hits = after.reach_hits >= before.reach_hits
+                                  ? after.reach_hits - before.reach_hits
+                                  : after.reach_hits;
+        uint64_t reach_misses = after.reach_misses >= before.reach_misses
+                                    ? after.reach_misses - before.reach_misses
+                                    : after.reach_misses;
+        uint64_t reach_total = reach_hits + reach_misses;
+        double hit_rate =
+            reach_total == 0
+                ? 0.0
+                : static_cast<double>(reach_hits) / reach_total;
         table.AddRow({mix.name, ToString(dist), std::to_string(threads),
                       std::to_string(point_ops), TablePrinter::Num(qps, 0),
                       std::to_string(latency.Percentile(0.50)),
                       std::to_string(latency.Percentile(0.95)),
                       std::to_string(latency.Percentile(0.99)),
                       TablePrinter::Num(mean_batch, 2),
+                      TablePrinter::Num(hit_rate, 3),
                       TablePrinter::Num(locked_qps, 0),
                       TablePrinter::Num(100.0 * qps / locked_qps, 1)});
       }

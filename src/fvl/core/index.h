@@ -32,8 +32,11 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+
 #include "fvl/core/label_store.h"
 #include "fvl/core/run_labeler.h"
+#include "fvl/core/serving_cache.h"
 #include "fvl/util/check.h"
 #include "fvl/util/status.h"
 
@@ -64,7 +67,9 @@ class ProvenanceIndex {
  public:
   // Wraps a frozen single-group store (a builder's output, a session's
   // live store copied at snapshot time, or a deserialized blob).
-  explicit ProvenanceIndex(LabelStore store) : store_(std::move(store)) {
+  explicit ProvenanceIndex(LabelStore store)
+      : store_(std::move(store)),
+        cache_(internal::MakeServingCache(store_.total_items())) {
     FVL_CHECK(store_.num_groups() == 1);
   }
 
@@ -81,6 +86,13 @@ class ProvenanceIndex {
   DataLabel Label(int item) const { return store_.DecodeLabel(item); }
   // Exact encoded size of one item's label.
   int64_t LabelBits(int item) const { return store_.LabelBits(item); }
+
+  // The snapshot-lifetime serving cache (core/serving_cache.h): decoded
+  // labels + reachability memo, shared by copies of this index and freed
+  // with the last one — invalidation is the destructor. Null only for an
+  // empty (zero-item) index. The store is frozen, so entries never go
+  // stale; ProvenanceService consults it on its batch paths.
+  ServingCache* serving_cache() const { return cache_.get(); }
 
   // Stable little-endian binary format (header incl. codec widths, offsets,
   // arena). Self-describing: Deserialize needs only the blob.
@@ -114,6 +126,9 @@ class ProvenanceIndex {
 
  private:
   LabelStore store_;
+  // Shared (not deep-copied) by index copies: every copy wraps the same
+  // frozen contents, so they legitimately pool one cache.
+  std::shared_ptr<ServingCache> cache_;
 };
 
 // Many runs of one specification, frozen into a single position-independent
@@ -129,7 +144,9 @@ class ProvenanceIndex {
 class MergedProvenanceIndex {
  public:
   MergedProvenanceIndex() = default;  // zero runs, zero items
-  explicit MergedProvenanceIndex(LabelStore store) : store_(std::move(store)) {}
+  explicit MergedProvenanceIndex(LabelStore store)
+      : store_(std::move(store)),
+        cache_(internal::MakeServingCache(store_.total_items())) {}
 
   int num_runs() const { return store_.num_groups(); }
   int num_items(int run) const { return store_.num_items(run); }
@@ -160,6 +177,10 @@ class MergedProvenanceIndex {
     return store_.LabelBits(GlobalId(run, item));
   }
 
+  // Snapshot-lifetime serving cache, as on ProvenanceIndex; memo/label
+  // entries are keyed by flat (global) ids. Null for an empty merge.
+  ServingCache* serving_cache() const { return cache_.get(); }
+
   // Total index size in bits (arena + offset tables at minimal width).
   int64_t SizeBits() const;
 
@@ -170,6 +191,7 @@ class MergedProvenanceIndex {
 
  private:
   LabelStore store_;
+  std::shared_ptr<ServingCache> cache_;
 };
 
 // Memory-bounded k-way merge: the streaming counterpart of

@@ -209,7 +209,7 @@ Result<std::vector<bool>> ProvenanceClient::QueryAcrossRuns(
 Result<ServerStats> ProvenanceClient::Stats() {
   Result<std::string> body = Call(EncodeStatsRequest());
   if (!body.ok()) return body.status();
-  uint64_t fields[4];
+  uint64_t fields[8];
   Status parsed = ReadFields(*body, fields);
   if (!parsed.ok()) return parsed;
   ServerStats stats;
@@ -217,6 +217,10 @@ Result<ServerStats> ProvenanceClient::Stats() {
   stats.point_batches = fields[1];
   stats.frames = fields[2];
   stats.connections = fields[3];
+  stats.label_hits = fields[4];
+  stats.label_misses = fields[5];
+  stats.reach_hits = fields[6];
+  stats.reach_misses = fields[7];
   return stats;
 }
 

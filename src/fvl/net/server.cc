@@ -70,12 +70,26 @@ class ProvenanceServer::Impl {
 
   int port() const { return port_; }
 
-  ServerStats stats() const {
+  ServerStats stats() const FVL_EXCLUDES(state_mu_) {
     ServerStats stats;
     stats.point_queries = point_queries_.load(std::memory_order_relaxed);
     stats.point_batches = point_batches_.load(std::memory_order_relaxed);
     stats.frames = frames_.load(std::memory_order_relaxed);
     stats.connections = connections_accepted_.load(std::memory_order_relaxed);
+    // Cache counters live on the snapshots, not the server: sum them over
+    // the registered indexes. state_mu_ only guards the map walk — the
+    // counters themselves are relaxed atomics, safe to read live.
+    MutexLock lock(&state_mu_);
+    auto add = [&stats](const ServingCache* cache) {
+      if (cache == nullptr) return;
+      const ServingCacheStats s = cache->stats();
+      stats.label_hits += s.label_hits;
+      stats.label_misses += s.label_misses;
+      stats.reach_hits += s.reach_hits;
+      stats.reach_misses += s.reach_misses;
+    };
+    for (const auto& [id, index] : indexes_) add(index->serving_cache());
+    for (const auto& [id, index] : merged_) add(index->serving_cache());
     return stats;
   }
 
@@ -389,6 +403,10 @@ class ProvenanceServer::Impl {
         AppendU64(&body, snapshot.point_batches);
         AppendU64(&body, snapshot.frames);
         AppendU64(&body, snapshot.connections);
+        AppendU64(&body, snapshot.label_hits);
+        AppendU64(&body, snapshot.label_misses);
+        AppendU64(&body, snapshot.reach_hits);
+        AppendU64(&body, snapshot.reach_misses);
         return OkResponse(body);
       }
       case MsgType::kDepends:
@@ -599,8 +617,9 @@ class ProvenanceServer::Impl {
   std::vector<std::unique_ptr<Connection>> connections_
       FVL_GUARDED_BY(conns_mu_);
 
-  // Wire-visible registries.
-  Mutex state_mu_;
+  // Wire-visible registries. Mutable: the const stats() reader walks the
+  // index maps under it to aggregate cache counters.
+  mutable Mutex state_mu_;
   std::vector<ViewHandle> views_ FVL_GUARDED_BY(state_mu_);
   std::unordered_map<uint64_t, std::shared_ptr<SessionEntry>> sessions_
       FVL_GUARDED_BY(state_mu_);

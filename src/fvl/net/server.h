@@ -56,12 +56,30 @@ struct ServerStats {
   uint64_t frames = 0;         // request frames processed
   uint64_t connections = 0;    // connections accepted
 
+  // Serving-cache effectiveness, summed over every index and merged index
+  // currently registered with the server (each snapshot owns its caches —
+  // core/serving_cache.h — so these reset when snapshots are replaced, not
+  // when the server restarts).
+  uint64_t label_hits = 0;   // decoded-label cache hits
+  uint64_t label_misses = 0;
+  uint64_t reach_hits = 0;   // reachability-memo hits
+  uint64_t reach_misses = 0;
+
   // Coalescing effectiveness: point queries per decode pass. > 1 means
   // concurrent queries actually shared decode passes.
   double MeanBatchSize() const {
     return point_batches == 0
                ? 0.0
                : static_cast<double>(point_queries) / point_batches;
+  }
+
+  double LabelHitRate() const {
+    const uint64_t total = label_hits + label_misses;
+    return total == 0 ? 0.0 : static_cast<double>(label_hits) / total;
+  }
+  double ReachHitRate() const {
+    const uint64_t total = reach_hits + reach_misses;
+    return total == 0 ? 0.0 : static_cast<double>(reach_hits) / total;
   }
 };
 

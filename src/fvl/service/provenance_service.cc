@@ -220,7 +220,7 @@ Result<bool> ProvenanceService::Depends(ViewHandle handle, const DataLabel& d1,
 Result<std::vector<bool>> ProvenanceService::BatchDepends(
     ViewHandle handle, int num_items,
     std::span<const std::pair<int, int>> queries, ViewLabelMode mode,
-    const std::function<DataLabel(int)>& label_of) {
+    const std::function<DataLabel(int)>& label_of, ServingCache* cache) {
   Result<const Decoder*> decoder = DecoderOf(handle, mode);
   if (!decoder.ok()) return decoder.status();
 
@@ -233,53 +233,102 @@ Result<std::vector<bool>> ProvenanceService::BatchDepends(
     }
   }
 
-  // Decode each distinct item once for the whole batch. Scratch is sized by
+  const int threads = query_threads();
+  const int view_id = handle.id();
+  std::vector<char> answers(queries.size(), 0);
+
+  // Memo pass: a hot (view, src, dst) pair replays its answer without
+  // touching labels or the decoder. Safe to satisfy queries from — a memo
+  // entry exists only for pairs this snapshot already answered, over labels
+  // that already passed vetting, so the uncached path would recompute the
+  // identical bit (and could not have errored on those items either).
+  std::vector<size_t> pending;
+  pending.reserve(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    bool memoized = false;
+    if (cache != nullptr &&
+        cache->LookupReach(
+            ReachMemoKey{tag_, view_id, static_cast<int32_t>(mode),
+                         queries[q].first, queries[q].second},
+            &memoized)) {
+      answers[q] = memoized ? 1 : 0;
+    } else {
+      pending.push_back(q);
+    }
+  }
+
+  // Decode each item distinct among the pending queries once for the whole
+  // batch — through the snapshot's label cache when present, so a hot item
+  // is decoded once per *snapshot*, not once per batch. Scratch is sized by
   // the batch (hash map, node-stable references) unless the batch covers a
   // good fraction of the snapshot, where the flat table's O(1) lookups win
   // — and where the decode loop can shard across fork-join workers
   // (util/thread_pool.h; the table is per-call and read-only once filled).
-  const bool dense = queries.size() * 4 >= static_cast<size_t>(num_items);
+  const bool dense = pending.size() * 4 >= static_cast<size_t>(num_items);
   std::vector<DataLabel> decoded(dense ? num_items : 0);
   std::vector<char> needed(dense ? num_items : 0, 0);
   std::unordered_map<int, DataLabel> sparse;
   std::atomic<bool> in_bounds{true};
+  // Cache-aware decode of one item. Labels enter the cache only after
+  // LabelInBounds, so a hit is exactly a label the uncached path would
+  // have decoded and accepted — hits skip re-vetting.
+  auto fetch = [&](int item, DataLabel* out) {
+    if (cache != nullptr && cache->LookupLabel(item, out)) return;
+    *out = label_of(item);
+    if (!LabelInBounds(*out)) {
+      in_bounds.store(false, std::memory_order_relaxed);
+      return;
+    }
+    if (cache != nullptr) cache->InsertLabel(item, *out);
+  };
   if (dense) {
-    for (const auto& [d1, d2] : queries) needed[d1] = needed[d2] = 1;
-    ParallelFor(num_items, query_threads(), [&](int64_t begin, int64_t end) {
-      bool shard_ok = true;
+    for (size_t q : pending) {
+      needed[queries[q].first] = needed[queries[q].second] = 1;
+    }
+    ParallelFor(num_items, threads, [&](int64_t begin, int64_t end) {
       for (int64_t item = begin; item < end; ++item) {
         if (!needed[item]) continue;
-        decoded[item] = label_of(static_cast<int>(item));
-        shard_ok = shard_ok && LabelInBounds(decoded[item]);
+        fetch(static_cast<int>(item), &decoded[item]);
       }
-      if (!shard_ok) in_bounds.store(false, std::memory_order_relaxed);
     });
-  }
-  auto decoded_label = [&](int item) -> const DataLabel& {
-    if (dense) return decoded[item];
-    auto [it, inserted] = sparse.try_emplace(item);
-    if (inserted) {
-      it->second = label_of(item);
-      if (!LabelInBounds(it->second)) {
-        in_bounds.store(false, std::memory_order_relaxed);
+  } else {
+    for (size_t q : pending) {
+      for (int item : {queries[q].first, queries[q].second}) {
+        auto [it, inserted] = sparse.try_emplace(item);
+        if (inserted) fetch(item, &it->second);
       }
     }
-    return it->second;
-  };
-
-  std::vector<bool> answers;
-  answers.reserve(queries.size());
-  for (const auto& [d1, d2] : queries) {
-    const DataLabel& l1 = decoded_label(d1);
-    const DataLabel& l2 = decoded_label(d2);
-    if (!in_bounds.load(std::memory_order_relaxed)) {
-      return Status::Error(ErrorCode::kInvalidArgument,
-                           "index label fields are out of range for this "
-                           "service's grammar");
-    }
-    answers.push_back((*decoder)->Depends(l1, l2));
   }
-  return answers;
+  if (!in_bounds.load(std::memory_order_relaxed)) {
+    return Status::Error(ErrorCode::kInvalidArgument,
+                         "index label fields are out of range for this "
+                         "service's grammar");
+  }
+
+  // Predicate/answer loop, sharded like the decode loop (shards write
+  // disjoint answer bytes; the decoder and decode tables are read-only
+  // here) — a fully label-cached batch still scales with query_threads()
+  // even though no decode work is left.
+  auto label_at = [&](int item) -> const DataLabel& {
+    return dense ? decoded[item] : sparse.find(item)->second;
+  };
+  ParallelFor(static_cast<int64_t>(pending.size()), threads,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) {
+                  const size_t q = pending[i];
+                  const auto [d1, d2] = queries[q];
+                  const bool answer =
+                      (*decoder)->Depends(label_at(d1), label_at(d2));
+                  answers[q] = answer ? 1 : 0;
+                  if (cache != nullptr) {
+                    cache->InsertReach(
+                        ReachMemoKey{tag_, view_id,
+                                     static_cast<int32_t>(mode), d1, d2},
+                        answer);
+                  }
+                }
+              });
+  return std::vector<bool>(answers.begin(), answers.end());
 }
 
 Result<std::vector<bool>> ProvenanceService::DependsMany(
@@ -289,7 +338,8 @@ Result<std::vector<bool>> ProvenanceService::DependsMany(
     return status;
   }
   return BatchDepends(handle, index.num_items(), queries, mode,
-                      [&index](int item) { return index.Label(item); });
+                      [&index](int item) { return index.Label(item); },
+                      CacheFor(index));
 }
 
 Result<std::vector<bool>> ProvenanceService::MergedBatch(
@@ -320,7 +370,8 @@ Result<std::vector<bool>> ProvenanceService::MergedBatch(
   if (!same_run.empty()) {
     Result<std::vector<bool>> sub = BatchDepends(
         handle, index.total_items(), same_run, mode,
-        [&index](int item) { return index.LabelByGlobalId(item); });
+        [&index](int item) { return index.LabelByGlobalId(item); },
+        CacheFor(index));
     if (!sub.ok()) return sub.status();
     for (size_t i = 0; i < positions.size(); ++i) {
       answers[positions[i]] = (*sub)[i];
@@ -461,20 +512,29 @@ Status ProvenanceService::CheckIndexCompatible(
 
 Result<std::vector<bool>> ProvenanceService::SweepVisibility(
     ViewHandle handle, int num_items, ViewLabelMode mode,
-    const std::function<DataLabel(int)>& label_of) {
+    const std::function<DataLabel(int)>& label_of, ServingCache* cache) {
   Result<const ViewLabel*> label = LabelOf(handle, mode);
   if (!label.ok()) return label.status();
   // Decode + bounds-check + visibility per item, sharded across fork-join
   // workers (the view label is read-only; shards write disjoint bytes).
+  // Items resident in the snapshot's label cache skip decode and re-vetting
+  // (cached labels passed LabelInBounds when they entered).
   std::vector<char> per_item(num_items, 0);
   std::atomic<bool> in_bounds{true};
   ParallelFor(num_items, query_threads(), [&](int64_t begin, int64_t end) {
     bool shard_ok = true;
     for (int64_t item = begin; item < end; ++item) {
-      DataLabel item_label = label_of(static_cast<int>(item));
-      if (!LabelInBounds(item_label)) {
-        shard_ok = false;
-        break;
+      DataLabel item_label;
+      if (cache == nullptr ||
+          !cache->LookupLabel(static_cast<int>(item), &item_label)) {
+        item_label = label_of(static_cast<int>(item));
+        if (!LabelInBounds(item_label)) {
+          shard_ok = false;
+          break;
+        }
+        if (cache != nullptr) {
+          cache->InsertLabel(static_cast<int>(item), item_label);
+        }
       }
       per_item[item] = IsItemVisible(item_label, **label) ? 1 : 0;
     }
@@ -494,7 +554,8 @@ Result<std::vector<bool>> ProvenanceService::VisibilitySweep(
     return status;
   }
   return SweepVisibility(handle, index.num_items(), mode,
-                         [&index](int item) { return index.Label(item); });
+                         [&index](int item) { return index.Label(item); },
+                         CacheFor(index));
 }
 
 Result<std::vector<bool>> ProvenanceService::VisibilitySweep(
@@ -505,7 +566,8 @@ Result<std::vector<bool>> ProvenanceService::VisibilitySweep(
   }
   return SweepVisibility(
       handle, index.total_items(), mode,
-      [&index](int item) { return index.LabelByGlobalId(item); });
+      [&index](int item) { return index.LabelByGlobalId(item); },
+      CacheFor(index));
 }
 
 Result<MergedProvenanceIndex> ProvenanceService::MergeRunsStreamed(

@@ -177,6 +177,20 @@ class ProvenanceService
     return query_threads_.load(std::memory_order_relaxed);
   }
 
+  // Whether batch queries consult the snapshot-lifetime serving caches
+  // (core/serving_cache.h) the indexes carry: the decoded-label cache and
+  // the reachability memo. On (the default), hot items decode once per
+  // snapshot and hot (view, src, dst) pairs skip the predicate entirely.
+  // Answers and error behavior are bit-identical either way — the toggle
+  // exists so the differential tests and benches can compare the two paths
+  // on the same index (tests/cache_test.cc).
+  void set_serving_cache_enabled(bool enabled) {
+    serving_cache_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool serving_cache_enabled() const {
+    return serving_cache_enabled_.load(std::memory_order_relaxed);
+  }
+
   // --- Sessions -----------------------------------------------------------
 
   // Starts labeling a new run online (Def. 10). Sessions are independent:
@@ -313,11 +327,16 @@ class ProvenanceService
   [[nodiscard]] Status CheckIndexCompatible(const MergedProvenanceIndex& index) const;
   // Shared decode-once batch cores behind DependsMany / QueryAcrossRuns and
   // the visibility sweeps; `label_of` abstracts over the single-run and
-  // merged item spaces (ids are pre-validated against num_items).
+  // merged item spaces (ids are pre-validated against num_items). `cache`
+  // is the owning index's serving cache, or nullptr to run uncached (empty
+  // index, or set_serving_cache_enabled(false)); answers are identical
+  // either way. Both cores shard across query_threads(): BatchDepends
+  // parallelizes the decode *and* the predicate/answer loop, so hot-in-
+  // cache batches (no decode work left) still scale.
   [[nodiscard]] Result<std::vector<bool>> BatchDepends(
       ViewHandle handle, int num_items,
       std::span<const std::pair<int, int>> queries, ViewLabelMode mode,
-      const std::function<DataLabel(int)>& label_of);
+      const std::function<DataLabel(int)>& label_of, ServingCache* cache);
   // Merged-index batch core over pre-validated flat id pairs: answers
   // same-run pairs through BatchDepends and cross-run pairs as false.
   [[nodiscard]] Result<std::vector<bool>> MergedBatch(
@@ -325,7 +344,15 @@ class ProvenanceService
       std::span<const std::pair<int, int>> flat, ViewLabelMode mode);
   [[nodiscard]] Result<std::vector<bool>> SweepVisibility(
       ViewHandle handle, int num_items, ViewLabelMode mode,
-      const std::function<DataLabel(int)>& label_of);
+      const std::function<DataLabel(int)>& label_of, ServingCache* cache);
+  // The serving cache batch queries against `index` should consult:
+  // the index's own, or nullptr when caching is disabled.
+  ServingCache* CacheFor(const ProvenanceIndex& index) const {
+    return serving_cache_enabled() ? index.serving_cache() : nullptr;
+  }
+  ServingCache* CacheFor(const MergedProvenanceIndex& index) const {
+    return serving_cache_enabled() ? index.serving_cache() : nullptr;
+  }
   // Whether every decoded field indexes inside this grammar's tables; the
   // decoder reads matrices unchecked in release builds, so untrusted labels
   // are vetted here. The check walks each side's path through the grammar
@@ -354,6 +381,7 @@ class ProvenanceService
   int64_t view_labelings_performed_ FVL_GUARDED_BY(mu_) = 0;
   uint64_t tag_;  // process-unique issuer tag stamped into handles
   std::atomic<int> query_threads_{1};
+  std::atomic<bool> serving_cache_enabled_{true};
 };
 
 // One run labeled online (Def. 10). Obtained from

@@ -34,6 +34,12 @@ KeyGenerator::KeyGenerator(KeyDistribution dist, int64_t num_keys,
   FVL_CHECK(theta > 0.0 && theta < 1.0);
   theta_ = theta;
   zetan_ = Zeta(num_keys_, theta_);
+  // The quantile-transform constants are only meaningful for n > 2: at
+  // n == 1 the eta numerator goes negative (pow(2/1, 1-theta) > 1) and at
+  // n == 2 it is 0/0 (zeta2 == zetan). Next() answers those key spaces
+  // exactly from zetan_ alone, so the degenerate constants stay unset
+  // instead of silently feeding nonsense into pow().
+  if (num_keys_ <= 2) return;
   double zeta2 = Zeta(2, theta_);
   alpha_ = 1.0 / (1.0 - theta_);
   eta_ = (1.0 - std::pow(2.0 / static_cast<double>(num_keys_), 1.0 - theta_)) /
@@ -45,17 +51,30 @@ int64_t KeyGenerator::Next(Rng& rng) const {
     return static_cast<int64_t>(
         rng.NextBounded(static_cast<uint64_t>(num_keys_)));
   }
-  // Gray et al.'s quantile transform: O(1) per draw, exact zipfian ranks.
+  // Degenerate key spaces are answered exactly, not through the transform:
+  // a one-key space has one answer, and a two-key space is a Bernoulli
+  // draw with P(0) = 1/zetan (the transform's eta is 0/0 at n == 2).
+  if (num_keys_ == 1) return 0;
   double u = rng.NextDouble();
   double uz = u * zetan_;
+  if (num_keys_ == 2) return uz < 1.0 ? 0 : 1;
+  // Gray et al.'s quantile transform: O(1) per draw, exact zipfian ranks.
+  // The first two ranks come straight from the CDF (P(1) = 0.5^theta /
+  // zetan); the pow() branch interpolates the rest.
   if (uz < 1.0) return 0;
   if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
-  int64_t rank = static_cast<int64_t>(
-      static_cast<double>(num_keys_) *
-      std::pow(eta_ * u - eta_ + 1.0, alpha_));
-  if (rank < 0) rank = 0;
-  if (rank >= num_keys_) rank = num_keys_ - 1;
-  return rank;
+  double scaled = static_cast<double>(num_keys_) *
+                  std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  // Clamp in double space *before* the cast: casting a double outside
+  // [0, 2^63) is undefined, and the old int64-space clamp funneled that
+  // whole numeric-overflow tail onto the coldest key. A non-finite or
+  // negative value means the constants degenerated, which is a collapse
+  // toward the head of the distribution — map it to the hottest rank. The
+  // legitimate u -> 1 tail lands on num_keys_ exactly and belongs to the
+  // coldest key.
+  if (!std::isfinite(scaled) || scaled < 0.0) return 0;
+  if (scaled >= static_cast<double>(num_keys_)) return num_keys_ - 1;
+  return static_cast<int64_t>(scaled);
 }
 
 }  // namespace fvl

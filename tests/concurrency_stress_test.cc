@@ -216,6 +216,70 @@ TEST(ConcurrencyStress, RegisterViewRacesQueries) {
             static_cast<int>(views.size()) + 1);  // + default view
 }
 
+// --- Serving caches under query contention ---------------------------------
+
+TEST(ConcurrencyStress, ServingCacheShardsStayCoherentUnderQueryStorm) {
+  // Many threads batch-query one frozen snapshot with the serving caches
+  // enabled: label-cache and reach-memo shards are hit/filled concurrently
+  // (the answer loop also runs sharded). Every batch must equal the
+  // uncached ground truth — a torn cache entry or a memo aliasing bug
+  // surfaces as a wrong answer, and TSan checks the locking itself.
+  Workload bio = MakeBioAid(2012);
+  auto service = ProvenanceService::Create(std::move(bio.spec)).value();
+  auto session = service->GenerateLabeledRun(
+      RunGeneratorOptions{.target_items = 400, .seed = 6});
+  ProvenanceIndex index = session->Snapshot();
+  ASSERT_NE(index.serving_cache(), nullptr);
+  const int num_items = index.num_items();
+  service->set_query_threads(2);
+
+  // Ground truth, computed uncached before the storm.
+  service->set_serving_cache_enabled(false);
+  std::vector<std::vector<std::pair<int, int>>> batches;
+  std::vector<std::vector<bool>> expected;
+  Rng rng(200);
+  for (int b = 0; b < 8; ++b) {
+    std::vector<std::pair<int, int>> queries;
+    for (int q = 0; q < 64; ++q) {
+      // Hot head + uniform tail, so threads collide on cache slots.
+      const int hot = std::max(2, num_items / 20);
+      queries.push_back({rng.NextInt(0, hot - 1),
+                         rng.NextInt(0, num_items - 1)});
+    }
+    expected.push_back(
+        service
+            ->DependsMany(service->default_view(), index, queries,
+                          ViewLabelMode::kDefault)
+            .value());
+    batches.push_back(std::move(queries));
+  }
+  service->set_serving_cache_enabled(true);
+
+  constexpr int kRounds = 40;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const size_t b = (t + round) % batches.size();
+        Result<std::vector<bool>> answers = service->DependsMany(
+            service->default_view(), index, batches[b],
+            ViewLabelMode::kDefault);
+        if (!answers.ok() || *answers != expected[b]) {
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+  // The storm replayed identical batches; the memo must have served most
+  // of them.
+  EXPECT_GT(index.serving_cache()->stats().reach_hits, 0u);
+  service->set_query_threads(1);
+}
+
 // --- ParallelFor + shared histogram ----------------------------------------
 
 TEST(ConcurrencyStress, ParallelForShardsShareOneHistogram) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -331,6 +332,41 @@ TEST(KeyGenerator, ZipfianIsSkewedTowardLowRanks) {
   EXPECT_GT(max_seen, n / 2);
 }
 
+TEST(LatencyHistogram, PercentileAfterMergeStaysClampedToExtremes) {
+  // Percentile() clamps the bucket representative to [min, max]; Merge must
+  // keep that contract over the *combined* extremes, including when one
+  // side's range strictly contains the other's.
+  LatencyHistogram a, b;
+  a.Record(500);
+  a.Record(700);
+  b.Record(3);        // new global min
+  b.Record(9000000);  // new global max
+  a.Merge(b);
+  EXPECT_EQ(a.min(), 3);
+  EXPECT_EQ(a.max(), 9000000);
+  EXPECT_EQ(a.Percentile(0.0), 3);
+  EXPECT_EQ(a.Percentile(1.0), 9000000);
+  int64_t previous = a.Percentile(0.0);
+  for (double q : {0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    int64_t p = a.Percentile(q);
+    EXPECT_GE(p, a.min()) << "q=" << q;
+    EXPECT_LE(p, a.max()) << "q=" << q;
+    EXPECT_GE(p, previous) << "q=" << q;  // monotone in q
+    previous = p;
+  }
+
+  // Merging into a single-sample histogram: the lone bucket representative
+  // must not escape the merged [min, max] either.
+  LatencyHistogram c, d;
+  c.Record(1000);
+  d.Record(999999);
+  c.Merge(d);
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_GE(c.Percentile(q), 1000) << "q=" << q;
+    EXPECT_LE(c.Percentile(q), 999999) << "q=" << q;
+  }
+}
+
 TEST(KeyGenerator, SingleKeyAndDeterministicStreams) {
   KeyGenerator one(KeyDistribution::kZipfian, 1);
   Rng rng(7);
@@ -341,6 +377,46 @@ TEST(KeyGenerator, SingleKeyAndDeterministicStreams) {
   KeyGenerator keys(KeyDistribution::kZipfian, 1000);
   Rng r1(42), r2(42);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(keys.Next(r1), keys.Next(r2));
+}
+
+TEST(KeyGenerator, ZipfianTwoKeysMatchesExactBernoulli) {
+  // n == 2 short-circuits the quantile transform (whose eta constant is
+  // 0/0 there): the draw is Bernoulli with P(0) = 1/zeta(2) =
+  // 1 / (1 + 0.5^theta). At theta = 0.99, P(0) ≈ 0.664.
+  KeyGenerator keys(KeyDistribution::kZipfian, 2);
+  Rng rng(8);
+  const int draws = 100000;
+  int zeros = 0;
+  for (int i = 0; i < draws; ++i) {
+    int64_t k = keys.Next(rng);
+    ASSERT_GE(k, 0);
+    ASSERT_LE(k, 1);
+    if (k == 0) ++zeros;
+  }
+  const double p0 = 1.0 / (1.0 + std::pow(0.5, 0.99));
+  EXPECT_NEAR(static_cast<double>(zeros) / draws, p0, 0.01);
+}
+
+TEST(KeyGenerator, ZipfianRankRatioIsTwoToTheTheta) {
+  // P(rank 0) / P(rank 1) = 2^theta exactly; pin it empirically at large n
+  // for both the YCSB default and a milder skew.
+  for (double theta : {0.99, 0.6}) {
+    KeyGenerator keys(KeyDistribution::kZipfian, 100000, theta);
+    Rng rng(9);
+    const int draws = 400000;
+    int rank0 = 0, rank1 = 0;
+    for (int i = 0; i < draws; ++i) {
+      int64_t k = keys.Next(rng);
+      ASSERT_GE(k, 0);
+      ASSERT_LT(k, 100000);
+      if (k == 0) ++rank0;
+      if (k == 1) ++rank1;
+    }
+    ASSERT_GT(rank1, 0) << "theta=" << theta;
+    const double ratio = static_cast<double>(rank0) / rank1;
+    EXPECT_NEAR(ratio, std::pow(2.0, theta), 0.15 * std::pow(2.0, theta))
+        << "theta=" << theta;
+  }
 }
 
 TEST(ThreadPool, RunsSubmittedTasks) {

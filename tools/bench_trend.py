@@ -23,6 +23,11 @@ column would otherwise turn the gate off without anyone noticing. The
 reverse direction — a metric present now but absent from the baseline — is
 fine; that is just a new metric phasing in.
 
+A baseline value of exactly 0 (a fast machine rounding snapshot_delta_ms
+down, say) has no percentage scale. Those comparisons are gated on absolute
+worsening (--zero-epsilon) instead, and logged with a loud [ skipped ]
+marker when within it — never silently ungated.
+
 Usage:
   tools/bench_trend.py --current . --baseline bench-baseline [--threshold 20]
 
@@ -33,6 +38,7 @@ Exit codes: 0 ok (including "no baseline yet"), 1 regression, 2 bad input
 import argparse
 import glob
 import json
+import math
 import os
 import sys
 
@@ -62,7 +68,7 @@ KNOWN_UNTRACKED = {
     "reassemble_ms", "mat_merge_ms", "mat_peak_stores", "stream_merge_ms",
     "merge_ms", "per_run_batched_qps", "merged_t2_qps", "merged_t4_qps",
     "speedup_vs_loop", "point_ops", "qps", "p50_us", "p95_us", "mean_batch",
-    "net_pct_of_locked",
+    "net_pct_of_locked", "cached_qps", "hit_rate",
 }
 
 
@@ -116,6 +122,10 @@ def main():
                         help="directory holding the previous commit's artifacts")
     parser.add_argument("--threshold", type=float, default=20.0,
                         help="allowed regression in percent (default 20)")
+    parser.add_argument("--zero-epsilon", type=float, default=1.0,
+                        help="allowed absolute worsening when the baseline "
+                             "value is exactly 0, where a percentage is "
+                             "undefined (default 1)")
     args = parser.parse_args()
 
     current = load_artifacts(args.current)
@@ -153,9 +163,26 @@ def main():
                 old = old_metrics.get(metric)
                 if old is None:
                     continue  # new metric phasing in; gated from next run
-                if old == 0:
-                    continue
                 higher_is_better = TRACKED[metric]
+                if old == 0:
+                    # A zero baseline has no percentage scale — a metric
+                    # like snapshot_delta_ms legitimately rounds to 0 on a
+                    # fast machine. Gate it on absolute worsening instead
+                    # of silently ungating it forever, and say so loudly
+                    # either way.
+                    worse = (old - value) if higher_is_better else (value - old)
+                    regressed = worse > args.zero_epsilon
+                    compared += 1
+                    marker = "REGRESSION" if regressed else "skipped"
+                    print(f"  [{marker:>10}] {filename} {table} "
+                          f"({describe(identity)}) {metric}: "
+                          f"{old:g} -> {value:g} (zero baseline: no % "
+                          f"scale, absolute epsilon {args.zero_epsilon:g})")
+                    if regressed:
+                        regressions.append((filename, table, identity,
+                                            metric, old, value,
+                                            float("inf")))
+                    continue
                 change = 100.0 * (value - old) / old
                 regressed = (change < -args.threshold if higher_is_better
                              else change > args.threshold)
@@ -179,9 +206,12 @@ def main():
         sys.exit(2)
     if regressions:
         for filename, table, identity, metric, old, value, change in regressions:
+            scale = (f"{change:+.1f}%, threshold {args.threshold:g}%"
+                     if math.isfinite(change) else
+                     f"zero baseline, absolute epsilon {args.zero_epsilon:g}")
             print(f"bench_trend: FAIL {filename} {table} "
                   f"({describe(identity)}) {metric} {old:g} -> {value:g} "
-                  f"({change:+.1f}%, threshold {args.threshold:g}%)")
+                  f"({scale})")
         sys.exit(1)
     sys.exit(0)
 

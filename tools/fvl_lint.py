@@ -25,6 +25,12 @@ Rules:
   bench-keys    Every column a JSON-emitting bench declares is a decided
                 column in tools/bench_trend.py: TRACKED, ID_COLUMNS, or
                 KNOWN_UNTRACKED. New metrics must pick a gating status.
+  trend-zero    Behavioral probe of the perf gate itself: runs
+                tools/bench_trend.py against seeded fixtures whose baseline
+                metric is exactly 0 and demands that a large worsening still
+                fails (absolute epsilon) and that a benign one is logged
+                with a loud [ skipped ] marker — the gate must never
+                silently ungate zero baselines.
 
 Exit codes: 0 clean, 1 violations (printed one per line), 2 bad invocation.
 --self-test seeds one violation per rule in a temp tree and fails loudly if
@@ -32,8 +38,10 @@ any rule misses its seed — the linter lints itself.
 """
 
 import argparse
+import json
 import os
 import re
+import subprocess
 import sys
 import tempfile
 
@@ -217,12 +225,68 @@ def check_bench_keys(root):
     return violations
 
 
+# --- rule: trend-zero -------------------------------------------------------
+
+def write_trend_fixture(directory, value):
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, "BENCH_probe.json"), "w") as f:
+        json.dump({"tables": [{"table": "svc", "rows": [
+            {"mix": "probe", "snapshot_delta_ms": value}]}]}, f)
+
+
+def run_bench_trend(script, current, baseline):
+    proc = subprocess.run(
+        [sys.executable, script, "--current", current, "--baseline",
+         baseline, "--zero-epsilon", "1"],
+        capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def check_trend_zero(root):
+    """Runs the perf gate against fixtures whose baseline metric is 0.
+
+    A percentage gate has no scale at a zero baseline; the gate must fall
+    back to an absolute epsilon (still failing a real worsening) and must
+    log the comparison loudly instead of silently skipping it. This rule
+    checks the *behavior*, so a refactor of bench_trend.py that quietly
+    reintroduces the silent `continue` fails CI.
+    """
+    script = os.path.join(root, "tools/bench_trend.py")
+    if not os.path.exists(script):
+        return [f"{script}: missing"]
+    violations = []
+    with tempfile.TemporaryDirectory(prefix="fvl_lint_trend_zero_") as tmp:
+        baseline = os.path.join(tmp, "baseline")
+        write_trend_fixture(baseline, 0)
+        regressed = os.path.join(tmp, "regressed")
+        write_trend_fixture(regressed, 50)
+        benign = os.path.join(tmp, "benign")
+        write_trend_fixture(benign, 0.5)
+        code, _ = run_bench_trend(script, regressed, baseline)
+        if code != 1:
+            violations.append(
+                f"{script}: snapshot_delta_ms 0 -> 50 with epsilon 1 exited "
+                f"{code}, want 1 — zero-baseline metrics are ungated")
+        code, out = run_bench_trend(script, benign, baseline)
+        if code != 0:
+            violations.append(
+                f"{script}: snapshot_delta_ms 0 -> 0.5 with epsilon 1 "
+                f"exited {code}, want 0")
+        elif "skipped" not in out:
+            violations.append(
+                f"{script}: a zero-baseline comparison within epsilon left "
+                "no 'skipped' marker in the log — it is being silently "
+                "dropped")
+    return violations
+
+
 RULES = {
     "nodiscard": check_nodiscard,
     "parse-abort": check_parse_abort,
     "naked-mutex": check_naked_mutex,
     "test-registry": check_test_registry,
     "bench-keys": check_bench_keys,
+    "trend-zero": check_trend_zero,
 }
 
 
@@ -268,6 +332,14 @@ def seed_violation(rule, root):
               "KNOWN_UNTRACKED = {'merge_ms'}\n")
         write(root, "bench/bench_merge_query.cc",
               'TablePrinter table({"runs", "merge_ms", "mystery_metric"});\n')
+    elif rule == "trend-zero":
+        # The pre-fix bench_trend.py: zero-baseline metrics silently
+        # `continue`d, so every comparison against a 0 baseline exited 0
+        # with no log line. The rule must catch that behavior.
+        write(root, "tools/bench_trend.py",
+              "#!/usr/bin/env python3\n"
+              "import sys\n"
+              "sys.exit(0)  # old behavior: zero baselines never gate\n")
 
 
 def self_test():
