@@ -2,9 +2,9 @@
 //
 // Two caches, both bounded and both scoped to one immutable snapshot:
 //
-//   * a decoded-label cache (item id -> DataLabel), so a hot item's label
-//     is decoded from the bit arena once per snapshot instead of once per
-//     batch;
+//   * a decoded-label cache ((service tag, item id) -> DataLabel), so a
+//     hot item's label is decoded from the bit arena once per snapshot
+//     instead of once per batch;
 //   * a reachability memo ((service, view, mode, src, dst) -> answer), so a
 //     hot query pair skips decoding *and* the predicate entirely.
 //
@@ -16,8 +16,12 @@
 // Correctness-by-construction rules (relied on by the differential tests):
 //
 //   * Labels enter the cache only after ProvenanceService::LabelInBounds
-//     vetting, so a cache hit is exactly the label the uncached path would
-//     have decoded and accepted.
+//     vetting, and the cache key carries the tag of the service that vetted
+//     them — LabelInBounds walks the *service's* grammar, so a label vetted
+//     by one service proves nothing to another even when both accept this
+//     index's codec widths (CheckIndexCompatible compares widths only). A
+//     hit is therefore exactly the label the querying service's uncached
+//     path would have decoded and accepted.
 //   * The memo stores only answers the decoder actually produced for this
 //     snapshot, keyed on the full (service tag, view id, mode, src, dst)
 //     tuple with exact key comparison — a hit can only replay an answer
@@ -38,6 +42,25 @@
 #include "fvl/util/sharded_cache.h"
 
 namespace fvl {
+
+// Identity of one cached decoded label. The service tag is part of the key
+// because LabelInBounds vetting is grammar-specific: two services can share
+// an index (codec widths match) while differing structurally, and neither
+// may consume labels only the other vetted.
+struct LabelCacheKey {
+  uint64_t service_tag = 0;  // the ProvenanceService whose vetting admitted it
+  int32_t item = -1;         // item id in the owning index's id space
+
+  friend bool operator==(const LabelCacheKey&, const LabelCacheKey&) = default;
+};
+
+struct LabelCacheKeyHash {
+  size_t operator()(const LabelCacheKey& k) const {
+    uint64_t h = k.service_tag;
+    h = h * 1099511628211ull ^ static_cast<uint32_t>(k.item);
+    return static_cast<size_t>(h);
+  }
+};
 
 // Full identity of one memoized reachability answer. Every field takes part
 // in equality — there is no packed/lossy form — so distinct queries can
@@ -90,11 +113,11 @@ class ServingCache {
   ServingCache(const ServingCache&) = delete;
   ServingCache& operator=(const ServingCache&) = delete;
 
-  bool LookupLabel(int item, DataLabel* out) const {
-    return labels_.Lookup(item, out);
+  bool LookupLabel(uint64_t service_tag, int item, DataLabel* out) const {
+    return labels_.Lookup(LabelCacheKey{service_tag, item}, out);
   }
-  void InsertLabel(int item, const DataLabel& label) {
-    labels_.Insert(item, label);
+  void InsertLabel(uint64_t service_tag, int item, const DataLabel& label) {
+    labels_.Insert(LabelCacheKey{service_tag, item}, label);
   }
 
   bool LookupReach(const ReachMemoKey& key, bool* answer) const {
@@ -110,7 +133,7 @@ class ServingCache {
   ServingCacheStats stats() const;
 
  private:
-  ShardedCache<int32_t, DataLabel> labels_;
+  ShardedCache<LabelCacheKey, DataLabel, LabelCacheKeyHash> labels_;
   ShardedCache<ReachMemoKey, char, ReachMemoKeyHash> reach_;
 };
 

@@ -39,8 +39,13 @@ namespace fvl::net {
 // into an exabyte allocation).
 inline constexpr uint64_t kMaxFramePayload = uint64_t{1} << 26;  // 64 MiB
 
-// Protocol version reported by kPing.
-inline constexpr uint64_t kProtocolVersion = 1;
+// Protocol version reported by kPing. Bump on any wire-shape change —
+// ReadFields-style decoders reject both short and long bodies, so a skewed
+// peer must be detectable by the ping handshake rather than failing later
+// with a misleading truncated-field/trailing-bytes error.
+//   1 — initial framed protocol (kStats body: 4 u64 fields).
+//   2 — kStats body widened to 8 u64 fields (serving-cache counters).
+inline constexpr uint64_t kProtocolVersion = 2;
 
 enum class MsgType : uint8_t {
   kPing = 1,

@@ -270,16 +270,18 @@ Result<std::vector<bool>> ProvenanceService::BatchDepends(
   std::unordered_map<int, DataLabel> sparse;
   std::atomic<bool> in_bounds{true};
   // Cache-aware decode of one item. Labels enter the cache only after
-  // LabelInBounds, so a hit is exactly a label the uncached path would
-  // have decoded and accepted — hits skip re-vetting.
+  // LabelInBounds, keyed by this service's tag (vetting is grammar-specific,
+  // so another service's entries are misses here) — a hit is exactly a
+  // label this service's uncached path would have decoded and accepted,
+  // and hits skip re-vetting.
   auto fetch = [&](int item, DataLabel* out) {
-    if (cache != nullptr && cache->LookupLabel(item, out)) return;
+    if (cache != nullptr && cache->LookupLabel(tag_, item, out)) return;
     *out = label_of(item);
     if (!LabelInBounds(*out)) {
       in_bounds.store(false, std::memory_order_relaxed);
       return;
     }
-    if (cache != nullptr) cache->InsertLabel(item, *out);
+    if (cache != nullptr) cache->InsertLabel(tag_, item, *out);
   };
   if (dense) {
     for (size_t q : pending) {
@@ -518,7 +520,8 @@ Result<std::vector<bool>> ProvenanceService::SweepVisibility(
   // Decode + bounds-check + visibility per item, sharded across fork-join
   // workers (the view label is read-only; shards write disjoint bytes).
   // Items resident in the snapshot's label cache skip decode and re-vetting
-  // (cached labels passed LabelInBounds when they entered).
+  // (cached labels passed *this* service's LabelInBounds when they entered —
+  // the cache key carries the vetting service's tag).
   std::vector<char> per_item(num_items, 0);
   std::atomic<bool> in_bounds{true};
   ParallelFor(num_items, query_threads(), [&](int64_t begin, int64_t end) {
@@ -526,14 +529,14 @@ Result<std::vector<bool>> ProvenanceService::SweepVisibility(
     for (int64_t item = begin; item < end; ++item) {
       DataLabel item_label;
       if (cache == nullptr ||
-          !cache->LookupLabel(static_cast<int>(item), &item_label)) {
+          !cache->LookupLabel(tag_, static_cast<int>(item), &item_label)) {
         item_label = label_of(static_cast<int>(item));
         if (!LabelInBounds(item_label)) {
           shard_ok = false;
           break;
         }
         if (cache != nullptr) {
-          cache->InsertLabel(static_cast<int>(item), item_label);
+          cache->InsertLabel(tag_, static_cast<int>(item), item_label);
         }
       }
       per_item[item] = IsItemVisible(item_label, **label) ? 1 : 0;

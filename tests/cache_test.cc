@@ -121,14 +121,18 @@ TEST(ShardedCache, ConcurrentHammerKeepsKeyValueInvariant) {
 TEST(ServingCache, LabelAndReachRoundTripWithExactKeys) {
   ServingCache cache(256);
   DataLabel label;
-  EXPECT_FALSE(cache.LookupLabel(3, &label));
+  EXPECT_FALSE(cache.LookupLabel(7u, 3, &label));
 
   DataLabel stored;
   stored.producer.emplace();
   stored.producer->port = 2;
-  cache.InsertLabel(3, stored);
-  ASSERT_TRUE(cache.LookupLabel(3, &label));
+  cache.InsertLabel(7u, 3, stored);
+  ASSERT_TRUE(cache.LookupLabel(7u, 3, &label));
   EXPECT_EQ(label, stored);
+  // The vetting service's tag is part of the label key: another service
+  // looking up the same item misses — LabelInBounds vetting is grammar-
+  // specific and must never leak across services sharing an index.
+  EXPECT_FALSE(cache.LookupLabel(8u, 3, &label));
 
   // Memo keys are compared exactly: tuples differing in any one field are
   // distinct entries, never aliases.
@@ -147,7 +151,7 @@ TEST(ServingCache, LabelAndReachRoundTripWithExactKeys) {
 
   const ServingCacheStats stats = cache.stats();
   EXPECT_EQ(stats.label_hits, 1u);
-  EXPECT_EQ(stats.label_misses, 1u);
+  EXPECT_EQ(stats.label_misses, 2u);
   EXPECT_EQ(stats.reach_hits, 1u);
   EXPECT_EQ(stats.reach_misses, 2u);
 }
@@ -279,6 +283,58 @@ TEST(CacheDifferential, RandomizedSyntheticSpecsSingleAndMerged) {
     }
     EXPECT_GT(merged.serving_cache()->stats().reach_hits, 0u);
   }
+}
+
+TEST(CacheDifferential, LabelEntriesDoNotLeakAcrossServices) {
+  // Two services over one snapshot: CheckIndexCompatible compares only the
+  // codec widths, so a second service — whose grammar may differ
+  // structurally while the widths coincide — must never consume labels
+  // vetted by the first (LabelInBounds walks the vetting service's
+  // grammar). The label cache keys on the vetting service's tag, so B's
+  // first pass misses every entry A warmed, decodes, and re-vets itself.
+  PaperExample ex = MakePaperExample();
+  auto service_a = ProvenanceService::Create(ex.spec).value();
+  auto service_b = ProvenanceService::Create(ex.spec).value();
+
+  RunGeneratorOptions options;
+  options.target_items = 120;
+  options.seed = 17;
+  auto session = service_a->GenerateLabeledRun(options);
+  ProvenanceIndex index = session->Snapshot();
+  ASSERT_NE(index.serving_cache(), nullptr);
+  const auto queries = RandomQueries(index.num_items(), 200, 29);
+
+  // Warm A's label entries with one mode, then prove they are resident by
+  // querying a second mode (the memo misses on mode, the labels hit).
+  const std::vector<bool> expected =
+      service_a
+          ->DependsMany(service_a->default_view(), index, queries,
+                        ViewLabelMode::kDefault)
+          .value();
+  service_a
+      ->DependsMany(service_a->default_view(), index, queries,
+                    ViewLabelMode::kQueryEfficient)
+      .value();
+  const ServingCacheStats warmed = index.serving_cache()->stats();
+  EXPECT_GT(warmed.label_hits, 0u);
+
+  // B answers identically (same grammar here) but from its own decode and
+  // vetting pass: not one label hit against A's entries.
+  EXPECT_EQ(service_b
+                ->DependsMany(service_b->default_view(), index, queries,
+                              ViewLabelMode::kDefault)
+                .value(),
+            expected);
+  const ServingCacheStats after_b = index.serving_cache()->stats();
+  EXPECT_EQ(after_b.label_hits, warmed.label_hits);
+  EXPECT_GT(after_b.label_misses, warmed.label_misses);
+
+  // B's own entries are ordinary cache citizens: its second mode hits them.
+  service_b
+      ->DependsMany(service_b->default_view(), index, queries,
+                    ViewLabelMode::kQueryEfficient)
+      .value();
+  EXPECT_GT(index.serving_cache()->stats().label_hits, after_b.label_hits);
 }
 
 TEST(CacheDifferential, AnswersIdenticalAcrossThreadCounts) {
