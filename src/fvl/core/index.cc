@@ -12,10 +12,30 @@ namespace {
 
 // Version 2 added the codec field widths to the header, making the blob
 // self-describing (version 1 required the caller to supply the codec).
-constexpr char kMagic[8] = {'F', 'V', 'L', 'I', 'D', 'X', '2', '\0'};
+// Version 3 replaced the flat fixed-width offset table in the tail with
+// the block-compressed span stream (LabelStore::kTailFormatVersion 2:
+// delta-coded lengths + inlined short labels). The header layout is
+// unchanged between 2 and 3 — only the tail differs — and Deserialize
+// still accepts version-2 blobs.
+constexpr char kMagic[8] = {'F', 'V', 'L', 'I', 'D', 'X', '3', '\0'};
+constexpr char kLegacyMagic[8] = {'F', 'V', 'L', 'I', 'D', 'X', '2', '\0'};
 // Multi-run variant (ProvenanceIndex::Merge): adds a per-run item-count
-// table between the scalar header and the shared store tail.
-constexpr char kMergedMagic[8] = {'F', 'V', 'L', 'M', 'R', 'G', '1', '\0'};
+// table between the scalar header and the shared store tail. FVLMRG2
+// carries the compressed tail; FVLMRG1 blobs still deserialize.
+constexpr char kMergedMagic[8] = {'F', 'V', 'L', 'M', 'R', 'G', '2', '\0'};
+constexpr char kLegacyMergedMagic[8] = {'F', 'V', 'L', 'M', 'R', 'G', '1',
+                                        '\0'};
+
+// Tail-format version implied by an 8-byte magic, or 0 when unrecognized.
+int TailVersionForMagic(std::string_view blob, const char (&current)[8],
+                        const char (&legacy)[8]) {
+  if (blob.size() < 8) return 0;
+  if (std::memcmp(blob.data(), current, 8) == 0) {
+    return LabelStore::kTailFormatVersion;
+  }
+  if (std::memcmp(blob.data(), legacy, 8) == 0) return 1;
+  return 0;
+}
 
 // Shared validation vocabulary of the three combiners (Merge, FromDeltas,
 // MergeStream::Append) — one wording per failure mode, so the error
@@ -58,10 +78,10 @@ ProvenanceIndex ProvenanceIndexBuilder::FromLabeledRun(
 }
 
 int64_t ProvenanceIndex::SizeBits() const {
-  // Arena plus a minimal-width offset per item.
-  return store_.arena_bits() +
-         static_cast<int64_t>(num_items()) *
-             BitWidthFor(store_.arena_bits() + 1);
+  // Exact bits of the canonical span representation: every label's content
+  // plus the block-compressed length metadata (the v1 layout instead paid
+  // a fixed-width offset per label here).
+  return store_.SerializedSpanBits();
 }
 
 std::string ProvenanceIndex::Serialize() const {
@@ -76,10 +96,8 @@ Result<ProvenanceIndex> ProvenanceIndex::Deserialize(std::string_view blob) {
   auto fail = [](const std::string& message) -> Status {
     return Status::Error(ErrorCode::kMalformedBlob, message);
   };
-  if (blob.size() < sizeof(kMagic) ||
-      std::memcmp(blob.data(), kMagic, sizeof(kMagic)) != 0) {
-    return fail("bad magic");
-  }
+  const int tail_version = TailVersionForMagic(blob, kMagic, kLegacyMagic);
+  if (tail_version == 0) return fail("bad magic");
   size_t pos = sizeof(kMagic);
   uint64_t num_items = 0, arena_bits = 0;
   if (!LabelStore::ReadU64(blob, &pos, &num_items) ||
@@ -96,8 +114,9 @@ Result<ProvenanceIndex> ProvenanceIndex::Deserialize(std::string_view blob) {
     return fail("num_items exceeds supported range");
   }
 
-  Result<LabelStore> store = LabelStore::ParseTail(
-      blob, &pos, {0, static_cast<int64_t>(num_items)}, arena_bits);
+  Result<LabelStore> store =
+      LabelStore::ParseTail(blob, &pos, {0, static_cast<int64_t>(num_items)},
+                            arena_bits, tail_version);
   if (!store.ok()) return store.status();
   return ProvenanceIndex(std::move(store).value());
 }
@@ -182,10 +201,8 @@ Result<MergedProvenanceIndex> MergeStream::Finish() && {
 // --- MergedProvenanceIndex ---------------------------------------------------
 
 int64_t MergedProvenanceIndex::SizeBits() const {
-  // Arena, a minimal-width offset per item, and the per-run base table.
-  return store_.arena_bits() +
-         static_cast<int64_t>(total_items()) *
-             BitWidthFor(store_.arena_bits() + 1) +
+  // Canonical span representation plus the per-run base table.
+  return store_.SerializedSpanBits() +
          static_cast<int64_t>(num_runs()) *
              BitWidthFor(static_cast<int64_t>(total_items()) + 1);
 }
@@ -207,10 +224,9 @@ Result<MergedProvenanceIndex> MergedProvenanceIndex::Deserialize(
   auto fail = [](const std::string& message) -> Status {
     return Status::Error(ErrorCode::kMalformedBlob, message);
   };
-  if (blob.size() < sizeof(kMergedMagic) ||
-      std::memcmp(blob.data(), kMergedMagic, sizeof(kMergedMagic)) != 0) {
-    return fail("bad magic");
-  }
+  const int tail_version =
+      TailVersionForMagic(blob, kMergedMagic, kLegacyMergedMagic);
+  if (tail_version == 0) return fail("bad magic");
   size_t pos = sizeof(kMergedMagic);
   uint64_t num_runs = 0, total_items = 0, arena_bits = 0;
   if (!LabelStore::ReadU64(blob, &pos, &num_runs) ||
@@ -248,8 +264,8 @@ Result<MergedProvenanceIndex> MergedProvenanceIndex::Deserialize(
     return fail("run item counts do not sum to total_items");
   }
 
-  Result<LabelStore> store =
-      LabelStore::ParseTail(blob, &pos, std::move(run_base), arena_bits);
+  Result<LabelStore> store = LabelStore::ParseTail(
+      blob, &pos, std::move(run_base), arena_bits, tail_version);
   if (!store.ok()) return store.status();
   return MergedProvenanceIndex(std::move(store).value());
 }

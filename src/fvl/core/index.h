@@ -211,7 +211,8 @@ class MergeStream {
  public:
   MergeStream() = default;
 
-  // Deserializes one single-run (FVLIDX2) blob and appends it as the next
+  // Deserializes one single-run blob (FVLIDX3, or a legacy FVLIDX2) and
+  // appends it as the next
   // run of the merge. kMalformedBlob if the blob does not parse or decode
   // under its embedded codec; kInvalidArgument if its codec disagrees with
   // the runs appended before it (a snapshot of a structurally different

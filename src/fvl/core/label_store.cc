@@ -56,6 +56,16 @@ void CopyBits(const std::vector<uint64_t>& words, int64_t start_bit,
   }
 }
 
+// Same relocation, from a live reader (which the caller has bounds-checked
+// to hold at least `bits` more bits).
+void CopyBits(BitReader* reader, int64_t bits, BitWriter* out) {
+  while (bits > 0) {
+    int chunk = bits < 64 ? static_cast<int>(bits) : 64;
+    out->WriteFixed(reader->ReadFixed(chunk), chunk);
+    bits -= chunk;
+  }
+}
+
 }  // namespace
 
 int LabelStore::GroupOf(int global) const {
@@ -66,32 +76,199 @@ int LabelStore::GroupOf(int global) const {
   return static_cast<int>(it - group_base_.begin()) - 1;
 }
 
+void LabelStore::MaybePushSkip() {
+  if (num_spans_ - skips_.back().first_item >= kSkipInterval) {
+    skips_.push_back({num_spans_, meta_.size_bits(), arena_.size_bits()});
+  }
+}
+
 void LabelStore::Append(const DataLabel& label) {
   FVL_CHECK(num_groups() > 0);
-  codec_.EncodeTo(label, &arena_);
-  offsets_.push_back(arena_.size_bits());
+  MaybePushSkip();
+  const int64_t length = codec_.EncodedBits(label);
+  meta_.WriteGamma(static_cast<uint64_t>(length));
+  meta_covered_bits_ += GammaLength(static_cast<uint64_t>(length));
+  if (length <= inline_threshold_) {
+    codec_.EncodeTo(label, &meta_);
+    meta_covered_bits_ += length;
+    ++inline_items_;
+  } else {
+    codec_.EncodeTo(label, &arena_);
+    arena_covered_bits_ += length;
+  }
+  total_label_bits_ += length;
+  ++num_spans_;
   ++group_base_.back();
 }
 
+void LabelStore::AppendSpan(BitReader* payload, int64_t length) {
+  MaybePushSkip();
+  meta_.WriteGamma(static_cast<uint64_t>(length));
+  meta_covered_bits_ += GammaLength(static_cast<uint64_t>(length));
+  if (length <= inline_threshold_) {
+    CopyBits(payload, length, &meta_);
+    meta_covered_bits_ += length;
+    ++inline_items_;
+  } else {
+    CopyBits(payload, length, &arena_);
+    arena_covered_bits_ += length;
+  }
+  total_label_bits_ += length;
+  ++num_spans_;
+}
+
+LabelStore::SpanLoc LabelStore::Locate(int global) const {
+  // Last skip entry at or before `global`, then a <= kSkipInterval-item
+  // forward scan of the meta stream (plus the seam slack bulk appends can
+  // introduce — still O(1)-ish).
+  auto it = std::upper_bound(
+      skips_.begin(), skips_.end(), static_cast<int64_t>(global),
+      [](int64_t item, const Skip& skip) { return item < skip.first_item; });
+  const Skip& skip = *(it - 1);
+  int64_t item = skip.first_item;
+  int64_t arena_pos = skip.arena_start;
+  BitReader meta(&meta_.words(), skip.meta_start, meta_covered_bits_);
+  for (;; ++item) {
+    const int64_t length = static_cast<int64_t>(meta.ReadGamma());
+    if (item == global) {
+      if (length <= inline_threshold_) return {true, meta.position(), length};
+      return {false, arena_pos, length};
+    }
+    if (length <= inline_threshold_) {
+      meta.SkipBits(length);
+    } else {
+      arena_pos += length;
+    }
+  }
+}
+
+BitReader LabelStore::SpanReader(int global) const {
+  FVL_CHECK(global >= 0 && global < total_items());
+  const SpanLoc loc = Locate(global);
+  const BitWriter& stream = loc.is_inline ? meta_ : arena_;
+  return BitReader(&stream.words(), loc.start, loc.start + loc.length);
+}
+
+DataLabel LabelStore::DecodeLabel(int global) const {
+  BitReader reader = SpanReader(global);
+  DataLabel label = codec_.Decode(&reader);
+  FVL_CHECK(reader.AtEnd());
+  return label;
+}
+
+int64_t LabelStore::LabelBits(int global) const {
+  FVL_CHECK(global >= 0 && global < total_items());
+  return Locate(global).length;
+}
+
+// --- SpanCursor --------------------------------------------------------------
+
+void LabelStore::SpanCursor::SeekTo(int global) {
+  if (global < item_) {
+    // Backward jump: restart from the skip table.
+    const std::vector<Skip>& skips = store_->skips_;
+    auto it = std::upper_bound(
+        skips.begin(), skips.end(), static_cast<int64_t>(global),
+        [](int64_t item, const Skip& skip) { return item < skip.first_item; });
+    const Skip& skip = *(it - 1);
+    item_ = static_cast<int>(skip.first_item);
+    meta_pos_ = skip.meta_start;
+    arena_pos_ = skip.arena_start;
+  }
+  if (item_ == global) return;
+  BitReader meta(&store_->meta_.words(), meta_pos_,
+                 store_->meta_covered_bits_);
+  while (item_ < global) {
+    const int64_t length = static_cast<int64_t>(meta.ReadGamma());
+    if (length <= store_->inline_threshold_) {
+      meta.SkipBits(length);
+    } else {
+      arena_pos_ += length;
+    }
+    ++item_;
+  }
+  meta_pos_ = meta.position();
+}
+
+BitReader LabelStore::SpanCursor::SpanAt(int global) {
+  FVL_CHECK(global >= 0 && global < store_->total_items());
+  SeekTo(global);
+  BitReader meta(&store_->meta_.words(), meta_pos_,
+                 store_->meta_covered_bits_);
+  const int64_t length = static_cast<int64_t>(meta.ReadGamma());
+  ++item_;
+  if (length <= store_->inline_threshold_) {
+    const int64_t start = meta.position();
+    meta_pos_ = start + length;
+    return BitReader(&store_->meta_.words(), start, start + length);
+  }
+  const int64_t start = arena_pos_;
+  meta_pos_ = meta.position();
+  arena_pos_ += length;
+  return BitReader(&store_->arena_.words(), start, start + length);
+}
+
+DataLabel LabelStore::SpanCursor::DecodeAt(int global) {
+  BitReader reader = SpanAt(global);
+  DataLabel label = store_->codec_.Decode(&reader);
+  FVL_CHECK(reader.AtEnd());
+  return label;
+}
+
+int64_t LabelStore::SpanCursor::LabelBitsAt(int global) {
+  FVL_CHECK(global >= 0 && global < store_->total_items());
+  SeekTo(global);
+  BitReader meta(&store_->meta_.words(), meta_pos_,
+                 store_->meta_covered_bits_);
+  const int64_t length = static_cast<int64_t>(meta.ReadGamma());
+  ++item_;
+  if (length <= store_->inline_threshold_) {
+    meta_pos_ = meta.position() + length;
+  } else {
+    meta_pos_ = meta.position();
+    arena_pos_ += length;
+  }
+  return length;
+}
+
+// --- Bulk appends ------------------------------------------------------------
+
 Status LabelStore::AppendArena(const LabelStore& other) {
-  FVL_CHECK(other.codec_ == codec_);
-  // Rebasing assumes the source offsets cover its whole arena — true for
+  FVL_CHECK(other.codec_ == codec_);  // implies equal inline thresholds
+  // Rebasing assumes the source spans cover its whole streams — true for
   // live stores by construction and enforced by ParseTail for parsed ones,
   // but a hand-assembled or corrupted store must surface recoverably, not
   // silently graft its uncovered bits onto the next appended span.
-  if (other.offsets_.back() != other.arena_bits()) {
+  if (other.meta_covered_bits_ != other.meta_.size_bits() ||
+      other.arena_covered_bits_ != other.arena_.size_bits()) {
     return Status::Error(
         ErrorCode::kInvalidArgument,
-        "source store is inconsistent: offsets cover " +
-            std::to_string(other.offsets_.back()) + " of " +
-            std::to_string(other.arena_bits()) + " arena bits");
+        "source store is inconsistent: spans cover " +
+            std::to_string(other.meta_covered_bits_ +
+                           other.arena_covered_bits_) +
+            " of " +
+            std::to_string(other.meta_.size_bits() +
+                           other.arena_.size_bits()) +
+            " stream bits");
   }
+  const int64_t item_base = num_spans_;
+  const int64_t meta_base = meta_.size_bits();
   const int64_t arena_base = arena_.size_bits();
-  CopyBits(other.arena_.words(), 0, other.arena_bits(), &arena_);
-  offsets_.reserve(offsets_.size() + other.total_items());
-  for (int item = 0; item < other.total_items(); ++item) {
-    offsets_.push_back(arena_base + other.offsets_[item + 1]);
+  CopyBits(other.meta_.words(), 0, other.meta_.size_bits(), &meta_);
+  CopyBits(other.arena_.words(), 0, other.arena_.size_bits(), &arena_);
+  // Per-skip integer fixups — never a per-label pass. The rebased origin
+  // entry doubles as the seam checkpoint, keeping scans bounded across the
+  // append boundary.
+  skips_.reserve(skips_.size() + other.skips_.size());
+  for (const Skip& skip : other.skips_) {
+    skips_.push_back({item_base + skip.first_item, meta_base + skip.meta_start,
+                      arena_base + skip.arena_start});
   }
+  num_spans_ += other.num_spans_;
+  total_label_bits_ += other.total_label_bits_;
+  inline_items_ += other.inline_items_;
+  meta_covered_bits_ += other.meta_covered_bits_;
+  arena_covered_bits_ += other.arena_covered_bits_;
   return Status::Ok();
 }
 
@@ -115,23 +292,35 @@ Status LabelStore::AppendItems(const LabelStore& other) {
 LabelStore LabelStore::ExtractDelta() {
   LabelStore delta(codec_);
   delta.BeginGroup();
-  const int64_t base_bits = offsets_[watermark_items_];
-  CopyBits(arena_.words(), base_bits, arena_bits(), &delta.arena_);
-  delta.offsets_.reserve(total_items() - watermark_items_ + 1);
-  for (int item = watermark_items_; item < total_items(); ++item) {
-    delta.offsets_.push_back(offsets_[item + 1] - base_bits);
+  CopyBits(meta_.words(), watermark_meta_bits_, meta_.size_bits(),
+           &delta.meta_);
+  CopyBits(arena_.words(), watermark_arena_bits_, arena_.size_bits(),
+           &delta.arena_);
+  // Skip entries past the watermark, rebased to the delta's origin —
+  // O(delta / kSkipInterval), keeping the whole extraction O(delta).
+  auto it = std::upper_bound(
+      skips_.begin(), skips_.end(), static_cast<int64_t>(watermark_items_),
+      [](int64_t item, const Skip& skip) { return item < skip.first_item; });
+  for (; it != skips_.end(); ++it) {
+    delta.skips_.push_back({it->first_item - watermark_items_,
+                            it->meta_start - watermark_meta_bits_,
+                            it->arena_start - watermark_arena_bits_});
   }
-  delta.group_base_.back() = total_items() - watermark_items_;
+  delta.num_spans_ = num_spans_ - watermark_items_;
+  delta.total_label_bits_ = total_label_bits_ - watermark_label_bits_;
+  delta.inline_items_ = inline_items_ - watermark_inline_items_;
+  delta.meta_covered_bits_ = delta.meta_.size_bits();
+  delta.arena_covered_bits_ = delta.arena_.size_bits();
+  delta.group_base_.back() = delta.num_spans_;
   watermark_items_ = total_items();
+  watermark_meta_bits_ = meta_.size_bits();
+  watermark_arena_bits_ = arena_.size_bits();
+  watermark_label_bits_ = total_label_bits_;
+  watermark_inline_items_ = inline_items_;
   return delta;
 }
 
-DataLabel LabelStore::DecodeLabel(int global) const {
-  BitReader reader = SpanReader(global);
-  DataLabel label = codec_.Decode(&reader);
-  FVL_CHECK(reader.AtEnd());
-  return label;
-}
+// --- Serialization -----------------------------------------------------------
 
 void LabelStore::AppendU64(std::string* out, uint64_t value) {
   for (int i = 0; i < 8; ++i) {
@@ -153,30 +342,83 @@ bool LabelStore::ReadU64(std::string_view blob, size_t* pos,
   return true;
 }
 
+template <typename Fn>
+void LabelStore::ForEachCanonicalBlock(Fn&& fn) const {
+  BitReader meta(&meta_.words(), 0, meta_covered_bits_);
+  int64_t lens[kBlockItems];
+  int64_t inline_start[kBlockItems];  // meta bit position, or -1 (in arena)
+  for (int64_t first = 0; first < num_spans_; first += kBlockItems) {
+    const int count = static_cast<int>(
+        std::min<int64_t>(kBlockItems, num_spans_ - first));
+    int64_t min_len = 0, max_len = 0;
+    for (int i = 0; i < count; ++i) {
+      lens[i] = static_cast<int64_t>(meta.ReadGamma());
+      if (lens[i] <= inline_threshold_) {
+        inline_start[i] = meta.position();
+        meta.SkipBits(lens[i]);
+      } else {
+        inline_start[i] = -1;
+      }
+      min_len = i == 0 ? lens[i] : std::min(min_len, lens[i]);
+      max_len = std::max(max_len, lens[i]);
+    }
+    fn(first, count, min_len, BitWidthFor(max_len - min_len + 1), lens,
+       inline_start);
+  }
+}
+
 void LabelStore::AppendTail(std::string* blob) const {
   // Codec field widths (self-description).
   for (int width : {codec_.production_bits, codec_.position_bits,
                     codec_.cycle_bits, codec_.start_bits, codec_.port_bits}) {
     blob->push_back(static_cast<char>(width));
   }
+  blob->push_back(static_cast<char>(kTailFormatVersion));
 
-  // Offsets, bit-packed at the minimal fixed width.
-  int offset_width = BitWidthFor(arena_bits() + 1);
-  blob->push_back(static_cast<char>(offset_width));
-  BitWriter packed;
-  for (size_t item = 0; item + 1 < offsets_.size(); ++item) {
-    packed.WriteFixed(static_cast<uint64_t>(offsets_[item + 1]), offset_width);
-  }
-  AppendU64(blob, static_cast<uint64_t>(packed.words().size()));
-  for (uint64_t word : packed.words()) AppendU64(blob, word);
+  // Span stream: the length sequence re-chunked into canonical blocks of
+  // exactly kBlockItems labels (vbyte block-minimum + 6-bit delta width +
+  // per-item fixed-width delta, inline payloads in place). Re-chunking at
+  // serialization time — rather than dumping the in-memory skip structure —
+  // makes the bytes a pure function of the logical label sequence, which
+  // is what keeps FromDeltas reassembly and streamed merges bit-identical
+  // to their monolithic counterparts.
+  BitWriter span;
+  ForEachCanonicalBlock([&](int64_t /*first*/, int count, int64_t base_len,
+                            int delta_width, const int64_t* lens,
+                            const int64_t* inline_start) {
+    span.WriteVByte(static_cast<uint64_t>(base_len));
+    span.WriteFixed(static_cast<uint64_t>(delta_width), 6);
+    for (int i = 0; i < count; ++i) {
+      span.WriteFixed(static_cast<uint64_t>(lens[i] - base_len), delta_width);
+      if (inline_start[i] >= 0) {
+        CopyBits(meta_.words(), inline_start[i], inline_start[i] + lens[i],
+                 &span);
+      }
+    }
+  });
+  AppendU64(blob, static_cast<uint64_t>(span.size_bits()));
+  for (uint64_t word : span.words()) AppendU64(blob, word);
 
-  AppendU64(blob, static_cast<uint64_t>(arena_.words().size()));
+  // Long-label arena, exactly as held in memory (item order).
+  AppendU64(blob, static_cast<uint64_t>(arena_.size_bits()));
   for (uint64_t word : arena_.words()) AppendU64(blob, word);
+}
+
+int64_t LabelStore::SerializedSpanBits() const {
+  int64_t bits = 0;
+  ForEachCanonicalBlock([&](int64_t /*first*/, int count, int64_t base_len,
+                            int delta_width, const int64_t* /*lens*/,
+                            const int64_t* /*inline_start*/) {
+    bits += VByteLength(static_cast<uint64_t>(base_len)) + 6 +
+            static_cast<int64_t>(count) * delta_width;
+  });
+  return bits + total_label_bits_;
 }
 
 Result<LabelStore> LabelStore::ParseTail(std::string_view blob, size_t* pos,
                                          std::vector<int64_t> group_base,
-                                         uint64_t arena_bits) {
+                                         uint64_t arena_bits,
+                                         int tail_version) {
   auto fail = [](const std::string& message) -> Status {
     return Status::Error(ErrorCode::kMalformedBlob, message);
   };
@@ -196,62 +438,146 @@ Result<LabelStore> LabelStore::ParseTail(std::string_view blob, size_t* pos,
     *width = static_cast<unsigned char>(blob[(*pos)++]);
     if (*width > 64) return fail("codec width out of range");
   }
+  store.inline_threshold_ = InlineThresholdBits(store.codec_);
 
-  if (*pos >= blob.size()) return fail("truncated header");
-  int offset_width = static_cast<unsigned char>(blob[(*pos)++]);
-  if (offset_width != BitWidthFor(static_cast<int64_t>(arena_bits) + 1)) {
-    return fail("inconsistent offset width");
-  }
-
-  uint64_t offset_words = 0;
-  if (!ReadU64(blob, pos, &offset_words)) return fail("truncated offsets");
-  if (offset_width > 0 &&
-      num_items > offset_words * 64 / static_cast<uint64_t>(offset_width)) {
-    return fail("offset table too small");
-  }
-  BitWriter packed;
-  for (uint64_t w = 0; w < offset_words; ++w) {
-    uint64_t word = 0;
-    if (!ReadU64(blob, pos, &word)) return fail("truncated offsets");
-    packed.WriteFixed(word, 64);
-  }
-  BitReader reader(packed);
-  store.offsets_ = {0};
-  for (uint64_t item = 0; item < num_items; ++item) {
-    int64_t offset = static_cast<int64_t>(reader.ReadFixed(offset_width));
-    if (offset < store.offsets_.back() ||
-        offset > static_cast<int64_t>(arena_bits)) {
-      return fail("non-monotone offsets");
+  if (tail_version == kTailFormatVersion) {
+    // v2 tail: version byte, canonical span stream, long-label arena.
+    if (*pos >= blob.size()) return fail("truncated header");
+    const int version = static_cast<unsigned char>(blob[(*pos)++]);
+    if (version != kTailFormatVersion) {
+      return fail("unsupported tail-format version");
     }
-    store.offsets_.push_back(offset);
-  }
-  // Also rejects 0-item blobs claiming a nonzero arena: AppendGroups
-  // rebases against offsets_.back(), so uncovered arena bits would be
-  // grafted onto the next appended group's first span.
-  if (store.offsets_.back() != static_cast<int64_t>(arena_bits)) {
-    return fail("offsets do not cover the arena");
+
+    uint64_t span_bits = 0;
+    if (!ReadU64(blob, pos, &span_bits)) return fail("truncated span stream");
+    if (span_bits / 8 > blob.size()) return fail("span stream exceeds blob");
+    std::vector<uint64_t> span_words;
+    span_words.reserve((span_bits + 63) / 64);
+    for (uint64_t w = 0; w < (span_bits + 63) / 64; ++w) {
+      uint64_t word = 0;
+      if (!ReadU64(blob, pos, &word)) return fail("truncated span stream");
+      span_words.push_back(word);
+    }
+
+    uint64_t payload_bits = 0;
+    if (!ReadU64(blob, pos, &payload_bits)) {
+      return fail("truncated label arena");
+    }
+    if (payload_bits / 8 > blob.size()) return fail("label arena exceeds blob");
+    std::vector<uint64_t> payload_words;
+    payload_words.reserve((payload_bits + 63) / 64);
+    for (uint64_t w = 0; w < (payload_bits + 63) / 64; ++w) {
+      uint64_t word = 0;
+      if (!ReadU64(blob, pos, &word)) return fail("truncated label arena");
+      payload_words.push_back(word);
+    }
+
+    BitReader span(&span_words, 0, static_cast<int64_t>(span_bits));
+    span.set_permissive();
+    BitReader payload(&payload_words, 0, static_cast<int64_t>(payload_bits));
+    payload.set_permissive();
+    uint64_t consumed = 0;  // label content bits accounted for so far
+    for (uint64_t first = 0; first < num_items; first += kBlockItems) {
+      const int count = static_cast<int>(
+          std::min<uint64_t>(kBlockItems, num_items - first));
+      const uint64_t base_len = span.ReadVByte();
+      const int delta_width = static_cast<int>(span.ReadFixed(6));
+      if (span.failed()) return fail("truncated span stream");
+      if (base_len > arena_bits) return fail("label lengths exceed the arena");
+      for (int i = 0; i < count; ++i) {
+        const uint64_t length = base_len + span.ReadFixed(delta_width);
+        if (span.failed()) return fail("truncated span stream");
+        if (length < 2) return fail("label shorter than its presence bits");
+        if (length > arena_bits - consumed) {
+          return fail("label lengths exceed the arena");
+        }
+        consumed += length;
+        const bool is_inline =
+            length <= static_cast<uint64_t>(store.inline_threshold_);
+        BitReader* source = is_inline ? &span : &payload;
+        if (!source->CheckRemaining(length)) {
+          return fail(is_inline ? "truncated span stream"
+                                : "truncated label arena");
+        }
+        store.AppendSpan(source, static_cast<int64_t>(length));
+      }
+    }
+    // Also rejects 0-item blobs claiming a nonzero arena: AppendGroups
+    // rebases against the covered counters, so uncovered content would be
+    // grafted onto the next appended group's first span.
+    if (consumed != arena_bits) {
+      return fail("label lengths do not cover the arena");
+    }
+    if (!span.AtEnd()) return fail("span stream has trailing bits");
+    if (!payload.AtEnd()) return fail("label arena has trailing bits");
+  } else {
+    // v1 tail (FVLIDX2/FVLMRG1): flat offset table bit-packed at a fixed
+    // width, then one arena holding every payload. Parsed into the v2
+    // in-memory form — the offsets become per-item lengths, the payloads
+    // are re-split between the meta stream and the long-label arena.
+    if (*pos >= blob.size()) return fail("truncated header");
+    int offset_width = static_cast<unsigned char>(blob[(*pos)++]);
+    if (offset_width != BitWidthFor(static_cast<int64_t>(arena_bits) + 1)) {
+      return fail("inconsistent offset width");
+    }
+
+    uint64_t offset_words = 0;
+    if (!ReadU64(blob, pos, &offset_words)) return fail("truncated offsets");
+    if (offset_width > 0 &&
+        num_items > offset_words * 64 / static_cast<uint64_t>(offset_width)) {
+      return fail("offset table too small");
+    }
+    BitWriter packed;
+    for (uint64_t w = 0; w < offset_words; ++w) {
+      uint64_t word = 0;
+      if (!ReadU64(blob, pos, &word)) return fail("truncated offsets");
+      packed.WriteFixed(word, 64);
+    }
+    BitReader reader(packed);
+    std::vector<int64_t> offsets = {0};
+    offsets.reserve(num_items + 1);
+    for (uint64_t item = 0; item < num_items; ++item) {
+      int64_t offset = static_cast<int64_t>(reader.ReadFixed(offset_width));
+      if (offset < offsets.back() ||
+          offset > static_cast<int64_t>(arena_bits)) {
+        return fail("non-monotone offsets");
+      }
+      offsets.push_back(offset);
+    }
+    if (offsets.back() != static_cast<int64_t>(arena_bits)) {
+      return fail("offsets do not cover the arena");
+    }
+
+    uint64_t arena_words = 0;
+    if (!ReadU64(blob, pos, &arena_words)) return fail("truncated arena");
+    if (arena_words < (arena_bits + 63) / 64) return fail("arena too small");
+    if (arena_words > blob.size() / 8) return fail("truncated arena");
+    std::vector<uint64_t> words;
+    words.reserve(arena_words);
+    for (uint64_t w = 0; w < arena_words; ++w) {
+      uint64_t word = 0;
+      if (!ReadU64(blob, pos, &word)) return fail("truncated arena");
+      words.push_back(word);
+    }
+
+    // Consecutive offsets partition the v1 arena, so one sequential pass
+    // re-homes every payload.
+    BitReader payload(&words, 0, static_cast<int64_t>(arena_bits));
+    for (uint64_t item = 0; item < num_items; ++item) {
+      const int64_t length = offsets[item + 1] - offsets[item];
+      if (length < 2) return fail("label shorter than its presence bits");
+      store.AppendSpan(&payload, length);
+    }
   }
 
-  uint64_t arena_words = 0;
-  if (!ReadU64(blob, pos, &arena_words)) return fail("truncated arena");
-  if (arena_words < (arena_bits + 63) / 64) return fail("arena too small");
-  if (arena_words > blob.size() / 8) return fail("truncated arena");
-  std::vector<uint64_t> words;
-  words.reserve(arena_words);
-  for (uint64_t w = 0; w < arena_words; ++w) {
-    uint64_t word = 0;
-    if (!ReadU64(blob, pos, &word)) return fail("truncated arena");
-    words.push_back(word);
-  }
   if (*pos != blob.size()) return fail("trailing bytes");
-  store.arena_ = BitWriter::FromWords(std::move(words),
-                                      static_cast<int64_t>(arena_bits));
 
   // The accessors FVL_CHECK that every span decodes exactly under the
   // codec; an inconsistent blob (e.g. a flipped codec-width byte) must be
   // rejected here, recoverably, rather than abort on first DecodeLabel.
+  SpanCursor cursor(store);
   for (uint64_t item = 0; item < num_items; ++item) {
-    BitReader label_reader = store.SpanReader(static_cast<int>(item));
+    BitReader label_reader = cursor.SpanAt(static_cast<int>(item));
     label_reader.set_permissive();
     store.codec_.Decode(&label_reader);
     if (label_reader.failed() || !label_reader.AtEnd()) {

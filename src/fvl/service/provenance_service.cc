@@ -218,11 +218,12 @@ Result<bool> ProvenanceService::Depends(ViewHandle handle, const DataLabel& d1,
 }
 
 Result<std::vector<bool>> ProvenanceService::BatchDepends(
-    ViewHandle handle, int num_items,
+    ViewHandle handle, const LabelStore& store,
     std::span<const std::pair<int, int>> queries, ViewLabelMode mode,
-    const std::function<DataLabel(int)>& label_of, ServingCache* cache) {
+    ServingCache* cache) {
   Result<const Decoder*> decoder = DecoderOf(handle, mode);
   if (!decoder.ok()) return decoder.status();
+  const int num_items = store.total_items();
 
   for (const auto& [d1, d2] : queries) {
     if (d1 < 0 || d1 >= num_items || d2 < 0 || d2 >= num_items) {
@@ -269,14 +270,16 @@ Result<std::vector<bool>> ProvenanceService::BatchDepends(
   std::vector<char> needed(dense ? num_items : 0, 0);
   std::unordered_map<int, DataLabel> sparse;
   std::atomic<bool> in_bounds{true};
-  // Cache-aware decode of one item. Labels enter the cache only after
-  // LabelInBounds, keyed by this service's tag (vetting is grammar-specific,
-  // so another service's entries are misses here) — a hit is exactly a
-  // label this service's uncached path would have decoded and accepted,
-  // and hits skip re-vetting.
-  auto fetch = [&](int item, DataLabel* out) {
+  // Cache-aware decode of one item, walking the store's span streams
+  // through the caller's cursor (per shard, so sequential ids amortize the
+  // span scan to O(1)). Labels enter the cache only after LabelInBounds,
+  // keyed by this service's tag (vetting is grammar-specific, so another
+  // service's entries are misses here) — a hit is exactly a label this
+  // service's uncached path would have decoded and accepted, and hits skip
+  // re-vetting.
+  auto fetch = [&](LabelStore::SpanCursor* cursor, int item, DataLabel* out) {
     if (cache != nullptr && cache->LookupLabel(tag_, item, out)) return;
-    *out = label_of(item);
+    *out = cursor->DecodeAt(item);
     if (!LabelInBounds(*out)) {
       in_bounds.store(false, std::memory_order_relaxed);
       return;
@@ -288,16 +291,18 @@ Result<std::vector<bool>> ProvenanceService::BatchDepends(
       needed[queries[q].first] = needed[queries[q].second] = 1;
     }
     ParallelFor(num_items, threads, [&](int64_t begin, int64_t end) {
+      LabelStore::SpanCursor cursor(store);
       for (int64_t item = begin; item < end; ++item) {
         if (!needed[item]) continue;
-        fetch(static_cast<int>(item), &decoded[item]);
+        fetch(&cursor, static_cast<int>(item), &decoded[item]);
       }
     });
   } else {
+    LabelStore::SpanCursor cursor(store);
     for (size_t q : pending) {
       for (int item : {queries[q].first, queries[q].second}) {
         auto [it, inserted] = sparse.try_emplace(item);
-        if (inserted) fetch(item, &it->second);
+        if (inserted) fetch(&cursor, item, &it->second);
       }
     }
   }
@@ -339,9 +344,7 @@ Result<std::vector<bool>> ProvenanceService::DependsMany(
   if (Status status = CheckIndexCompatible(index); !status.ok()) {
     return status;
   }
-  return BatchDepends(handle, index.num_items(), queries, mode,
-                      [&index](int item) { return index.Label(item); },
-                      CacheFor(index));
+  return BatchDepends(handle, index.store(), queries, mode, CacheFor(index));
 }
 
 Result<std::vector<bool>> ProvenanceService::MergedBatch(
@@ -370,10 +373,8 @@ Result<std::vector<bool>> ProvenanceService::MergedBatch(
     }
   }
   if (!same_run.empty()) {
-    Result<std::vector<bool>> sub = BatchDepends(
-        handle, index.total_items(), same_run, mode,
-        [&index](int item) { return index.LabelByGlobalId(item); },
-        CacheFor(index));
+    Result<std::vector<bool>> sub =
+        BatchDepends(handle, index.store(), same_run, mode, CacheFor(index));
     if (!sub.ok()) return sub.status();
     for (size_t i = 0; i < positions.size(); ++i) {
       answers[positions[i]] = (*sub)[i];
@@ -513,12 +514,14 @@ Status ProvenanceService::CheckIndexCompatible(
 }
 
 Result<std::vector<bool>> ProvenanceService::SweepVisibility(
-    ViewHandle handle, int num_items, ViewLabelMode mode,
-    const std::function<DataLabel(int)>& label_of, ServingCache* cache) {
+    ViewHandle handle, const LabelStore& store, ViewLabelMode mode,
+    ServingCache* cache) {
   Result<const ViewLabel*> label = LabelOf(handle, mode);
   if (!label.ok()) return label.status();
+  const int num_items = store.total_items();
   // Decode + bounds-check + visibility per item, sharded across fork-join
-  // workers (the view label is read-only; shards write disjoint bytes).
+  // workers (the view label is read-only; shards write disjoint bytes) and
+  // walking each shard's contiguous item range through its own span cursor.
   // Items resident in the snapshot's label cache skip decode and re-vetting
   // (cached labels passed *this* service's LabelInBounds when they entered —
   // the cache key carries the vetting service's tag).
@@ -526,11 +529,12 @@ Result<std::vector<bool>> ProvenanceService::SweepVisibility(
   std::atomic<bool> in_bounds{true};
   ParallelFor(num_items, query_threads(), [&](int64_t begin, int64_t end) {
     bool shard_ok = true;
+    LabelStore::SpanCursor cursor(store);
     for (int64_t item = begin; item < end; ++item) {
       DataLabel item_label;
       if (cache == nullptr ||
           !cache->LookupLabel(tag_, static_cast<int>(item), &item_label)) {
-        item_label = label_of(static_cast<int>(item));
+        item_label = cursor.DecodeAt(static_cast<int>(item));
         if (!LabelInBounds(item_label)) {
           shard_ok = false;
           break;
@@ -556,9 +560,7 @@ Result<std::vector<bool>> ProvenanceService::VisibilitySweep(
   if (Status status = CheckIndexCompatible(index); !status.ok()) {
     return status;
   }
-  return SweepVisibility(handle, index.num_items(), mode,
-                         [&index](int item) { return index.Label(item); },
-                         CacheFor(index));
+  return SweepVisibility(handle, index.store(), mode, CacheFor(index));
 }
 
 Result<std::vector<bool>> ProvenanceService::VisibilitySweep(
@@ -567,10 +569,7 @@ Result<std::vector<bool>> ProvenanceService::VisibilitySweep(
   if (Status status = CheckIndexCompatible(index); !status.ok()) {
     return status;
   }
-  return SweepVisibility(
-      handle, index.total_items(), mode,
-      [&index](int item) { return index.LabelByGlobalId(item); },
-      CacheFor(index));
+  return SweepVisibility(handle, index.store(), mode, CacheFor(index));
 }
 
 Result<MergedProvenanceIndex> ProvenanceService::MergeRunsStreamed(

@@ -326,25 +326,28 @@ class ProvenanceService
   [[nodiscard]] Status CheckIndexCompatible(const ProvenanceIndex& index) const;
   [[nodiscard]] Status CheckIndexCompatible(const MergedProvenanceIndex& index) const;
   // Shared decode-once batch cores behind DependsMany / QueryAcrossRuns and
-  // the visibility sweeps; `label_of` abstracts over the single-run and
-  // merged item spaces (ids are pre-validated against num_items). `cache`
-  // is the owning index's serving cache, or nullptr to run uncached (empty
-  // index, or set_serving_cache_enabled(false)); answers are identical
-  // either way. Both cores shard across query_threads(): BatchDepends
+  // the visibility sweeps, walking the frozen store's span streams directly
+  // (both the single-run and merged item spaces are the store's flat-id
+  // space; ids are pre-validated against store.total_items()). Each decode
+  // shard keeps its own LabelStore::SpanCursor, so sequential walks pay
+  // amortized O(1) per item against the compact v2 layout. `cache` is the
+  // owning index's serving cache, or nullptr to run uncached (empty index,
+  // or set_serving_cache_enabled(false)); answers are identical either
+  // way. Both cores shard across query_threads(): BatchDepends
   // parallelizes the decode *and* the predicate/answer loop, so hot-in-
   // cache batches (no decode work left) still scale.
   [[nodiscard]] Result<std::vector<bool>> BatchDepends(
-      ViewHandle handle, int num_items,
+      ViewHandle handle, const LabelStore& store,
       std::span<const std::pair<int, int>> queries, ViewLabelMode mode,
-      const std::function<DataLabel(int)>& label_of, ServingCache* cache);
+      ServingCache* cache);
   // Merged-index batch core over pre-validated flat id pairs: answers
   // same-run pairs through BatchDepends and cross-run pairs as false.
   [[nodiscard]] Result<std::vector<bool>> MergedBatch(
       ViewHandle handle, const MergedProvenanceIndex& index,
       std::span<const std::pair<int, int>> flat, ViewLabelMode mode);
   [[nodiscard]] Result<std::vector<bool>> SweepVisibility(
-      ViewHandle handle, int num_items, ViewLabelMode mode,
-      const std::function<DataLabel(int)>& label_of, ServingCache* cache);
+      ViewHandle handle, const LabelStore& store, ViewLabelMode mode,
+      ServingCache* cache);
   // The serving cache batch queries against `index` should consult:
   // the index's own, or nullptr when caching is disabled.
   ServingCache* CacheFor(const ProvenanceIndex& index) const {

@@ -49,6 +49,14 @@ void BitWriter::WriteGamma(uint64_t value) {
   for (int i = bits - 2; i >= 0; --i) WriteBit((value >> i) & 1);
 }
 
+void BitWriter::WriteVByte(uint64_t value) {
+  do {
+    uint64_t group = value & 0x7F;
+    value >>= 7;
+    WriteFixed(group | (value != 0 ? 0x80 : 0), 8);
+  } while (value != 0);
+}
+
 bool BitReader::ReadBit() {
   if (position_ >= size_bits_) {
     FVL_CHECK(permissive_);
@@ -100,6 +108,22 @@ uint64_t BitReader::ReadGamma() {
   return value;
 }
 
+uint64_t BitReader::ReadVByte() {
+  uint64_t value = 0;
+  // Ten groups cover 64 value bits (last shift is 63, bits beyond the word
+  // fall off); an eleventh continuation bit can only come from a corrupted
+  // stream (or a permissive read past the end, whose all-ones fill keeps
+  // the continuation bit set — both must terminate).
+  for (int shift = 0; shift <= 63; shift += 7) {
+    uint64_t group = ReadFixed(8);
+    value |= (group & 0x7F) << shift;
+    if ((group & 0x80) == 0) return value;
+  }
+  FVL_CHECK(permissive_);
+  failed_ = true;
+  return value;
+}
+
 int BitWidthFor(int64_t n) {
   FVL_CHECK(n >= 0);
   if (n <= 1) return 0;
@@ -110,6 +134,12 @@ int GammaLength(uint64_t value) {
   FVL_CHECK(value >= 1);
   int bits = 64 - std::countl_zero(value);
   return 2 * bits - 1;
+}
+
+int VByteLength(uint64_t value) {
+  int length = 8;
+  for (value >>= 7; value != 0; value >>= 7) length += 8;
+  return length;
 }
 
 }  // namespace fvl

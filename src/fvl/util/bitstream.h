@@ -6,7 +6,11 @@
 //  * fixed-width unsigned fields (for grammar-bounded components such as
 //    production ids and member positions), and
 //  * Elias-gamma codes (for unbounded components such as recursion iteration
-//    indices), which cost 2*floor(log2 v) + 1 bits for v >= 1.
+//    indices), which cost 2*floor(log2 v) + 1 bits for v >= 1, and
+//  * vbyte groups (7 value bits + 1 continuation bit per group, low groups
+//    first), used by the compact label-store tail for per-block base
+//    lengths — small values cost one byte, and the encoding is
+//    self-delimiting without a scan for a terminating one-bit.
 
 #ifndef FVL_UTIL_BITSTREAM_H_
 #define FVL_UTIL_BITSTREAM_H_
@@ -22,6 +26,10 @@ class BitWriter {
   void WriteFixed(uint64_t value, int width);
   // Appends the Elias-gamma code of `value`; requires value >= 1.
   void WriteGamma(uint64_t value);
+  // Appends `value` as vbyte groups (7 value bits + continuation bit, low
+  // groups first). Any uint64 value; the encoding is canonical (no empty
+  // trailing groups), so equal values always produce equal bits.
+  void WriteVByte(uint64_t value);
 
   int64_t size_bits() const { return size_bits_; }
   const std::vector<uint64_t>& words() const { return words_; }
@@ -55,9 +63,21 @@ class BitReader {
 
   uint64_t ReadFixed(int width);
   uint64_t ReadGamma();
+  // Reads a vbyte value. Bounded on untrusted input: at most ten groups are
+  // consumed, so a run of corrupted continuation bits sets failed() (in
+  // permissive mode) instead of scanning away; reads past the end fail the
+  // same way via ReadFixed's permissive tail handling.
+  uint64_t ReadVByte();
 
   int64_t position() const { return position_; }
   bool AtEnd() const { return position_ == size_bits_; }
+
+  // Advances past `bits` bits without decoding them (skipping an inline
+  // payload while scanning a span stream). A shortfall sets failed() in
+  // permissive mode and aborts otherwise, like CheckRemaining.
+  void SkipBits(int64_t bits) {
+    if (CheckRemaining(static_cast<uint64_t>(bits))) position_ += bits;
+  }
 
   // Non-aborting mode for untrusted input: reads past the end return
   // one-bits (so gamma scans terminate) and set failed() instead of
@@ -87,6 +107,9 @@ int BitWidthFor(int64_t n);
 
 // Length of the Elias-gamma code for value >= 1.
 int GammaLength(uint64_t value);
+
+// Length in bits of WriteVByte(value) (a multiple of 8).
+int VByteLength(uint64_t value);
 
 }  // namespace fvl
 

@@ -136,6 +136,72 @@ TEST_F(IndexTest, DeserializeRejectsInconsistentBlobs) {
             ErrorCode::kMalformedBlob);
 }
 
+// Targeted corruption of the v2 (FVLIDX3) compressed span tail: the block
+// headers are vbyte + fixed-width fields, so a flipped continuation bit or
+// a lying length must surface as kMalformedBlob, never as an abort or an
+// accepted misparse.
+TEST_F(IndexTest, DeserializeRejectsV2TailCorruption) {
+  ProvenanceIndex index = ProvenanceIndexBuilder::FromLabeledRun(
+      scheme_.production_graph(), labeled_->labeler);
+  std::string blob = index.Serialize();
+  // Tail layout after the 24-byte header: 5 codec width bytes, 1 tail
+  // format version byte, u64 span_bits, then the span stream words — the
+  // first span byte is the vbyte base length of block 0.
+  const size_t version_at = 24 + 5;
+  const size_t first_span_byte = version_at + 1 + 8;
+
+  // Unknown tail-format version under the v3 magic.
+  std::string bad_version = blob;
+  bad_version[version_at] = 9;
+  Result<ProvenanceIndex> rejected = ProvenanceIndex::Deserialize(bad_version);
+  EXPECT_EQ(rejected.code(), ErrorCode::kMalformedBlob);
+  EXPECT_EQ(rejected.status().message(), "unsupported tail-format version");
+  // A v1 version byte under the v3 magic is just as foreign.
+  bad_version[version_at] = 1;
+  EXPECT_EQ(ProvenanceIndex::Deserialize(bad_version).code(),
+            ErrorCode::kMalformedBlob);
+
+  // Continuation bit forced on in block 0's vbyte base length: the base
+  // swallows the delta-width field and every downstream read misaligns.
+  std::string bad_vbyte = blob;
+  bad_vbyte[first_span_byte] =
+      static_cast<char>(bad_vbyte[first_span_byte] | 0x80);
+  EXPECT_EQ(ProvenanceIndex::Deserialize(bad_vbyte).code(),
+            ErrorCode::kMalformedBlob);
+
+  // An all-continuation vbyte run (no terminating group within the 64-bit
+  // range) must fail via the permissive reader, not spin or abort.
+  auto u64 = [](std::string* out, uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      out->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+    }
+  };
+  std::string runaway(blob, 0, 24 + 5);  // header + codec widths
+  runaway.push_back(2);                  // tail-format version
+  u64(&runaway, 11 * 8);                 // span_bits: 11 vbyte groups
+  runaway.append(std::string(11, '\xFF'));
+  runaway.append(5, '\0');  // pad the 88-bit stream to word granularity
+  u64(&runaway, 0);         // payload_bits
+  EXPECT_EQ(ProvenanceIndex::Deserialize(runaway).code(),
+            ErrorCode::kMalformedBlob);
+
+  // Claimed items with an empty span stream: the block walk starves.
+  std::string starved(blob, 0, 8);
+  u64(&starved, 10);  // num_items
+  u64(&starved, 0);   // arena_bits
+  starved.append(5, '\0');
+  starved.push_back(2);
+  u64(&starved, 0);  // span_bits
+  u64(&starved, 0);  // payload_bits
+  EXPECT_EQ(ProvenanceIndex::Deserialize(starved).code(),
+            ErrorCode::kMalformedBlob);
+
+  // Truncation inside the span words (block headers cut mid-stream).
+  EXPECT_EQ(
+      ProvenanceIndex::Deserialize(blob.substr(0, first_span_byte + 1)).code(),
+      ErrorCode::kMalformedBlob);
+}
+
 TEST_F(IndexTest, QueriesWorkFromDeserializedIndex) {
   ProvenanceIndex index = ProvenanceIndexBuilder::FromLabeledRun(
       scheme_.production_graph(), labeled_->labeler);

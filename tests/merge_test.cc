@@ -686,11 +686,66 @@ TEST(MergeStreamTest, ErrorTaxonomyNeverAborts) {
   ASSERT_TRUE(empty.ok()) << empty.status().ToString();
   EXPECT_EQ(empty->num_runs(), 0);
 
-  // A merged (FVLMRG1) blob is not a single-run input: rejected cleanly.
+  // A merged (FVLMRG2) blob is not a single-run input: rejected cleanly.
   MergedRuns runs = MakeRuns(paper, 2, 50, 31);
   MergeStream wrong_format;
   EXPECT_EQ(wrong_format.Append(runs.merged.Serialize()).code(),
             ErrorCode::kMalformedBlob);
+}
+
+// The FVLMRG2 tail is the same compressed span stream as FVLIDX3, shifted
+// by the run table: targeted corruption of its version byte and block-0
+// vbyte must reject recoverably, and the legacy FVLMRG1 magic must still
+// dispatch into the v1 parser.
+TEST(MergeSerialization, V2MergedTailCorruptionRejected) {
+  auto service = ProvenanceService::Create(MakePaperExample().spec).value();
+  MergedRuns runs = MakeRuns(service, 2, 50, 37);
+  std::string blob = runs.merged.Serialize();
+  ASSERT_EQ(blob.compare(0, 7, "FVLMRG2"), 0);
+  // Header: 8 magic + 3 u64 scalars + one u64 per run, then 5 codec width
+  // bytes, the tail-format version byte, u64 span_bits, span words.
+  const size_t version_at = 8 + 3 * 8 + 2 * 8 + 5;
+  const size_t first_span_byte = version_at + 1 + 8;
+
+  std::string bad_version = blob;
+  bad_version[version_at] = 7;
+  Result<MergedProvenanceIndex> rejected =
+      MergedProvenanceIndex::Deserialize(bad_version);
+  EXPECT_EQ(rejected.code(), ErrorCode::kMalformedBlob);
+  EXPECT_EQ(rejected.status().message(), "unsupported tail-format version");
+
+  std::string bad_vbyte = blob;
+  bad_vbyte[first_span_byte] =
+      static_cast<char>(bad_vbyte[first_span_byte] | 0x80);
+  EXPECT_EQ(MergedProvenanceIndex::Deserialize(bad_vbyte).code(),
+            ErrorCode::kMalformedBlob);
+
+  // Truncation inside the span stream (block headers cut mid-word).
+  EXPECT_EQ(MergedProvenanceIndex::Deserialize(
+                blob.substr(0, first_span_byte + 3))
+                .code(),
+            ErrorCode::kMalformedBlob);
+
+  // Legacy FVLMRG1 dispatch survives the bump: a minimal (zero-run) v1
+  // blob still deserializes through the version-dispatched parser.
+  auto u64 = [](std::string* out, uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      out->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+    }
+  };
+  std::string legacy("FVLMRG1", 8);  // includes the terminating NUL
+  u64(&legacy, 0);             // num_runs
+  u64(&legacy, 0);             // total_items
+  u64(&legacy, 0);             // arena_bits
+  legacy.append(5, '\0');      // codec widths
+  legacy.push_back('\0');      // offset width = BitWidthFor(1) = 0
+  u64(&legacy, 0);             // offset words
+  u64(&legacy, 0);             // arena words
+  Result<MergedProvenanceIndex> parsed =
+      MergedProvenanceIndex::Deserialize(legacy);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->num_runs(), 0);
+  EXPECT_EQ(parsed->total_items(), 0);
 }
 
 TEST(MergeEdgeCases, ZeroItemRunsMergeCleanly) {

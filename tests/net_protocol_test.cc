@@ -16,10 +16,12 @@
 #include <utility>
 #include <vector>
 
+#include "fvl/core/index.h"
 #include "fvl/net/client.h"
 #include "fvl/net/server.h"
 #include "fvl/net/socket.h"
 #include "fvl/net/wire.h"
+#include "fvl/service/provenance_service.h"
 #include "fvl/util/random.h"
 #include "fvl/workload/bioaid.h"
 #include "fvl/workload/view_generator.h"
@@ -157,6 +159,46 @@ TEST(NetProtocol, SeededByteFlipsNeverCrashTheResponseParser) {
       (void)ParseResponse(std::string_view(payload).substr(0, cut));
     }
   }
+}
+
+// Snapshot responses carry serialized FVLIDX3 blobs (the v2 compressed
+// span tail) as opaque bodies: a peer-corrupted body must survive the full
+// untrusted path — response parse, then index deserialize — as a clean
+// decode or kMalformedBlob, never a crash (vbyte continuation bits, block
+// length fields, and inline payload boundaries all live in this region).
+TEST(NetProtocol, SeededFlipsOnSnapshotBlobBodiesNeverCrashDeserialize) {
+  Workload bio = MakeBioAid(2012);
+  auto service = ProvenanceService::Create(bio.spec).value();
+  std::string blob = service
+                         ->GenerateLabeledRun(RunGeneratorOptions{
+                             .target_items = 150, .seed = 15})
+                         ->Snapshot()
+                         .Serialize();
+  std::string response = OkResponse(blob);
+
+  Rng rng(1515);
+  int rejected = 0;
+  for (int round = 0; round < 400; ++round) {
+    std::string mutant = response;
+    int flips = 1 + rng.NextInt(0, 2);
+    for (int f = 0; f < flips; ++f) {
+      size_t at = static_cast<size_t>(
+          rng.NextInt(0, static_cast<int>(mutant.size()) - 1));
+      mutant[at] = static_cast<char>(rng.NextInt(0, 255));
+    }
+    Result<std::string_view> body = ParseResponse(mutant);
+    if (!body.ok()) continue;  // the flip hit the response envelope
+    Result<ProvenanceIndex> parsed = ProvenanceIndex::Deserialize(*body);
+    if (parsed.ok()) {
+      for (int item = 0; item < parsed->num_items(); ++item) {
+        (void)parsed->Label(item);
+      }
+    } else {
+      ++rejected;
+      EXPECT_EQ(parsed.code(), ErrorCode::kMalformedBlob);
+    }
+  }
+  EXPECT_GT(rejected, 50);
 }
 
 // ----- Oversize and zero lengths: framing must refuse, not allocate. -----

@@ -15,7 +15,11 @@ Tracked metrics (direction matters):
   stream_peak_stores  lower is better    (bench_merge_query)
   p99_us              lower is better    (ycsb_driver, table "ycsb")
   bytes_per_label     lower is better    (bench_service_throughput,
-                                          bench_merge_query)
+                                          bench_merge_query,
+                                          bench_fig17_label_length,
+                                          bench_fig21_multiview_space)
+  index_bytes         lower is better    (bench_fig17_label_length,
+                                          bench_fig21_multiview_space)
 
 A tracked metric that the baseline row has but the current artifact lost is
 a hard failure (exit 2), not a silent skip: a bench rename or a dropped
@@ -49,13 +53,14 @@ TRACKED = {
     "stream_peak_stores": False,
     "p99_us": False,
     "bytes_per_label": False,
+    "index_bytes": False,
 }
 
 # Columns that identify a row's configuration across commits. Everything
 # else in a row is a measured value and would never reproduce exactly, so
 # it must not take part in row matching.
 ID_COLUMNS = {"runs", "total_items", "run_size", "checkpoints", "queries",
-              "mix", "dist", "threads"}
+              "mix", "dist", "threads", "num_views"}
 
 # Measured columns the gate deliberately does not track (too noisy, or
 # redundant with a tracked metric). Every column a bench emits must appear
@@ -69,6 +74,12 @@ KNOWN_UNTRACKED = {
     "merge_ms", "per_run_batched_qps", "merged_t2_qps", "merged_t4_qps",
     "speedup_vs_loop", "point_ops", "qps", "p50_us", "p95_us", "mean_batch",
     "net_pct_of_locked", "cached_qps", "hit_rate",
+    # Figure-bench label-length curves and the v1-tail comparison columns:
+    # per-label bit curves restate the paper figures (the gate tracks the
+    # serialized byte cost instead), and the v1 columns are a fixed formula
+    # over the same arena, redundant with bytes_per_label.
+    "fvl_avg_bits", "fvl_max_bits", "drl_avg_bits", "drl_max_bits",
+    "fvl_bits", "drl_bits", "v1_bytes_per_label", "space_saving_pct",
 }
 
 

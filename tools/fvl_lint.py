@@ -25,6 +25,13 @@ Rules:
   bench-keys    Every column a JSON-emitting bench declares is a decided
                 column in tools/bench_trend.py: TRACKED, ID_COLUMNS, or
                 KNOWN_UNTRACKED. New metrics must pick a gating status.
+  tail-format   The serialized tail layout is a wire contract: a change to
+                the bodies of LabelStore::AppendTail/ParseTail must bump
+                LabelStore::kTailFormatVersion AND re-pin the golden-blob
+                constant in tests/label_store_test.cc. The rule compares
+                digests of those regions against tools/tail_format.lock;
+                after a deliberate, reviewed change run
+                `tools/fvl_lint.py --update-tail-lock` to refresh it.
   trend-zero    Behavioral probe of the perf gate itself: runs
                 tools/bench_trend.py against seeded fixtures whose baseline
                 metric is exactly 0 and demands that a large worsening still
@@ -38,6 +45,7 @@ any rule misses its seed — the linter lints itself.
 """
 
 import argparse
+import hashlib
 import json
 import os
 import re
@@ -188,6 +196,8 @@ BENCH_JSON_SOURCES = (
     "bench/bench_service_throughput.cc",
     "bench/bench_merge_query.cc",
     "bench/ycsb_driver.cc",
+    "bench/bench_fig17_label_length.cc",
+    "bench/bench_fig21_multiview_space.cc",
 )
 TABLE_CTOR_RE = re.compile(r"TablePrinter\s+\w+\s*\(\s*\{(.*?)\}\s*\)",
                            re.DOTALL)
@@ -222,6 +232,91 @@ def check_bench_keys(root):
                         f"{path}:{lineno}: bench column '{column}' is "
                         "unknown to tools/bench_trend.py — add it to "
                         "TRACKED, ID_COLUMNS, or KNOWN_UNTRACKED")
+    return violations
+
+
+# --- rule: tail-format ------------------------------------------------------
+
+TAIL_LOCK = "tools/tail_format.lock"
+TAIL_HEADER = "src/fvl/core/label_store.h"
+TAIL_SOURCE = "src/fvl/core/label_store.cc"
+TAIL_GOLDEN_TEST = "tests/label_store_test.cc"
+TAIL_FN_RE = re.compile(r"LabelStore::(?:AppendTail|ParseTail)[^{;]*{")
+TAIL_VERSION_RE = re.compile(r"kTailFormatVersion\s*=\s*(\d+)")
+TAIL_GOLDEN_RE = re.compile(r'kGoldenHex\[\]\s*=\s*((?:\s*"[0-9a-f]*")+)')
+
+
+def tail_format_state(root):
+    """(version, layout_digest, golden_digest) of the tree, or (error, ...).
+
+    layout_digest covers the bodies of LabelStore::AppendTail and
+    LabelStore::ParseTail — the two functions that define the serialized
+    tail byte layout; golden_digest covers the pinned kGoldenHex blob.
+    """
+    header_path = os.path.join(root, TAIL_HEADER)
+    source_path = os.path.join(root, TAIL_SOURCE)
+    test_path = os.path.join(root, TAIL_GOLDEN_TEST)
+    for path in (header_path, source_path, test_path):
+        if not os.path.exists(path):
+            return f"{path}: missing", None, None
+    version_match = TAIL_VERSION_RE.search(open(header_path).read())
+    if not version_match:
+        return f"{header_path}: no kTailFormatVersion constant", None, None
+    source = open(source_path).read()
+    bodies = [function_body(source, match.end() - 1)
+              for match in TAIL_FN_RE.finditer(source)]
+    if len(bodies) < 2:
+        return (f"{source_path}: cannot locate both LabelStore::AppendTail "
+                "and LabelStore::ParseTail"), None, None
+    golden_match = TAIL_GOLDEN_RE.search(open(test_path).read())
+    if not golden_match:
+        return f"{test_path}: no pinned kGoldenHex constant", None, None
+    layout = hashlib.sha256("\n".join(bodies).encode()).hexdigest()
+    golden = hashlib.sha256(
+        re.sub(r"\s", "", golden_match.group(1)).encode()).hexdigest()
+    return int(version_match.group(1)), layout, golden
+
+
+def update_tail_lock(root):
+    version, layout, golden = tail_format_state(root)
+    if layout is None:
+        print(f"fvl_lint: cannot update tail lock: {version}")
+        return 1
+    with open(os.path.join(root, TAIL_LOCK), "w") as f:
+        json.dump({"tail_format_version": version, "layout_digest": layout,
+                   "golden_digest": golden}, f, indent=2)
+        f.write("\n")
+    print(f"fvl_lint: {TAIL_LOCK} updated (version {version})")
+    return 0
+
+
+def check_tail_format(root):
+    version, layout, golden = tail_format_state(root)
+    if layout is None:
+        return [version]  # the error string from tail_format_state
+    lock_path = os.path.join(root, TAIL_LOCK)
+    if not os.path.exists(lock_path):
+        return [f"{lock_path}: missing — run tools/fvl_lint.py "
+                "--update-tail-lock to pin the current tail layout"]
+    try:
+        lock = json.load(open(lock_path))
+    except json.JSONDecodeError as error:
+        return [f"{lock_path}: unparseable: {error}"]
+    violations = []
+    locked_version = lock.get("tail_format_version")
+    if layout != lock.get("layout_digest") and version == locked_version:
+        violations.append(
+            f"{TAIL_SOURCE}: AppendTail/ParseTail changed but "
+            f"kTailFormatVersion is still {version} — a layout change must "
+            "bump the version ({}) and re-pin the golden blob; a "
+            "layout-neutral refactor is re-pinned with tools/fvl_lint.py "
+            "--update-tail-lock".format(TAIL_HEADER))
+    if version != locked_version and golden == lock.get("golden_digest"):
+        violations.append(
+            f"{TAIL_HEADER}: kTailFormatVersion bumped ({locked_version} -> "
+            f"{version}) but the kGoldenHex blob in {TAIL_GOLDEN_TEST} is "
+            "unchanged — re-pin the golden-blob test for the new layout, "
+            "then run tools/fvl_lint.py --update-tail-lock")
     return violations
 
 
@@ -286,6 +381,7 @@ RULES = {
     "naked-mutex": check_naked_mutex,
     "test-registry": check_test_registry,
     "bench-keys": check_bench_keys,
+    "tail-format": check_tail_format,
     "trend-zero": check_trend_zero,
 }
 
@@ -332,6 +428,25 @@ def seed_violation(rule, root):
               "KNOWN_UNTRACKED = {'merge_ms'}\n")
         write(root, "bench/bench_merge_query.cc",
               'TablePrinter table({"runs", "merge_ms", "mystery_metric"});\n')
+    elif rule == "tail-format":
+        # A layout edit (different AppendTail body than the lock pinned)
+        # without a version bump: the wire break the rule exists to catch.
+        write(root, "src/fvl/core/label_store.h",
+              "static constexpr int kTailFormatVersion = 2;\n")
+        write(root, "src/fvl/core/label_store.cc",
+              "void LabelStore::AppendTail(std::string* blob) const {\n"
+              "  // sneaky new layout, same version\n"
+              "}\n"
+              "Result<LabelStore> LabelStore::ParseTail(\n"
+              "    std::string_view blob) {\n"
+              "  return {};\n"
+              "}\n")
+        write(root, "tests/label_store_test.cc",
+              'constexpr char kGoldenHex[] = "aabbcc";\n')
+        write(root, "tools/tail_format.lock",
+              json.dumps({"tail_format_version": 2,
+                          "layout_digest": "0" * 64,
+                          "golden_digest": "1" * 64}))
     elif rule == "trend-zero":
         # The pre-fix bench_trend.py: zero-baseline metrics silently
         # `continue`d, so every comparison against a 0 baseline exited 0
@@ -368,6 +483,10 @@ def main():
                         help="repo root (default: parent of this script)")
     parser.add_argument("--self-test", action="store_true",
                         help="verify every rule catches a seeded violation")
+    parser.add_argument("--update-tail-lock", action="store_true",
+                        help="re-pin tools/tail_format.lock to the current "
+                             "AppendTail/ParseTail layout and golden blob "
+                             "(after a deliberate, reviewed format change)")
     args = parser.parse_args()
 
     if args.self_test:
@@ -378,6 +497,9 @@ def main():
     if not os.path.isdir(os.path.join(root, "src/fvl")):
         print(f"fvl_lint: {root} does not look like the repo root")
         sys.exit(2)
+
+    if args.update_tail_lock:
+        sys.exit(update_tail_lock(root))
 
     total = 0
     for rule, checker in RULES.items():
