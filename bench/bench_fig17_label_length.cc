@@ -12,7 +12,13 @@
 //     BitWidthFor(arena_bits + 1)), computed from the same snapshot;
 //   * space_saving_pct — the v2-over-v1 reduction, the number the compact
 //     label store optimization is gated on;
-//   * index_bytes — the full serialized blob size (header included).
+//   * index_bytes — the full serialized blob size (header included);
+//   * prefix_dupe_ratio — the fraction of encoded label bits shared with
+//     the previous item's label as a bitwise prefix. Stats only for now:
+//     it upper-bounds what a prefix-dictionary coder over the arena could
+//     reclaim, so the column is the baseline to judge that future
+//     optimization against (consecutive items come from nearby derivation
+//     steps, whose producer paths share long prefixes by construction).
 
 #include <cstdio>
 
@@ -23,6 +29,28 @@
 
 namespace fvl::bench {
 namespace {
+
+// Fraction of encoded label bits shared with the previous item's encoding
+// as a bitwise prefix, over one labeled run (see the header comment).
+double PrefixDupeRatio(const FvlScheme::LabeledRun& labeled,
+                       const LabelCodec& codec) {
+  auto bit = [](const BitWriter& w, int64_t i) {
+    return (w.words()[i / 64] >> (i % 64)) & 1;
+  };
+  int64_t shared = 0, total = 0;
+  BitWriter prev;
+  for (int item = 0; item < labeled.run.num_items(); ++item) {
+    BitWriter cur = codec.Encode(labeled.labeler.Label(item));
+    const int64_t overlap = std::min(prev.size_bits(), cur.size_bits());
+    for (int64_t i = 0; i < overlap; ++i) {
+      if (bit(prev, i) != bit(cur, i)) break;
+      ++shared;
+    }
+    total += cur.size_bits();
+    prev = std::move(cur);
+  }
+  return total == 0 ? 0.0 : static_cast<double>(shared) / total;
+}
 
 void Main(const BenchConfig& config) {
   // Opened up front: a bad --json path must fail before the run, not after.
@@ -39,10 +67,10 @@ void Main(const BenchConfig& config) {
   TablePrinter table({"run_size", "fvl_avg_bits", "fvl_max_bits",
                       "drl_avg_bits", "drl_max_bits", "bytes_per_label",
                       "v1_bytes_per_label", "space_saving_pct",
-                      "index_bytes"});
+                      "index_bytes", "prefix_dupe_ratio"});
   for (int size : config.run_sizes()) {
     double fvl_avg = 0, fvl_max = 0, drl_avg = 0, drl_max = 0;
-    double v2_bytes = 0, v1_bytes = 0, blob_bytes = 0;
+    double v2_bytes = 0, v1_bytes = 0, blob_bytes = 0, prefix_dupe = 0;
     for (int sample = 0; sample < config.runs_per_point(); ++sample) {
       RunGeneratorOptions options;
       options.target_items = size;
@@ -66,6 +94,7 @@ void Main(const BenchConfig& config) {
                           BitWidthFor(arena_bits + 1)) /
                   8.0 / items;
       blob_bytes += static_cast<double>(index.Serialize().size());
+      prefix_dupe += PrefixDupeRatio(labeled, index.store().codec());
 
       DrlRunLabeler drl = DrlLabelRun(labeled.run, drl_index);
       int64_t total = 0, max_bits = 0, count = 0;
@@ -84,13 +113,15 @@ void Main(const BenchConfig& config) {
     v2_bytes /= config.runs_per_point();
     v1_bytes /= config.runs_per_point();
     blob_bytes /= config.runs_per_point();
+    prefix_dupe /= config.runs_per_point();
     table.AddRow({std::to_string(size), TablePrinter::Num(fvl_avg, 1),
                   TablePrinter::Num(fvl_max, 0), TablePrinter::Num(drl_avg, 1),
                   TablePrinter::Num(drl_max, 0),
                   TablePrinter::Num(v2_bytes, 2),
                   TablePrinter::Num(v1_bytes, 2),
                   TablePrinter::Num(100.0 * (1.0 - v2_bytes / v1_bytes), 1),
-                  TablePrinter::Num(blob_bytes, 0)});
+                  TablePrinter::Num(blob_bytes, 0),
+                  TablePrinter::Num(prefix_dupe, 3)});
   }
   table.Print("Figure 17: data label length (bits) vs run size, BioAID");
   std::printf(

@@ -42,6 +42,7 @@
 #include "fvl/net/client.h"
 #include "fvl/net/server.h"
 #include "fvl/service/provenance_service.h"
+#include "fvl/util/file.h"
 #include "fvl/util/histogram.h"
 #include "fvl/workload/key_generator.h"
 
@@ -62,6 +63,7 @@ struct Mix {
   const char* name;
   double sweep_every = 0;   // sweeps per op (0 = never)
   double merge_every = 0;   // merge transactions per op (0 = never)
+  bool archive = false;     // point queries hit the file-served archive id
 };
 
 struct WorkerResult {
@@ -182,6 +184,40 @@ void Main(const BenchConfig& config) {
   SnapshotInfo query_snapshot = replay(query_items, 2012);
   SnapshotInfo merge_run_a = replay(query_items / 8, 31);
   SnapshotInfo merge_run_b = replay(query_items / 8, 32);
+
+  // On-disk tier: the same frozen index written as an archive file and
+  // re-opened by path — the cold_archive mix serves point queries straight
+  // off the mapping instead of the heap snapshot. The two small runs are
+  // also archived and compacted over the wire once, so the LSM path is
+  // exercised end-to-end under the same process.
+  const std::string archive_dir = "/tmp";
+  auto archive_file = [&](const std::string& name, std::string_view blob) {
+    std::string path = archive_dir + "/fvl_ycsb_" +
+                       std::to_string(server->port()) + "_" + name;
+    FileHandle out = FileHandle::CreateTruncate(path).value();
+    FVL_CHECK(out.WriteAll(blob).ok());
+    FVL_CHECK(out.Close().ok());
+    return path;
+  };
+  auto run_blob = [&](int target_items, int seed) {
+    auto reference = service->GenerateLabeledRun(RunGeneratorOptions{
+        .target_items = target_items, .seed = static_cast<uint64_t>(seed)});
+    return reference->Snapshot().Serialize();
+  };
+  std::string archive_path =
+      archive_file("query.fvlidx", run_blob(query_items, 2012));
+  net::OpenInfo archive = setup.OpenIndexFile(archive_path).value();
+  FVL_CHECK(archive.num_items == query_snapshot.num_items);
+  std::vector<std::string> compact_inputs = {
+      archive_file("run_a.fvlidx", run_blob(query_items / 8, 31)),
+      archive_file("run_b.fvlidx", run_blob(query_items / 8, 32))};
+  MergeInfo compacted =
+      setup
+          .CompactFiles(compact_inputs,
+                        archive_dir + "/fvl_ycsb_" +
+                            std::to_string(server->port()) + "_l1.fvlmrg")
+          .value();
+  FVL_CHECK(compacted.num_runs == 2);
   std::vector<uint64_t> run_index_ids = {merge_run_a.index_id,
                                          merge_run_b.index_id};
   std::vector<int> run_sizes = {merge_run_a.num_items, merge_run_b.num_items};
@@ -218,6 +254,10 @@ void Main(const BenchConfig& config) {
       {"read_heavy", 0, 0},
       {"scan_heavy", /*sweep_every=*/1.0 / 640, 0},
       {"merge_mix", /*sweep_every=*/0, /*merge_every=*/1.0 / 1000},
+      // Same op stream as read_heavy but against the file-served archive:
+      // the qps delta against read_heavy rows is the cost of serving
+      // labels off the mapping instead of the heap snapshot.
+      {"cold_archive", 0, 0, /*archive=*/true},
   };
   std::vector<int> thread_points =
       config.quick ? std::vector<int>{2, 8} : std::vector<int>{1, 4, 8};
@@ -239,7 +279,8 @@ void Main(const BenchConfig& config) {
           for (int t = 0; t < threads; ++t) {
             pool.emplace_back([&, t] {
               results[t] = RunWorker(
-                  server->port(), view_id, query_snapshot.index_id,
+                  server->port(), view_id,
+                  mix.archive ? archive.index_id : query_snapshot.index_id,
                   run_index_ids, run_sizes, keys, mix, ops_per_thread,
                   /*seed=*/1000 * (t + 1) + threads);
             });

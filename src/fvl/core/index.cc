@@ -93,6 +93,23 @@ std::string ProvenanceIndex::Serialize() const {
 }
 
 Result<ProvenanceIndex> ProvenanceIndex::Deserialize(std::string_view blob) {
+  return Parse(blob, /*borrow_arena=*/false);
+}
+
+Result<ProvenanceIndex> ProvenanceIndex::Map(const std::string& path) {
+  Result<BlobSource> source = BlobSource::MapFile(path);
+  if (!source.ok()) return source.status();
+  // Validation walks the blob front to back; serving then point-queries it.
+  source->AdviseSequential();
+  Result<ProvenanceIndex> index = Parse(source->view(), /*borrow_arena=*/true);
+  if (!index.ok()) return index.status();
+  source->AdviseRandom();
+  index->backing_ = std::move(source).value();
+  return index;
+}
+
+Result<ProvenanceIndex> ProvenanceIndex::Parse(std::string_view blob,
+                                               bool borrow_arena) {
   auto fail = [](const std::string& message) -> Status {
     return Status::Error(ErrorCode::kMalformedBlob, message);
   };
@@ -116,7 +133,7 @@ Result<ProvenanceIndex> ProvenanceIndex::Deserialize(std::string_view blob) {
 
   Result<LabelStore> store =
       LabelStore::ParseTail(blob, &pos, {0, static_cast<int64_t>(num_items)},
-                            arena_bits, tail_version);
+                            arena_bits, tail_version, borrow_arena);
   if (!store.ok()) return store.status();
   return ProvenanceIndex(std::move(store).value());
 }
@@ -221,6 +238,24 @@ std::string MergedProvenanceIndex::Serialize() const {
 
 Result<MergedProvenanceIndex> MergedProvenanceIndex::Deserialize(
     std::string_view blob) {
+  return Parse(blob, /*borrow_arena=*/false);
+}
+
+Result<MergedProvenanceIndex> MergedProvenanceIndex::Map(
+    const std::string& path) {
+  Result<BlobSource> source = BlobSource::MapFile(path);
+  if (!source.ok()) return source.status();
+  source->AdviseSequential();
+  Result<MergedProvenanceIndex> index =
+      Parse(source->view(), /*borrow_arena=*/true);
+  if (!index.ok()) return index.status();
+  source->AdviseRandom();
+  index->backing_ = std::move(source).value();
+  return index;
+}
+
+Result<MergedProvenanceIndex> MergedProvenanceIndex::Parse(
+    std::string_view blob, bool borrow_arena) {
   auto fail = [](const std::string& message) -> Status {
     return Status::Error(ErrorCode::kMalformedBlob, message);
   };
@@ -265,9 +300,72 @@ Result<MergedProvenanceIndex> MergedProvenanceIndex::Deserialize(
   }
 
   Result<LabelStore> store = LabelStore::ParseTail(
-      blob, &pos, std::move(run_base), arena_bits, tail_version);
+      blob, &pos, std::move(run_base), arena_bits, tail_version, borrow_arena);
   if (!store.ok()) return store.status();
   return MergedProvenanceIndex(std::move(store).value());
+}
+
+// --- CompactStream -----------------------------------------------------------
+
+Status CompactStream::Append(std::string_view blob) {
+  return AppendParsed(blob, /*borrow_arena=*/false);
+}
+
+Status CompactStream::Append(BlobReader* reader) {
+  // Borrowing is sound here because the parsed input dies inside
+  // AppendParsed, long before the reader (and its mapping) does.
+  Status status = AppendParsed(reader->Remaining(), /*borrow_arena=*/true);
+  if (status.ok()) {
+    reader->Take(reader->Remaining().size());
+    reader->ReleaseConsumed();
+  }
+  return status;
+}
+
+Status CompactStream::AppendParsed(std::string_view blob, bool borrow_arena) {
+  // The parsed input is the only deserialized store alive in the stream; it
+  // is destroyed when this returns, before the caller touches the next
+  // input (MergeStream's memory discipline, extended to merged inputs).
+  if (TailVersionForMagic(blob, kMergedMagic, kLegacyMergedMagic) != 0) {
+    Result<MergedProvenanceIndex> input =
+        MergedProvenanceIndex::Parse(blob, borrow_arena);
+    if (!input.ok()) return input.status();
+    return AppendStore(input->store());
+  }
+  Result<ProvenanceIndex> input = ProvenanceIndex::Parse(blob, borrow_arena);
+  if (!input.ok()) return input.status();
+  return AppendStore(input->store());
+}
+
+Status CompactStream::AppendStore(const LabelStore& source) {
+  if (!have_codec_) {
+    store_ = LabelStore(source.codec());
+    have_codec_ = true;
+  } else if (!(source.codec() == store_.codec())) {
+    return MismatchedCodec("input", inputs_);
+  }
+  if (!FitsItemCount(static_cast<int64_t>(store_.total_items()) +
+                     source.total_items())) {
+    return TooManyItems("compacted index");
+  }
+  if (Status status = store_.AppendGroups(source); !status.ok()) {
+    return status;
+  }
+  ++inputs_;
+  return Status::Ok();
+}
+
+Result<MergedProvenanceIndex> CompactStream::Finish() && {
+  if (!have_codec_) return MergedProvenanceIndex();
+  return MergedProvenanceIndex(std::move(store_));
+}
+
+Result<MergedProvenanceIndex> CompactMerged(std::span<BlobReader> inputs) {
+  CompactStream stream;
+  for (BlobReader& reader : inputs) {
+    if (Status status = stream.Append(&reader); !status.ok()) return status;
+  }
+  return std::move(stream).Finish();
 }
 
 }  // namespace fvl

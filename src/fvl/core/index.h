@@ -37,6 +37,7 @@
 #include "fvl/core/label_store.h"
 #include "fvl/core/run_labeler.h"
 #include "fvl/core/serving_cache.h"
+#include "fvl/util/blob_source.h"
 #include "fvl/util/check.h"
 #include "fvl/util/status.h"
 
@@ -104,6 +105,15 @@ class ProvenanceIndex {
   // be streamed through without copying (MergeStream relies on this).
   [[nodiscard]] static Result<ProvenanceIndex> Deserialize(std::string_view blob);
 
+  // Serves the index straight out of an archive file: opens and mmaps
+  // `path`, validates it exactly as Deserialize would, and returns an index
+  // whose long-label arena still lives in the mapping — zero arena copy
+  // (store().arena_borrowed() is true for any index with long labels). The
+  // index keeps the mapping alive (copies share it; the file unmaps with
+  // the last copy), so the returned value is self-contained. kIo/kMapFailed
+  // for file-level failures, kMalformedBlob for content ones.
+  [[nodiscard]] static Result<ProvenanceIndex> Map(const std::string& path);
+
   // Reassembles incremental snapshots (ProvenanceSession::SnapshotDelta)
   // into the index one full Snapshot() would have produced at the same
   // point — bit-identical, serialization included (golden test in
@@ -125,10 +135,22 @@ class ProvenanceIndex {
       std::span<const ProvenanceIndex> runs);
 
  private:
+  friend class CompactStream;  // parses inputs with borrowed arenas
+
+  // Deserialize/Map core; `borrow_arena` is ParseTail's flag (the returned
+  // index then references `blob`, whose lifetime the caller manages —
+  // Map attaches the mapping as backing_, CompactStream drops the store
+  // before its reader).
+  [[nodiscard]] static Result<ProvenanceIndex> Parse(std::string_view blob,
+                                                     bool borrow_arena);
+
   LabelStore store_;
   // Shared (not deep-copied) by index copies: every copy wraps the same
   // frozen contents, so they legitimately pool one cache.
   std::shared_ptr<ServingCache> cache_;
+  // Keepalive for Map-served indexes: the mapping the borrowed arena points
+  // into. Empty (no backing) for heap-built indexes.
+  BlobSource backing_;
 };
 
 // Many runs of one specification, frozen into a single position-independent
@@ -189,9 +211,22 @@ class MergedProvenanceIndex {
   std::string Serialize() const;
   [[nodiscard]] static Result<MergedProvenanceIndex> Deserialize(std::string_view blob);
 
+  // File-served counterpart of Deserialize, with the same contract as
+  // ProvenanceIndex::Map: mmap, validate, borrow the arena from the
+  // mapping, keep the mapping alive alongside the index.
+  [[nodiscard]] static Result<MergedProvenanceIndex> Map(
+      const std::string& path);
+
  private:
+  friend class CompactStream;  // parses inputs with borrowed arenas
+
+  [[nodiscard]] static Result<MergedProvenanceIndex> Parse(
+      std::string_view blob, bool borrow_arena);
+
   LabelStore store_;
   std::shared_ptr<ServingCache> cache_;
+  // Keepalive for Map-served indexes (see ProvenanceIndex::backing_).
+  BlobSource backing_;
 };
 
 // Memory-bounded k-way merge: the streaming counterpart of
@@ -238,6 +273,70 @@ class MergeStream {
   bool have_codec_ = false;
   LabelStore store_;
 };
+
+// LSM-style re-merge: folds already-merged artifacts (FVLMRG2/FVLMRG1) and
+// stray single runs (FVLIDX3/FVLIDX2) into one compacted merged index —
+// the dLSM-shaped maintenance step of the on-disk tier, where L0 run files
+// and earlier compaction outputs collapse into a new archive. Unlike
+// MergeStream it accepts merged inputs directly: their runs are appended
+// in stored order with one bulk bit copy per input, never flattened back
+// into per-run blobs. MergeStream's memory discipline carries over — one
+// parsed input alive at a time, destroyed before the next is touched, so
+// compaction peaks at O(largest input + output) (asserted against
+// internal::StoreCountProbe in tests/disk_tier_test.cc) — and the
+// BlobReader overload parses with a borrowed arena, so a mapped input's
+// payload bits are never copied into the temporary at all. The output is
+// bit-identical to a from-scratch ProvenanceIndex::Merge of the flattened
+// run sequence (AppendTail is canonical whatever the grouping history).
+//
+//   CompactStream stream;
+//   for (BlobReader& reader : readers) {
+//     if (Status status = stream.Append(&reader); !status.ok()) return status;
+//   }
+//   MergedProvenanceIndex compacted = std::move(stream).Finish().value();
+class CompactStream {
+ public:
+  CompactStream() = default;
+
+  // Appends every run of one serialized artifact, single-run or merged, in
+  // its stored order. kMalformedBlob if the blob does not parse (an
+  // unrecognized magic included); kInvalidArgument on a codec mismatch with
+  // earlier inputs or item-count overflow. On error the stream is
+  // unchanged and may keep appending other inputs.
+  [[nodiscard]] Status Append(std::string_view blob);
+
+  // Same, consuming the reader's remaining bytes. For a mapped source the
+  // input's label arena is read in place (borrowed-arena parse) and its
+  // pages are released once appended — the streaming path CompactMerged
+  // and the service-level compaction use.
+  [[nodiscard]] Status Append(BlobReader* reader);
+
+  // Runs / items appended so far, across all inputs.
+  int num_runs() const { return store_.num_groups(); }
+  int total_items() const { return store_.total_items(); }
+  // Pinned by the first input; all-zero widths before that (as on
+  // MergeStream).
+  const LabelCodec& codec() const { return store_.codec(); }
+
+  // Freezes the appended runs (an empty stream yields an empty index); the
+  // stream is consumed.
+  [[nodiscard]] Result<MergedProvenanceIndex> Finish() &&;
+
+ private:
+  // Shared core: magic-dispatch, parse one input (borrowing its arena from
+  // `blob` when asked — the parsed store never outlives this call), fold
+  // its runs into store_.
+  [[nodiscard]] Status AppendParsed(std::string_view blob, bool borrow_arena);
+  [[nodiscard]] Status AppendStore(const LabelStore& source);
+
+  bool have_codec_ = false;
+  size_t inputs_ = 0;  // artifacts appended (for error attribution)
+  LabelStore store_;
+};
+
+// Convenience one-shot: compacts `inputs` in order through a CompactStream.
+[[nodiscard]] Result<MergedProvenanceIndex> CompactMerged(
+    std::span<BlobReader> inputs);
 
 }  // namespace fvl
 

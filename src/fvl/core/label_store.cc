@@ -77,13 +77,28 @@ int LabelStore::GroupOf(int global) const {
 }
 
 void LabelStore::MaybePushSkip() {
+  // The covered counters rather than the stream sizes: identical at every
+  // span boundary for owned stores, and the only correct positions when
+  // the arena is borrowed (arena_ is empty then — the bits live in the
+  // mapped blob).
   if (num_spans_ - skips_.back().first_item >= kSkipInterval) {
-    skips_.push_back({num_spans_, meta_.size_bits(), arena_.size_bits()});
+    skips_.push_back({num_spans_, meta_covered_bits_, arena_covered_bits_});
   }
+}
+
+void LabelStore::ThawArena() {
+  if (!arena_borrowed()) return;
+  BitReader reader(borrowed_arena_, 0, borrowed_arena_bits_);
+  BitWriter owned;
+  CopyBits(&reader, borrowed_arena_bits_, &owned);
+  arena_ = std::move(owned);
+  borrowed_arena_ = nullptr;
+  borrowed_arena_bits_ = 0;
 }
 
 void LabelStore::Append(const DataLabel& label) {
   FVL_CHECK(num_groups() > 0);
+  ThawArena();
   MaybePushSkip();
   const int64_t length = codec_.EncodedBits(label);
   meta_.WriteGamma(static_cast<uint64_t>(length));
@@ -110,9 +125,19 @@ void LabelStore::AppendSpan(BitReader* payload, int64_t length) {
     meta_covered_bits_ += length;
     ++inline_items_;
   } else {
+    ThawArena();
     CopyBits(payload, length, &arena_);
     arena_covered_bits_ += length;
   }
+  total_label_bits_ += length;
+  ++num_spans_;
+}
+
+void LabelStore::AppendSpanBorrowed(int64_t length) {
+  MaybePushSkip();
+  meta_.WriteGamma(static_cast<uint64_t>(length));
+  meta_covered_bits_ += GammaLength(static_cast<uint64_t>(length));
+  arena_covered_bits_ += length;  // the payload sits in the borrowed bytes
   total_label_bits_ += length;
   ++num_spans_;
 }
@@ -145,8 +170,10 @@ LabelStore::SpanLoc LabelStore::Locate(int global) const {
 BitReader LabelStore::SpanReader(int global) const {
   FVL_CHECK(global >= 0 && global < total_items());
   const SpanLoc loc = Locate(global);
-  const BitWriter& stream = loc.is_inline ? meta_ : arena_;
-  return BitReader(&stream.words(), loc.start, loc.start + loc.length);
+  if (loc.is_inline) {
+    return BitReader(&meta_.words(), loc.start, loc.start + loc.length);
+  }
+  return ArenaReader(loc.start, loc.start + loc.length);
 }
 
 DataLabel LabelStore::DecodeLabel(int global) const {
@@ -205,7 +232,7 @@ BitReader LabelStore::SpanCursor::SpanAt(int global) {
   const int64_t start = arena_pos_;
   meta_pos_ = meta.position();
   arena_pos_ += length;
-  return BitReader(&store_->arena_.words(), start, start + length);
+  return store_->ArenaReader(start, start + length);
 }
 
 DataLabel LabelStore::SpanCursor::DecodeAt(int global) {
@@ -240,7 +267,7 @@ Status LabelStore::AppendArena(const LabelStore& other) {
   // but a hand-assembled or corrupted store must surface recoverably, not
   // silently graft its uncovered bits onto the next appended span.
   if (other.meta_covered_bits_ != other.meta_.size_bits() ||
-      other.arena_covered_bits_ != other.arena_.size_bits()) {
+      other.arena_covered_bits_ != other.arena_size_bits()) {
     return Status::Error(
         ErrorCode::kInvalidArgument,
         "source store is inconsistent: spans cover " +
@@ -248,14 +275,20 @@ Status LabelStore::AppendArena(const LabelStore& other) {
                            other.arena_covered_bits_) +
             " of " +
             std::to_string(other.meta_.size_bits() +
-                           other.arena_.size_bits()) +
+                           other.arena_size_bits()) +
             " stream bits");
   }
+  ThawArena();  // the target's streams are about to grow
   const int64_t item_base = num_spans_;
   const int64_t meta_base = meta_.size_bits();
   const int64_t arena_base = arena_.size_bits();
   CopyBits(other.meta_.words(), 0, other.meta_.size_bits(), &meta_);
-  CopyBits(other.arena_.words(), 0, other.arena_.size_bits(), &arena_);
+  if (other.arena_size_bits() > 0) {
+    // Through the source's arena reader, which serves borrowed (mapped)
+    // arenas byte-wise — merging a file-served input never materializes it.
+    BitReader arena_reader = other.ArenaReader(0, other.arena_size_bits());
+    CopyBits(&arena_reader, other.arena_size_bits(), &arena_);
+  }
   // Per-skip integer fixups — never a per-label pass. The rebased origin
   // entry doubles as the seam checkpoint, keeping scans bounded across the
   // append boundary.
@@ -290,6 +323,7 @@ Status LabelStore::AppendItems(const LabelStore& other) {
 }
 
 LabelStore LabelStore::ExtractDelta() {
+  ThawArena();  // live-session state; borrowed stores only get here thawed
   LabelStore delta(codec_);
   delta.BeginGroup();
   CopyBits(meta_.words(), watermark_meta_bits_, meta_.size_bits(),
@@ -399,9 +433,16 @@ void LabelStore::AppendTail(std::string* blob) const {
   AppendU64(blob, static_cast<uint64_t>(span.size_bits()));
   for (uint64_t word : span.words()) AppendU64(blob, word);
 
-  // Long-label arena, exactly as held in memory (item order).
-  AppendU64(blob, static_cast<uint64_t>(arena_.size_bits()));
-  for (uint64_t word : arena_.words()) AppendU64(blob, word);
+  // Long-label arena in item order, read through ArenaReader so borrowed
+  // (mapped) arenas serialize without thawing. Emitting whole words through
+  // the reader also re-zeroes any junk above the final bit, keeping the
+  // output canonical whatever backs the store.
+  AppendU64(blob, static_cast<uint64_t>(arena_size_bits()));
+  BitReader arena = ArenaReader(0, arena_size_bits());
+  for (int64_t remaining = arena_size_bits(); remaining > 0; remaining -= 64) {
+    const int chunk = remaining < 64 ? static_cast<int>(remaining) : 64;
+    AppendU64(blob, arena.ReadFixed(chunk));
+  }
 }
 
 int64_t LabelStore::SerializedSpanBits() const {
@@ -418,7 +459,8 @@ int64_t LabelStore::SerializedSpanBits() const {
 Result<LabelStore> LabelStore::ParseTail(std::string_view blob, size_t* pos,
                                          std::vector<int64_t> group_base,
                                          uint64_t arena_bits,
-                                         int tail_version) {
+                                         int tail_version,
+                                         bool borrow_arena) {
   auto fail = [](const std::string& message) -> Status {
     return Status::Error(ErrorCode::kMalformedBlob, message);
   };
@@ -464,19 +506,39 @@ Result<LabelStore> LabelStore::ParseTail(std::string_view blob, size_t* pos,
       return fail("truncated label arena");
     }
     if (payload_bits / 8 > blob.size()) return fail("label arena exceeds blob");
+    const uint64_t payload_word_count = (payload_bits + 63) / 64;
+    // Borrowing only applies to a nonempty v2 arena (v1 re-splits payloads,
+    // so this whole branch is already version-gated); an empty arena has
+    // nothing to point at and stays in the plain owned state.
+    const bool borrow = borrow_arena && payload_word_count > 0;
     std::vector<uint64_t> payload_words;
-    payload_words.reserve((payload_bits + 63) / 64);
-    for (uint64_t w = 0; w < (payload_bits + 63) / 64; ++w) {
-      uint64_t word = 0;
-      if (!ReadU64(blob, pos, &word)) return fail("truncated label arena");
-      payload_words.push_back(word);
+    if (borrow) {
+      // Same bounds discipline as ReadU64, in word units: the blob must
+      // hold all payload words at *pos (subtraction form — no wraparound).
+      if (blob.size() / 8 < payload_word_count ||
+          *pos > blob.size() - 8 * payload_word_count) {
+        return fail("truncated label arena");
+      }
+      store.borrowed_arena_ =
+          reinterpret_cast<const uint8_t*>(blob.data()) + *pos;
+      store.borrowed_arena_bits_ = static_cast<int64_t>(payload_bits);
+      *pos += 8 * payload_word_count;
+    } else {
+      payload_words.reserve(payload_word_count);
+      for (uint64_t w = 0; w < payload_word_count; ++w) {
+        uint64_t word = 0;
+        if (!ReadU64(blob, pos, &word)) return fail("truncated label arena");
+        payload_words.push_back(word);
+      }
     }
 
     BitReader span(&span_words, 0, static_cast<int64_t>(span_bits));
     span.set_permissive();
-    BitReader payload(&payload_words, 0, static_cast<int64_t>(payload_bits));
+    BitReader payload(&payload_words, 0,
+                      borrow ? 0 : static_cast<int64_t>(payload_bits));
     payload.set_permissive();
-    uint64_t consumed = 0;  // label content bits accounted for so far
+    uint64_t consumed = 0;       // label content bits accounted for so far
+    uint64_t long_consumed = 0;  // of those, bits living in the long arena
     for (uint64_t first = 0; first < num_items; first += kBlockItems) {
       const int count = static_cast<int>(
           std::min<uint64_t>(kBlockItems, num_items - first));
@@ -494,6 +556,18 @@ Result<LabelStore> LabelStore::ParseTail(std::string_view blob, size_t* pos,
         consumed += length;
         const bool is_inline =
             length <= static_cast<uint64_t>(store.inline_threshold_);
+        if (!is_inline && borrow) {
+          // The payload already sits in the borrowed bytes; account for it
+          // without copying. Bounds-checked against the declared arena size
+          // exactly as CheckRemaining would be.
+          if (length > payload_bits - long_consumed) {
+            return fail("truncated label arena");
+          }
+          long_consumed += length;
+          store.AppendSpanBorrowed(static_cast<int64_t>(length));
+          continue;
+        }
+        if (!is_inline) long_consumed += length;
         BitReader* source = is_inline ? &span : &payload;
         if (!source->CheckRemaining(length)) {
           return fail(is_inline ? "truncated span stream"
@@ -509,7 +583,9 @@ Result<LabelStore> LabelStore::ParseTail(std::string_view blob, size_t* pos,
       return fail("label lengths do not cover the arena");
     }
     if (!span.AtEnd()) return fail("span stream has trailing bits");
-    if (!payload.AtEnd()) return fail("label arena has trailing bits");
+    if (long_consumed != payload_bits) {
+      return fail("label arena has trailing bits");
+    }
   } else {
     // v1 tail (FVLIDX2/FVLMRG1): flat offset table bit-packed at a fixed
     // width, then one arena holding every payload. Parsed into the v2

@@ -150,6 +150,12 @@ class LabelStore {
   // Labels currently inlined in the meta stream (observability for tests
   // and the space benches; not serialized state).
   int64_t inline_items() const { return inline_items_; }
+  // True while the long-label arena is borrowed memory (a ParseTail with
+  // borrow_arena over an mmap'ed blob) rather than an owned stream. Reads
+  // are served straight from the borrowed bytes; the first mutation thaws
+  // (copies) the arena, after which this returns false. Observability for
+  // the mmap-serving tests and stats — not serialized state.
+  bool arena_borrowed() const { return borrowed_arena_ != nullptr; }
 
   // Flat id of (group, item) in arena order: group_base_[group] + item.
   int GlobalId(int group, int item) const {
@@ -269,14 +275,24 @@ class LabelStore {
   // store uses the v2 in-memory form. `group_base` and `arena_bits` (total
   // label content bits) come from the caller's header and must already be
   // bounded by the blob size (counts within int range, bases monotone).
-  // The blob is only read during the call — the returned store owns its
-  // words, so callers may stream borrowed buffers through without copying
-  // them into std::strings.
+  // By default the blob is only read during the call — the returned store
+  // owns its words, so callers may stream borrowed buffers through without
+  // copying them into std::strings. With `borrow_arena` set (and a v2
+  // tail), the long-label arena — the dominant bit range of a large store —
+  // is NOT copied: the store keeps a pointer into `blob` and serves arena
+  // reads from it, so the caller must keep the blob bytes alive and
+  // unchanged for the store's lifetime (ProvenanceIndex::Map holds the
+  // BlobSource alongside the store). The meta stream is re-encoded and
+  // owned either way, as is everything parsed from a v1 tail (whose arena
+  // must be re-split, so the flag is ignored). Any mutation of a borrowed
+  // store first thaws the arena into owned words (copy-on-thaw), after
+  // which the blob may be released.
   [[nodiscard]] static Result<LabelStore> ParseTail(std::string_view blob,
                                                     size_t* pos,
                                                     std::vector<int64_t> group_base,
                                                     uint64_t arena_bits,
-                                                    int tail_version);
+                                                    int tail_version,
+                                                    bool borrow_arena = false);
 
   // Little-endian u64 helpers shared with the format headers. ReadU64
   // tolerates any `pos`, including values near SIZE_MAX: a position that
@@ -314,6 +330,25 @@ class LabelStore {
   // Does not touch group bookkeeping. `payload` must have >= length bits
   // remaining (parse paths check before calling).
   void AppendSpan(BitReader* payload, int64_t length);
+  // Accounting-only variant for the borrowed-arena parse: a long label
+  // whose payload already sits in the borrowed bytes — writes the gamma
+  // length and advances every counter, copies nothing.
+  void AppendSpanBorrowed(int64_t length);
+
+  // Long-label arena size, whichever memory holds it.
+  int64_t arena_size_bits() const {
+    return arena_borrowed() ? borrowed_arena_bits_ : arena_.size_bits();
+  }
+  // Reader over the bit range [start_bit, end_bit) of the long-label
+  // arena, borrowed or owned.
+  BitReader ArenaReader(int64_t start_bit, int64_t end_bit) const {
+    if (arena_borrowed()) return BitReader(borrowed_arena_, start_bit, end_bit);
+    return BitReader(&arena_.words(), start_bit, end_bit);
+  }
+  // Copy-on-thaw: materializes a borrowed arena into owned words. Called
+  // by every mutator, so append paths never write through (or next to)
+  // borrowed memory; no-op for owned stores.
+  void ThawArena();
 
   // Shared bulk-append core: coverage check, two stream bit copies, skip
   // rebasing. Group bookkeeping is the callers' business.
@@ -330,7 +365,13 @@ class LabelStore {
   std::vector<int64_t> group_base_{0};  // size num_groups + 1; [0] = 0
   std::vector<Skip> skips_{{0, 0, 0}};  // sorted by first_item; [0] = origin
   BitWriter meta_;   // per item: gamma(length) [+ inline payload]
-  BitWriter arena_;  // payloads of long labels, in item order
+  BitWriter arena_;  // payloads of long labels, in item order (owned mode)
+  // Borrowed-arena mode (ParseTail with borrow_arena): long-label payloads
+  // live in these caller-owned bytes — the serialized arena words inside a
+  // mapped blob — and arena_ stays empty until ThawArena. The range is
+  // unaligned; readers assemble words byte-wise (BitReader byte mode).
+  const uint8_t* borrowed_arena_ = nullptr;
+  int64_t borrowed_arena_bits_ = 0;
   int64_t num_spans_ = 0;         // spans appended (== total_items() when
                                   //   group bookkeeping is complete)
   int64_t total_label_bits_ = 0;  // sum of all label lengths

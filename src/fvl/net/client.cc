@@ -206,6 +206,40 @@ Result<std::vector<bool>> ProvenanceClient::QueryAcrossRuns(
   return bits;
 }
 
+Result<OpenInfo> ProvenanceClient::OpenIndexFile(const std::string& path) {
+  Result<std::string> body =
+      Call(EncodeOpenIndexFileRequest(path, /*merged=*/false));
+  if (!body.ok()) return body.status();
+  uint64_t fields[2];
+  Status parsed = ReadFields(*body, fields);
+  if (!parsed.ok()) return parsed;
+  return OpenInfo{fields[0], static_cast<int>(fields[1])};
+}
+
+Result<MergeInfo> ProvenanceClient::OpenMergedIndexFile(
+    const std::string& path) {
+  Result<std::string> body =
+      Call(EncodeOpenIndexFileRequest(path, /*merged=*/true));
+  if (!body.ok()) return body.status();
+  uint64_t fields[3];
+  Status parsed = ReadFields(*body, fields);
+  if (!parsed.ok()) return parsed;
+  return MergeInfo{fields[0], static_cast<int>(fields[1]),
+                   static_cast<int>(fields[2])};
+}
+
+Result<MergeInfo> ProvenanceClient::CompactFiles(
+    std::span<const std::string> input_paths, const std::string& output_path) {
+  Result<std::string> body =
+      Call(EncodeCompactFilesRequest(input_paths, output_path));
+  if (!body.ok()) return body.status();
+  uint64_t fields[3];
+  Status parsed = ReadFields(*body, fields);
+  if (!parsed.ok()) return parsed;
+  return MergeInfo{fields[0], static_cast<int>(fields[1]),
+                   static_cast<int>(fields[2])};
+}
+
 Result<ServerStats> ProvenanceClient::Stats() {
   Result<std::string> body = Call(EncodeStatsRequest());
   if (!body.ok()) return body.status();

@@ -55,6 +55,13 @@ struct MergeInfo {
   int total_items = 0;
 };
 
+// What OpenIndexFile hands back (single-run archives; merged archives come
+// back as a MergeInfo from OpenMergedIndexFile).
+struct OpenInfo {
+  uint64_t index_id = 0;
+  int num_items = 0;
+};
+
 class ProvenanceClient {
  public:
   // Connects to 127.0.0.1:port.
@@ -85,6 +92,23 @@ class ProvenanceClient {
       uint64_t view_id, uint64_t merged_id, ViewLabelMode mode,
       std::span<const std::pair<RunItem, RunItem>> queries);
   [[nodiscard]] Result<ServerStats> Stats();
+
+  // --- On-disk tier ---
+  //
+  // Paths name files on the *server's* filesystem: the server maps (or
+  // writes) them; archive bytes never cross the wire. The returned ids
+  // feed the same query calls as Snapshot/MergeRuns ids.
+
+  // Maps a serialized single-run archive server-side and registers it.
+  [[nodiscard]] Result<OpenInfo> OpenIndexFile(const std::string& path);
+  // Maps a serialized merged archive server-side and registers it.
+  [[nodiscard]] Result<MergeInfo> OpenMergedIndexFile(const std::string& path);
+  // LSM-style server-side re-merge: compacts the named archives (single-run
+  // or merged, any mix) into one FVLMRG2 file at output_path and registers
+  // the result.
+  [[nodiscard]] Result<MergeInfo> CompactFiles(
+      std::span<const std::string> input_paths,
+      const std::string& output_path);
 
   // --- Pipelined point queries ---
   //

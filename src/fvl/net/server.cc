@@ -396,6 +396,10 @@ class ProvenanceServer::Impl {
         return HandleMergeRuns(request);
       case MsgType::kQueryAcrossRuns:
         return HandleQueryAcrossRuns(request);
+      case MsgType::kOpenIndexFile:
+        return HandleOpenIndexFile(request);
+      case MsgType::kCompactFiles:
+        return HandleCompactFiles(request);
       case MsgType::kStats: {
         ServerStats snapshot = stats();
         std::string body;
@@ -540,6 +544,67 @@ class ProvenanceServer::Impl {
     }
     std::vector<std::string_view> views(blobs.begin(), blobs.end());
     Result<MergedProvenanceIndex> merged = service_->MergeRunsStreamed(views);
+    if (!merged.ok()) return ErrorResponse(merged.status());
+    int num_runs = merged->num_runs();
+    int total_items = merged->total_items();
+    uint64_t id;
+    {
+      MutexLock lock(&state_mu_);
+      id = next_merged_id_++;
+      merged_[id] = std::make_shared<const MergedProvenanceIndex>(
+          std::move(merged).value());
+    }
+    std::string body;
+    AppendU64(&body, id);
+    AppendU64(&body, static_cast<uint64_t>(num_runs));
+    AppendU64(&body, static_cast<uint64_t>(total_items));
+    return OkResponse(body);
+  }
+
+  std::string HandleOpenIndexFile(const Request& request)
+      FVL_EXCLUDES(state_mu_) {
+    // The mapped index holds its BlobSource keepalive, so registering it
+    // serves queries straight off the archive's pages — a cold open is the
+    // whole point of the on-disk tier (bench/bench_mmap_serve.cc).
+    if (request.merged_file) {
+      Result<MergedProvenanceIndex> merged =
+          service_->OpenMergedIndexFile(request.path);
+      if (!merged.ok()) return ErrorResponse(merged.status());
+      int num_runs = merged->num_runs();
+      int total_items = merged->total_items();
+      uint64_t id;
+      {
+        MutexLock lock(&state_mu_);
+        id = next_merged_id_++;
+        merged_[id] = std::make_shared<const MergedProvenanceIndex>(
+            std::move(merged).value());
+      }
+      std::string body;
+      AppendU64(&body, id);
+      AppendU64(&body, static_cast<uint64_t>(num_runs));
+      AppendU64(&body, static_cast<uint64_t>(total_items));
+      return OkResponse(body);
+    }
+    Result<ProvenanceIndex> index = service_->OpenIndexFile(request.path);
+    if (!index.ok()) return ErrorResponse(index.status());
+    int num_items = index->num_items();
+    uint64_t id;
+    {
+      MutexLock lock(&state_mu_);
+      id = next_index_id_++;
+      indexes_[id] =
+          std::make_shared<const ProvenanceIndex>(std::move(index).value());
+    }
+    std::string body;
+    AppendU64(&body, id);
+    AppendU64(&body, static_cast<uint64_t>(num_items));
+    return OkResponse(body);
+  }
+
+  std::string HandleCompactFiles(const Request& request)
+      FVL_EXCLUDES(state_mu_) {
+    Result<MergedProvenanceIndex> merged =
+        service_->CompactFiles(request.input_paths, request.path);
     if (!merged.ok()) return ErrorResponse(merged.status());
     int num_runs = merged->num_runs();
     int total_items = merged->total_items();

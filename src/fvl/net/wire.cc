@@ -162,13 +162,32 @@ bool ReadItemId(std::string_view blob, size_t* pos, uint64_t* value) {
   return ReadU64(blob, pos, value) && *value <= kMaxItemId;
 }
 
+// Archive paths on the wire: `u64 len | bytes`, capped well under the
+// frame limit so a flipped length byte cannot demand a gigabyte string
+// (PATH_MAX is 4096 on every target we build for).
+constexpr uint64_t kMaxWirePathLength = 4096;
+
+bool ReadPath(std::string_view blob, size_t* pos, std::string* path) {
+  uint64_t length = 0;
+  if (!ReadU64(blob, pos, &length)) return false;
+  if (length > kMaxWirePathLength || length > blob.size() - *pos) return false;
+  path->assign(blob.substr(*pos, static_cast<size_t>(length)));
+  *pos += static_cast<size_t>(length);
+  return true;
+}
+
+void AppendPath(std::string* out, std::string_view path) {
+  AppendU64(out, path.size());
+  out->append(path);
+}
+
 }  // namespace
 
 Result<Request> DecodeRequest(std::string_view payload) {
   if (payload.empty()) return Malformed("empty payload");
   uint8_t type_byte = static_cast<uint8_t>(payload[0]);
   if (type_byte < static_cast<uint8_t>(MsgType::kPing) ||
-      type_byte > static_cast<uint8_t>(MsgType::kStats)) {
+      type_byte > static_cast<uint8_t>(MsgType::kCompactFiles)) {
     return Malformed("unknown message type");
   }
   Request request;
@@ -277,6 +296,35 @@ Result<Request> DecodeRequest(std::string_view payload) {
             {RunItem{static_cast<int>(fields[0]), static_cast<int>(fields[1])},
              RunItem{static_cast<int>(fields[2]),
                      static_cast<int>(fields[3])}});
+      }
+      break;
+    }
+    case MsgType::kOpenIndexFile: {
+      if (pos >= payload.size()) return Malformed("bad open-index-file body");
+      uint8_t merged = static_cast<uint8_t>(payload[pos++]);
+      if (merged > 1) return Malformed("bad open-index-file kind");
+      request.merged_file = merged != 0;
+      if (!ReadPath(payload, &pos, &request.path)) {
+        return Malformed("bad open-index-file path");
+      }
+      break;
+    }
+    case MsgType::kCompactFiles: {
+      uint64_t count = 0;
+      if (!ReadPath(payload, &pos, &request.path) ||
+          !ReadU64(payload, &pos, &count)) {
+        return Malformed("bad compact-files body");
+      }
+      if (count > (payload.size() - pos) / 8) {
+        return Malformed("compact-files count exceeds payload");
+      }
+      request.input_paths.reserve(static_cast<size_t>(count));
+      for (uint64_t i = 0; i < count; ++i) {
+        std::string input;
+        if (!ReadPath(payload, &pos, &input)) {
+          return Malformed("bad compact-files path");
+        }
+        request.input_paths.push_back(std::move(input));
       }
       break;
     }
@@ -407,6 +455,22 @@ std::string EncodeQueryAcrossRunsRequest(
 }
 
 std::string EncodeStatsRequest() { return WithType(MsgType::kStats); }
+
+std::string EncodeOpenIndexFileRequest(std::string_view path, bool merged) {
+  std::string payload = WithType(MsgType::kOpenIndexFile);
+  payload.push_back(merged ? '\x01' : '\x00');
+  AppendPath(&payload, path);
+  return payload;
+}
+
+std::string EncodeCompactFilesRequest(std::span<const std::string> input_paths,
+                                      std::string_view output_path) {
+  std::string payload = WithType(MsgType::kCompactFiles);
+  AppendPath(&payload, output_path);
+  AppendU64(&payload, input_paths.size());
+  for (const std::string& path : input_paths) AppendPath(&payload, path);
+  return payload;
+}
 
 // --- Responses -------------------------------------------------------------
 

@@ -45,7 +45,8 @@ inline constexpr uint64_t kMaxFramePayload = uint64_t{1} << 26;  // 64 MiB
 // with a misleading truncated-field/trailing-bytes error.
 //   1 — initial framed protocol (kStats body: 4 u64 fields).
 //   2 — kStats body widened to 8 u64 fields (serving-cache counters).
-inline constexpr uint64_t kProtocolVersion = 2;
+//   3 — on-disk tier ops added (kOpenIndexFile, kCompactFiles).
+inline constexpr uint64_t kProtocolVersion = 3;
 
 enum class MsgType : uint8_t {
   kPing = 1,
@@ -60,6 +61,11 @@ enum class MsgType : uint8_t {
   kMergeRuns = 10,
   kQueryAcrossRuns = 11,
   kStats = 12,
+  // On-disk tier (docs/ARCHITECTURE.md): paths are resolved on the
+  // *server's* filesystem — the client names an archive, the server maps
+  // or writes it.
+  kOpenIndexFile = 13,  // map an archive file, register it as an index
+  kCompactFiles = 14,   // LSM-style re-merge of archive files
 };
 
 inline constexpr uint8_t kOkByte = 0x80;
@@ -99,6 +105,9 @@ struct Request {
   std::vector<std::pair<RunItem, RunItem>> run_pairs;  // kQueryAcrossRuns
   std::vector<uint64_t> index_ids;                    // kMergeRuns
   View view;                                          // kRegisterView
+  bool merged_file = false;              // kOpenIndexFile: archive kind
+  std::string path;                      // kOpenIndexFile; kCompactFiles out
+  std::vector<std::string> input_paths;  // kCompactFiles
 };
 
 // Total decoder: kMalformedBlob on any violation (unknown type, truncated
@@ -145,6 +154,13 @@ std::string EncodeQueryAcrossRunsRequest(
     uint64_t view_id, uint64_t merged_id, ViewLabelMode mode,
     std::span<const std::pair<RunItem, RunItem>> queries);
 std::string EncodeStatsRequest();
+// Body: `u8 merged | u64 len | path`. The path names a file on the
+// server's filesystem (the server maps it; the bytes never cross the
+// wire).
+std::string EncodeOpenIndexFileRequest(std::string_view path, bool merged);
+// Body: `u64 out_len | out_path | u64 count | (u64 len | path)*`.
+std::string EncodeCompactFilesRequest(std::span<const std::string> input_paths,
+                                      std::string_view output_path);
 
 // --- Responses -------------------------------------------------------------
 

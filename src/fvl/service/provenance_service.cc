@@ -8,7 +8,9 @@
 
 #include "fvl/core/index.h"
 #include "fvl/core/visibility.h"
+#include "fvl/util/blob_source.h"
 #include "fvl/util/check.h"
+#include "fvl/util/file.h"
 #include "fvl/util/thread_pool.h"
 #include "fvl/workflow/properness.h"
 
@@ -592,6 +594,62 @@ Result<MergedProvenanceIndex> ProvenanceService::MergeRunsStreamed(
     }
   }
   return std::move(stream).Finish();
+}
+
+Result<ProvenanceIndex> ProvenanceService::OpenIndexFile(
+    const std::string& path) const {
+  Result<ProvenanceIndex> index = ProvenanceIndex::Map(path);
+  if (!index.ok()) return index.status();
+  if (Status status = CheckIndexCompatible(*index); !status.ok()) {
+    return status;
+  }
+  return index;
+}
+
+Result<MergedProvenanceIndex> ProvenanceService::OpenMergedIndexFile(
+    const std::string& path) const {
+  Result<MergedProvenanceIndex> index = MergedProvenanceIndex::Map(path);
+  if (!index.ok()) return index.status();
+  if (Status status = CheckIndexCompatible(*index); !status.ok()) {
+    return status;
+  }
+  return index;
+}
+
+Result<MergedProvenanceIndex> ProvenanceService::CompactFiles(
+    std::span<const std::string> input_paths,
+    const std::string& output_path) const {
+  CompactStream stream;
+  for (size_t i = 0; i < input_paths.size(); ++i) {
+    Result<BlobSource> source = BlobSource::MapFile(input_paths[i]);
+    if (!source.ok()) {
+      return Status::Error(source.status().code(),
+                           "input " + std::to_string(i) + ": " +
+                               source.status().message());
+    }
+    BlobReader reader(std::move(source).value());
+    if (Status status = stream.Append(&reader); !status.ok()) {
+      return Status::Error(status.code(), "input " + std::to_string(i) + ": " +
+                                              status.message());
+    }
+    // Same early foreign-batch rejection as MergeRunsStreamed: the stream
+    // pins later inputs to input 0's codec, so one check suffices.
+    if (i == 0) {
+      if (Status status = CheckCodecCompatible(stream.codec(), "input 0");
+          !status.ok()) {
+        return status;
+      }
+    }
+  }
+  Result<MergedProvenanceIndex> compacted = std::move(stream).Finish();
+  if (!compacted.ok()) return compacted.status();
+  Result<FileHandle> out = FileHandle::CreateTruncate(output_path);
+  if (!out.ok()) return out.status();
+  if (Status status = out->WriteAll(compacted->Serialize()); !status.ok()) {
+    return status;
+  }
+  if (Status status = out->Close(); !status.ok()) return status;
+  return compacted;
 }
 
 // --- ProvenanceSession -----------------------------------------------------

@@ -288,6 +288,38 @@ class ProvenanceService
   [[nodiscard]] Result<MergedProvenanceIndex> MergeRunsStreamed(
       std::span<const std::string_view> blobs);
 
+  // --- On-disk tier ---------------------------------------------------------
+  //
+  // Archive files are served without heap copies: Map() keeps the file's
+  // pages as the long-label arena (core/index.h), and these wrappers add
+  // the same codec-compatibility gate every other untrusted artifact passes
+  // through, so a mapped archive is immediately queryable against this
+  // service's views. Error taxonomy extends the blob one: kIo (open/stat
+  // failed), kMapFailed (mmap failed), kMalformedBlob (file parsed but is
+  // not a valid index), kInvalidArgument (valid index of a foreign
+  // specification). Never aborts on an untrusted path or file.
+
+  // Maps a serialized single-run index (FVLIDX3/FVLIDX2 file) read-only.
+  [[nodiscard]] Result<ProvenanceIndex> OpenIndexFile(
+      const std::string& path) const;
+
+  // Maps a serialized merged index (FVLMRG2/FVLMRG1 file) read-only.
+  [[nodiscard]] Result<MergedProvenanceIndex> OpenMergedIndexFile(
+      const std::string& path) const;
+
+  // LSM-style re-merge of on-disk artifacts: maps each input (single-run
+  // or already-merged, any mix), folds them through CompactStream
+  // (core/index.h) so peak heap is O(largest input tail + output) — input
+  // arenas are read straight from their mappings, never materialized — and
+  // writes the compacted FVLMRG2 archive to `output_path`. Returns the
+  // compacted index heap-backed and ready to serve (callers wanting the
+  // file-served form re-open via OpenMergedIndexFile). Inputs are
+  // annotated "input N: " in errors; write failures are kIo and may leave
+  // a partial output file behind (compaction reruns are idempotent).
+  [[nodiscard]] Result<MergedProvenanceIndex> CompactFiles(
+      std::span<const std::string> input_paths,
+      const std::string& output_path) const;
+
  private:
   struct ViewEntry {
     // Exactly one of regular/grouped is set; the registry dedups regular

@@ -57,13 +57,26 @@ void BitWriter::WriteVByte(uint64_t value) {
   } while (value != 0);
 }
 
+uint64_t BitReader::WordAt(int64_t index) const {
+  if (words_ != nullptr) return (*words_)[index];
+  // Byte-backed (borrowed-arena) mode: explicit little-endian assembly —
+  // the buffer is unaligned, so a uint64_t* cast would be UB. Compiles to
+  // a single load on little-endian targets.
+  const uint8_t* at = bytes_ + 8 * index;
+  uint64_t word = 0;
+  for (int i = 0; i < 8; ++i) {
+    word |= static_cast<uint64_t>(at[i]) << (8 * i);
+  }
+  return word;
+}
+
 bool BitReader::ReadBit() {
   if (position_ >= size_bits_) {
     FVL_CHECK(permissive_);
     failed_ = true;
     return true;  // terminates gamma zero-scans
   }
-  bool bit = ((*words_)[position_ / 64] >> (position_ % 64)) & 1;
+  bool bit = (WordAt(position_ / 64) >> (position_ % 64)) & 1;
   ++position_;
   return bit;
 }
@@ -90,9 +103,9 @@ uint64_t BitReader::ReadFixed(int width) {
   // Word-parallel extraction (same LSB-first layout as ReadBit).
   const int64_t word = position_ / 64;
   const int off = static_cast<int>(position_ % 64);
-  uint64_t value = (*words_)[word] >> off;
+  uint64_t value = WordAt(word) >> off;
   const int got = 64 - off;
-  if (width > got) value |= (*words_)[word + 1] << got;
+  if (width > got) value |= WordAt(word + 1) << got;
   if (width < 64) value &= (uint64_t{1} << width) - 1;
   position_ += width;
   return value;

@@ -60,6 +60,15 @@ class BitReader {
   BitReader(const std::vector<uint64_t>* words, int64_t start_bit,
             int64_t end_bit)
       : words_(words), size_bits_(end_bit), position_(start_bit) {}
+  // Reads the same range out of an *unaligned* little-endian byte buffer —
+  // the borrowed-arena mode of LabelStore, whose payload words sit at a
+  // non-word-aligned offset inside an mmap'ed blob. Words are assembled
+  // byte-by-byte (one load on little-endian targets, and no
+  // reinterpret_cast of misaligned memory anywhere). The buffer must hold
+  // ceil(end_bit / 64) full 8-byte words, which serialized arenas do — the
+  // tail writes whole u64 words.
+  BitReader(const uint8_t* bytes, int64_t start_bit, int64_t end_bit)
+      : bytes_(bytes), size_bits_(end_bit), position_(start_bit) {}
 
   uint64_t ReadFixed(int width);
   uint64_t ReadGamma();
@@ -93,8 +102,12 @@ class BitReader {
 
  private:
   bool ReadBit();
+  // Word `index` of whichever backing this reader has.
+  uint64_t WordAt(int64_t index) const;
 
-  const std::vector<uint64_t>* words_;
+  // Exactly one of words_/bytes_ is set.
+  const std::vector<uint64_t>* words_ = nullptr;
+  const uint8_t* bytes_ = nullptr;
   int64_t size_bits_;
   int64_t position_ = 0;
   bool permissive_ = false;

@@ -1,0 +1,119 @@
+// BlobSource — the one abstraction over how a serialized index artifact is
+// owned, so the index classes reference storage instead of owning heap
+// strings.
+//
+// Three ownership modes, one read interface (`view()`):
+//
+//   owned     the source holds the bytes in a std::string (the classic
+//             Serialize()/Deserialize() round trip);
+//   borrowed  the caller guarantees the bytes outlive the source (a test
+//             fixture, a wire frame still in its connection buffer);
+//   mapped    the source owns an MmapRegion over an archive file — the
+//             pages are the kernel's, shared across processes, and the
+//             LabelStore borrowed-arena mode points straight into them.
+//
+// A BlobSource is cheaply copyable: copies share one reference-counted
+// representation, which is exactly the keepalive an mmap-served
+// ProvenanceIndex needs — every copy of the index copies the source, and
+// the mapping unmaps with the last copy.
+//
+// BlobReader is the incremental cursor CompactStream consumes inputs
+// through: sequential access advice up front, chunked Take() so even the
+// largest mapped artifact streams through without a heap copy.
+
+#ifndef FVL_UTIL_BLOB_SOURCE_H_
+#define FVL_UTIL_BLOB_SOURCE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "fvl/util/status.h"
+
+namespace fvl {
+
+class BlobSource {
+ public:
+  BlobSource() = default;  // empty view, no backing
+
+  // Takes ownership of `blob`.
+  [[nodiscard]] static BlobSource FromString(std::string blob);
+
+  // Wraps caller-owned bytes; the caller keeps them alive for the life of
+  // every copy of the returned source.
+  [[nodiscard]] static BlobSource Borrowed(std::string_view blob);
+
+  // Opens and memory-maps `path` read-only: kIo if the file cannot be
+  // opened or statted, kMapFailed if it cannot be mapped.
+  [[nodiscard]] static Result<BlobSource> MapFile(const std::string& path);
+
+  // The blob bytes, whatever the ownership mode.
+  std::string_view view() const;
+
+  bool empty() const { return view().empty(); }
+  size_t size() const { return view().size(); }
+
+  // True for mmap-backed sources (observability: benches and stats report
+  // whether an index is file-served).
+  bool mapped() const;
+
+  // Access-pattern hints, forwarded to madvise on mapped sources and
+  // no-ops otherwise. Sequential is what a one-pass compaction read wants;
+  // Random fits point-query serving; DontNeed releases page-cache claim on
+  // a region the caller is done streaming.
+  void AdviseSequential() const;
+  void AdviseRandom() const;
+  void AdviseDontNeed() const;
+
+ private:
+  struct Rep;  // owned string, or mapping, or nothing (borrowed)
+
+  std::shared_ptr<const Rep> rep_;
+  // Resolved once at construction; for owned/mapped modes it points into
+  // rep_, which copies share.
+  std::string_view view_;
+};
+
+// Incremental sequential reader over one BlobSource. Construction advises
+// sequential access; Take() hands out borrowed chunks and advances the
+// cursor, so a compaction pass over N archives touches each page once and
+// never materializes an input in the heap.
+class BlobReader {
+ public:
+  explicit BlobReader(BlobSource source) : source_(std::move(source)) {
+    source_.AdviseSequential();
+  }
+
+  size_t size() const { return source_.size(); }
+  size_t position() const { return position_; }
+
+  // Bytes not yet consumed, as a borrowed view (no copy).
+  std::string_view Remaining() const {
+    return source_.view().substr(position_);
+  }
+
+  // Consumes and returns up to `max_bytes` (empty at the end).
+  std::string_view Take(size_t max_bytes) {
+    std::string_view chunk = source_.view().substr(position_, max_bytes);
+    position_ += chunk.size();
+    return chunk;
+  }
+
+  // Hints that the blob's pages are no longer needed (DontNeed on mapped
+  // sources; the hint covers the whole mapping, so call it once the reader
+  // is drained — a long compaction should not keep every already-merged
+  // input resident).
+  void ReleaseConsumed() { source_.AdviseDontNeed(); }
+
+  const BlobSource& source() const { return source_; }
+
+ private:
+  BlobSource source_;
+  size_t position_ = 0;
+};
+
+}  // namespace fvl
+
+#endif  // FVL_UTIL_BLOB_SOURCE_H_

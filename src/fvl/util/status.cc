@@ -32,6 +32,10 @@ const char* ToString(ErrorCode code) {
       return "malformed-blob";
     case ErrorCode::kUnavailable:
       return "unavailable";
+    case ErrorCode::kIo:
+      return "io";
+    case ErrorCode::kMapFailed:
+      return "map-failed";
   }
   return "unknown";
 }

@@ -57,6 +57,11 @@ enum class ErrorCode : unsigned char {
   // A transport endpoint is gone: connection refused/reset, a peer that
   // closed mid-exchange, a server already stopped (src/fvl/net).
   kUnavailable,
+  // A file operation failed: open/stat/read/write on an index archive
+  // (util/file.h carries the errno text in the message).
+  kIo,
+  // A file opened fine but could not be memory-mapped for serving.
+  kMapFailed,
 };
 
 // Short stable identifier, e.g. "unsafe-view".

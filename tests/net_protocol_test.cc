@@ -54,6 +54,11 @@ std::vector<std::string> ValidRequestPayloads() {
       EncodeQueryAcrossRunsRequest(0, 1, ViewLabelMode::kQueryEfficient,
                                    run_pairs),
       EncodeStatsRequest(),
+      EncodeOpenIndexFileRequest("/tmp/archive.fvlidx", /*merged=*/false),
+      EncodeOpenIndexFileRequest("/tmp/archive.fvlmrg", /*merged=*/true),
+      EncodeCompactFilesRequest(
+          std::vector<std::string>{"/tmp/a.fvlidx", "/tmp/b.fvlmrg"},
+          "/tmp/l1.fvlmrg"),
   };
 }
 

@@ -54,6 +54,8 @@ TRACKED = {
     "p99_us": False,
     "bytes_per_label": False,
     "index_bytes": False,
+    "mapped_qps": True,    # bench_mmap_serve: warm mmap-served throughput
+    "compact_ms": False,   # bench_mmap_serve: CompactFiles wall time
 }
 
 # Columns that identify a row's configuration across commits. Everything
@@ -80,6 +82,15 @@ KNOWN_UNTRACKED = {
     # over the same arena, redundant with bytes_per_label.
     "fvl_avg_bits", "fvl_max_bits", "drl_avg_bits", "drl_max_bits",
     "fvl_bits", "drl_bits", "v1_bytes_per_label", "space_saving_pct",
+    # bench_mmap_serve: heap/cold qps restate mapped_qps's comparison
+    # points; archive size and the compaction peak are covered by
+    # index_bytes/stream_peak_stores-style metrics elsewhere.
+    "heap_qps", "mapped_cold_qps", "mapped_pct_of_heap", "archive_kb",
+    "compact_peak_stores",
+    # bench_fig17_label_length: stats-only baseline for a future prefix
+    # dictionary coder (fraction of long-label arena bits shared with the
+    # previous item's label prefix).
+    "prefix_dupe_ratio",
 }
 
 

@@ -108,6 +108,29 @@ class BenchTrendTest(unittest.TestCase):
         self.assertEqual(code, 0, out)
         self.assertIn("[   skipped]", out)
 
+    def test_mmap_serve_metrics_gate_in_both_directions(self):
+        # The on-disk tier's pair: mapped_qps is higher-better, compact_ms
+        # lower-better — one row carrying both must fail on a mapped_qps
+        # collapse even while compact_ms improves.
+        current, baseline = self.dirs(
+            [{"runs": 8, "total_items": 8226, "mapped_qps": 1000000.0,
+              "compact_ms": 4.0}],
+            [{"runs": 8, "total_items": 8226, "mapped_qps": 500000.0,
+              "compact_ms": 2.0}])
+        code, out = run_gate(current, baseline)
+        self.assertEqual(code, 1, out)
+        self.assertIn("REGRESSION", out)
+        self.assertIn("mapped_qps", out)
+
+    def test_mmap_serve_improvements_pass(self):
+        current, baseline = self.dirs(
+            [{"runs": 8, "total_items": 8226, "mapped_qps": 1000000.0,
+              "compact_ms": 4.0}],
+            [{"runs": 8, "total_items": 8226, "mapped_qps": 1200000.0,
+              "compact_ms": 3.5}])
+        code, out = run_gate(current, baseline)
+        self.assertEqual(code, 0, out)
+
     def test_new_row_shape_is_not_a_regression(self):
         current, baseline = self.dirs(
             [{"mix": "a", "snapshot_delta_ms": 10.0}],

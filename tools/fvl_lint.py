@@ -164,6 +164,52 @@ def check_naked_mutex(root):
     return violations
 
 
+# --- rule: raw-io -----------------------------------------------------------
+#
+# All POSIX file/mmap calls live in util/file.h + util/blob_source.{h,cc}
+# (and socket calls in net/socket.cc): one place turns errno into Status,
+# one place owns descriptors and mappings. A naked call elsewhere is a
+# leak/abort waiting to happen and invisible to the error-taxonomy tests.
+# C stdio streams (fopen/fprintf for text reports) are not covered — the
+# rule is about the fd/mmap layer archive bytes travel through.
+
+RAW_IO_RE = re.compile(
+    r"(?:(?<![\w:.>])(?:::\s*)?(open|openat|mmap|munmap|madvise)\s*\()"
+    r"|(?:::\s*(read|write|close|fstat|pread|pwrite)\s*\()")
+RAW_IO_EXEMPT = (
+    "src/fvl/util/file.h",
+    "src/fvl/util/blob_source.h",
+    "src/fvl/util/blob_source.cc",
+    "src/fvl/net/socket.cc",  # the socket RAII wrapper, file.h's net twin
+)
+RAW_IO_DIRS = ("src/fvl", "bench", "examples", "tests")
+
+
+def check_raw_io(root):
+    violations = []
+    for top in RAW_IO_DIRS:
+        for dirpath, _, files in os.walk(os.path.join(root, top)):
+            for name in sorted(files):
+                if not (name.endswith(".h") or name.endswith(".cc")):
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, root)
+                if rel in RAW_IO_EXEMPT:
+                    continue
+                for lineno, line in enumerate(open(path), 1):
+                    if line.lstrip().startswith("//"):
+                        continue
+                    match = RAW_IO_RE.search(line.split("//")[0])
+                    if match:
+                        call = match.group(1) or match.group(2)
+                        violations.append(
+                            f"{path}:{lineno}: naked {call}() — file I/O "
+                            "goes through FileHandle/MmapRegion "
+                            "(fvl/util/file.h) or BlobSource "
+                            "(fvl/util/blob_source.h)")
+    return violations
+
+
 # --- rule: test-registry ----------------------------------------------------
 
 def check_test_registry(root):
@@ -195,6 +241,7 @@ def check_test_registry(root):
 BENCH_JSON_SOURCES = (
     "bench/bench_service_throughput.cc",
     "bench/bench_merge_query.cc",
+    "bench/bench_mmap_serve.cc",
     "bench/ycsb_driver.cc",
     "bench/bench_fig17_label_length.cc",
     "bench/bench_fig21_multiview_space.cc",
@@ -379,6 +426,7 @@ RULES = {
     "nodiscard": check_nodiscard,
     "parse-abort": check_parse_abort,
     "naked-mutex": check_naked_mutex,
+    "raw-io": check_raw_io,
     "test-registry": check_test_registry,
     "bench-keys": check_bench_keys,
     "tail-format": check_tail_format,
@@ -416,6 +464,11 @@ def seed_violation(rule, root):
               "class Thing {\n private:\n"
               "  std::mutex mu_;\n"
               "};\n")
+    elif rule == "raw-io":
+        write(root, "src/fvl/core/sneaky.cc",
+              "void Load() {\n"
+              "  int fd = ::open(\"/tmp/x\", O_RDONLY);\n"
+              "}\n")
     elif rule == "test-registry":
         write(root, "tests/CMakeLists.txt",
               "set(FVL_TESTS\n  registered_test\n)\n")
